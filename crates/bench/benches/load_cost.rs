@@ -1,0 +1,91 @@
+//! Fig. 12 bench: native distributed-checkpoint loading vs UCP
+//! transformation + loading, across three model sizes.
+//!
+//! The paper measures 1.14×–1.37× on NVMe-bound loads; at simulator scale
+//! fixed per-file overheads weigh more, so the companion `figures
+//! --experiment fig12` run additionally reports the byte-volume ratio
+//! (the bandwidth-bound model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucp_bench::report::scratch_dir;
+use ucp_core::convert::ConvertOptions;
+use ucp_model::{ModelConfig, SizePreset};
+use ucp_parallel::{ParallelConfig, ZeroStage};
+use ucp_trainer::{convert_checkpoint, train_run, ResumeMode, TrainConfig, TrainPlan};
+
+struct Prepared {
+    cfg: TrainConfig,
+    dir: std::path::PathBuf,
+}
+
+fn prepare(label: &str, preset: SizePreset) -> Prepared {
+    let model = ModelConfig::sized(preset);
+    let mut cfg = TrainConfig::quick(model, ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1), 9);
+    cfg.global_batch = 2;
+    cfg.micro_batch = 1;
+    let dir = scratch_dir(&format!("bench_load_{label}"));
+    train_run(&TrainPlan {
+        config: cfg.clone(),
+        until_iteration: 1,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(1),
+        checkpoint_dir: Some(dir.clone()),
+    })
+    .expect("prepare checkpoint");
+    Prepared { cfg, dir }
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_load");
+    group.sample_size(10);
+    for (label, preset) in [
+        ("small", SizePreset::Small),
+        ("medium", SizePreset::Medium),
+        ("large", SizePreset::Large),
+    ] {
+        let prep = prepare(label, preset);
+        group.bench_with_input(BenchmarkId::new("native_load", label), &prep, |b, p| {
+            b.iter(|| {
+                train_run(&TrainPlan {
+                    config: p.cfg.clone(),
+                    until_iteration: 1,
+                    resume: ResumeMode::Native {
+                        dir: p.dir.clone(),
+                        step: 1,
+                    },
+                    checkpoint_every: None,
+                    checkpoint_dir: None,
+                })
+                .expect("native load")
+                .load_secs
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("convert_plus_ucp_load", label),
+            &prep,
+            |b, p| {
+                b.iter(|| {
+                    // Conversion is re-run each iteration (it overwrites).
+                    convert_checkpoint(&p.dir, 1, &ConvertOptions::default()).expect("convert");
+                    train_run(&TrainPlan {
+                        config: p.cfg.clone(),
+                        until_iteration: 1,
+                        resume: ResumeMode::Universal {
+                            dir: p.dir.clone(),
+                            step: 1,
+                        },
+                        checkpoint_every: None,
+                        checkpoint_dir: None,
+                    })
+                    .expect("ucp load")
+                    .load_secs
+                })
+            },
+        );
+        std::fs::remove_dir_all(&prep.dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load);
+criterion_main!(benches);

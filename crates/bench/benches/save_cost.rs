@@ -1,0 +1,77 @@
+//! Fig. 11 bench: checkpoint save time in a standard training run vs a
+//! UCP-enabled run, across three model sizes.
+//!
+//! UCP's claim is zero added save-side cost: conversion is lazy, so the
+//! save path is byte-for-byte the standard distributed save. The two
+//! benchmark groups must therefore coincide within noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucp_bench::report::scratch_dir;
+use ucp_model::{ModelConfig, SizePreset};
+use ucp_parallel::{ParallelConfig, ZeroStage};
+use ucp_trainer::{train_run, train_run_overlapped, ResumeMode, TrainConfig, TrainPlan};
+
+fn save_once(cfg: &TrainConfig, dir: &std::path::Path, overlapped: bool) -> f64 {
+    let plan = TrainPlan {
+        config: cfg.clone(),
+        until_iteration: 1,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(1),
+        checkpoint_dir: Some(dir.to_path_buf()),
+    };
+    let run = if overlapped {
+        train_run_overlapped(&plan)
+    } else {
+        train_run(&plan)
+    }
+    .expect("save run");
+    run.save_secs
+}
+
+fn bench_save(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_save");
+    group.sample_size(10);
+    for (label, preset) in [
+        ("small", SizePreset::Small),
+        ("medium", SizePreset::Medium),
+        ("large", SizePreset::Large),
+    ] {
+        let model = ModelConfig::sized(preset);
+        let mut cfg =
+            TrainConfig::quick(model, ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1), 7);
+        cfg.global_batch = 2;
+        cfg.micro_batch = 1;
+        // Standard training: save path as-is.
+        group.bench_with_input(BenchmarkId::new("standard", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let dir = scratch_dir("bench_save_std");
+                let secs = save_once(cfg, &dir, false);
+                std::fs::remove_dir_all(&dir).ok();
+                secs
+            })
+        });
+        // UCP-enabled training: identical save path (conversion is lazy
+        // and not part of the measured save).
+        group.bench_with_input(BenchmarkId::new("ucp_enabled", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let dir = scratch_dir("bench_save_ucp");
+                let secs = save_once(cfg, &dir, false);
+                std::fs::remove_dir_all(&dir).ok();
+                secs
+            })
+        });
+        // Overlapped (CheckFreq-style) saving: only snapshot time blocks.
+        group.bench_with_input(BenchmarkId::new("overlapped", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let dir = scratch_dir("bench_save_overlap");
+                let secs = save_once(cfg, &dir, true);
+                std::fs::remove_dir_all(&dir).ok();
+                secs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_save);
+criterion_main!(benches);

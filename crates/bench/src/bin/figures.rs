@@ -1,0 +1,94 @@
+//! Regenerates the paper's evaluation tables and figures.
+//!
+//! ```text
+//! figures --experiment all [--fast]
+//! figures --experiment fig6          # also emits Table 3
+//! ```
+//!
+//! Text renderings go to stdout; machine-readable CSV/TXT artifacts are
+//! written under `results/` (override with `UCP_RESULTS_DIR`).
+
+use ucp_bench::correctness::{
+    elastic_demo, fig10, fig6, fig7, fig8, fig9, CurveSet, Schedule, Table3,
+};
+use ucp_bench::efficiency::{fig11, fig12};
+use ucp_bench::report::{curves_to_csv, write_artifact};
+
+fn usage() -> ! {
+    eprintln!("usage: figures --experiment <fig6|fig7|fig8|fig9|fig10|fig11|fig12|all> [--fast]");
+    std::process::exit(2)
+}
+
+fn emit_curves(name: &str, set: &CurveSet) {
+    println!("{}", set.render());
+    let mut curves = vec![set.baseline.clone()];
+    curves.extend(set.resumed.iter().cloned());
+    match write_artifact(&format!("{name}.csv"), &curves_to_csv(&curves)) {
+        Ok(path) => println!("  wrote {}\n", path.display()),
+        Err(e) => eprintln!("  could not write {name}.csv: {e}"),
+    }
+    if let Err(e) = write_artifact(&format!("{name}.txt"), &set.render()) {
+        eprintln!("  could not write {name}.txt: {e}");
+    }
+}
+
+fn run(which: &str, fast: bool) {
+    match which {
+        "fig6" => {
+            let set = fig6(fast);
+            emit_curves("fig6", &set);
+            let table = Table3::from_curves(&set, Schedule::new(fast));
+            println!("{}", table.render());
+            if let Err(e) = write_artifact("table3.txt", &table.render()) {
+                eprintln!("  could not write table3.txt: {e}");
+            }
+        }
+        "fig7" => emit_curves("fig7", &fig7(fast)),
+        "fig8" => emit_curves("fig8", &fig8(fast)),
+        "fig9" => emit_curves("fig9", &fig9(fast)),
+        "fig10" => emit_curves("fig10", &fig10(fast)),
+        "elastic" => emit_curves("elastic", &elastic_demo(fast)),
+        "fig11" => {
+            let r = fig11();
+            println!("{}", r.render());
+            if let Err(e) = write_artifact("fig11.txt", &r.render()) {
+                eprintln!("  could not write fig11.txt: {e}");
+            }
+        }
+        "fig12" => {
+            let r = fig12();
+            println!("{}", r.render());
+            if let Err(e) = write_artifact("fig12.txt", &r.render()) {
+                eprintln!("  could not write fig12.txt: {e}");
+            }
+        }
+        "all" => {
+            for exp in [
+                "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "elastic",
+            ] {
+                run(exp, fast);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = None;
+    let mut fast = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                i += 1;
+                which = args.get(i).cloned();
+            }
+            "--fast" => fast = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(which) = which else { usage() };
+    run(&which, fast);
+}

@@ -1,0 +1,290 @@
+//! Efficiency experiments: Fig. 11 (checkpoint saving cost) and Fig. 12
+//! (UCP transformation + loading cost), swept over three model sizes.
+
+use ucp_core::convert::ConvertOptions;
+use ucp_model::{ModelConfig, SizePreset};
+use ucp_parallel::{ParallelConfig, ZeroStage};
+use ucp_storage::layout as disk;
+use ucp_trainer::{convert_checkpoint, train_run, ResumeMode, TrainConfig, TrainPlan};
+
+use crate::report::scratch_dir;
+
+/// Warm-up iterations before the measured checkpoint.
+const WARM_ITERS: u64 = 2;
+
+fn sizes() -> [(&'static str, SizePreset); 3] {
+    [
+        ("small", SizePreset::Small),
+        ("medium", SizePreset::Medium),
+        ("large", SizePreset::Large),
+    ]
+}
+
+fn efficiency_config(model: ModelConfig) -> TrainConfig {
+    let parallel = ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1);
+    let mut cfg = TrainConfig::quick(model, parallel, 77);
+    cfg.global_batch = 4;
+    cfg.micro_batch = 2;
+    cfg
+}
+
+/// One row of the Fig. 11 table.
+#[derive(Debug, Clone)]
+pub struct SaveRow {
+    /// Size label.
+    pub size: &'static str,
+    /// Model parameter count.
+    pub params: usize,
+    /// Checkpoint bytes on disk.
+    pub bytes: u64,
+    /// Save seconds in a standard training run.
+    pub standard_secs: f64,
+    /// Save seconds in a UCP-enabled training run (same code path: UCP
+    /// conversion is lazy and does not touch the save side).
+    pub ucp_secs: f64,
+    /// Whether the two runs produced byte-identical checkpoint trees.
+    pub identical: bool,
+}
+
+/// Fig. 11 result.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// Per-size measurements.
+    pub rows: Vec<SaveRow>,
+}
+
+impl Fig11Result {
+    /// Paper-style rendering.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Fig. 11: checkpoint save time, standard vs UCP-enabled training\n");
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>12} {:>14} {:>14} {:>11}\n",
+            "size", "params", "ckpt bytes", "standard (s)", "ucp-on (s)", "identical"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<8} {:>12} {:>12} {:>14.4} {:>14.4} {:>11}\n",
+                r.size, r.params, r.bytes, r.standard_secs, r.ucp_secs, r.identical
+            ));
+        }
+        out.push_str(
+            "(UCP adds zero save-side cost: conversion is lazy, the save path is unchanged)\n",
+        );
+        out
+    }
+}
+
+fn hash_dir(dir: &std::path::Path) -> u64 {
+    use ucp_storage::crc::Crc32c;
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    collect_files(dir, &mut files);
+    files.sort();
+    let mut h = Crc32c::new();
+    for f in files {
+        // Hash paths relative to the tree root so two runs in different
+        // scratch directories compare equal when their contents match.
+        let rel = f.strip_prefix(dir).unwrap_or(&f);
+        h.update(rel.to_string_lossy().as_bytes());
+        if let Ok(bytes) = std::fs::read(&f) {
+            h.update(&bytes);
+        }
+    }
+    u64::from(h.finish())
+}
+
+fn collect_files(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_files(&p, out);
+        } else {
+            out.push(p);
+        }
+    }
+}
+
+/// Fig. 11: time the checkpoint save in a standard run and in a
+/// UCP-enabled run, across three model sizes, and verify byte-identity.
+pub fn fig11() -> Fig11Result {
+    let mut rows = Vec::new();
+    for (label, preset) in sizes() {
+        let model = ModelConfig::sized(preset);
+        let params = model.num_parameters();
+        let cfg = efficiency_config(model);
+
+        let mut secs = [0.0f64; 2];
+        let mut hashes = [0u64; 2];
+        let mut bytes = 0u64;
+        for (mode, dest) in [(0usize, "std"), (1, "ucp")] {
+            // Median of three runs, after one warmup, to damp page-cache
+            // and allocator warmup effects.
+            let mut samples = Vec::new();
+            for attempt in 0..4 {
+                let dir = scratch_dir(&format!("fig11_{label}_{dest}"));
+                let run = train_run(&TrainPlan {
+                    config: cfg.clone(),
+                    until_iteration: WARM_ITERS,
+                    resume: ResumeMode::Fresh,
+                    checkpoint_every: Some(WARM_ITERS),
+                    checkpoint_dir: Some(dir.clone()),
+                })
+                .expect("fig11 run");
+                if attempt > 0 {
+                    samples.push(run.save_secs);
+                }
+                // "UCP-enabled" differs only in *later* lazy conversion;
+                // the save path is identical, which the byte hash proves.
+                hashes[mode] = hash_dir(&disk::step_dir(&dir, WARM_ITERS));
+                bytes = disk::dir_size_bytes(&disk::step_dir(&dir, WARM_ITERS));
+                std::fs::remove_dir_all(&dir).ok();
+            }
+            samples.sort_by(f64::total_cmp);
+            secs[mode] = samples[samples.len() / 2];
+        }
+        rows.push(SaveRow {
+            size: label,
+            params,
+            bytes,
+            standard_secs: secs[0],
+            ucp_secs: secs[1],
+            identical: hashes[0] == hashes[1],
+        });
+    }
+    Fig11Result { rows }
+}
+
+/// One row of the Fig. 12 table.
+#[derive(Debug, Clone)]
+pub struct LoadRow {
+    /// Size label.
+    pub size: &'static str,
+    /// Model parameter count.
+    pub params: usize,
+    /// Native distributed-checkpoint load seconds.
+    pub native_load_secs: f64,
+    /// Conversion seconds (distributed → universal).
+    pub convert_secs: f64,
+    /// Universal-checkpoint load seconds.
+    pub ucp_load_secs: f64,
+    /// Native checkpoint bytes.
+    pub native_bytes: u64,
+    /// Universal checkpoint bytes.
+    pub universal_bytes: u64,
+}
+
+impl LoadRow {
+    /// Measured wall-clock ratio (convert + UCP load) / native load.
+    pub fn measured_ratio(&self) -> f64 {
+        (self.convert_secs + self.ucp_load_secs) / self.native_load_secs
+    }
+
+    /// Byte-volume ratio under a bandwidth-bound device model: the paper's
+    /// regime, where DeepNVMe makes I/O proportional to bytes moved.
+    pub fn modeled_ratio(&self) -> f64 {
+        let native = self.native_bytes as f64;
+        let ucp = self.native_bytes as f64 + 2.0 * self.universal_bytes as f64;
+        ucp / native
+    }
+}
+
+/// Fig. 12 result.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// Per-size measurements.
+    pub rows: Vec<LoadRow>,
+}
+
+impl Fig12Result {
+    /// Paper-style rendering.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Fig. 12: load time, native distributed vs convert-to-UCP + load-UCP\n");
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>11} {:>11} {:>11} {:>10} {:>10}\n",
+            "size", "params", "native (s)", "convert(s)", "load (s)", "wall×", "bytes×"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<8} {:>12} {:>11.4} {:>11.4} {:>11.4} {:>10.2} {:>10.2}\n",
+                r.size,
+                r.params,
+                r.native_load_secs,
+                r.convert_secs,
+                r.ucp_load_secs,
+                r.measured_ratio(),
+                r.modeled_ratio(),
+            ));
+        }
+        out.push_str("(paper reports 1.14x-1.37x on NVMe-bound loads)\n");
+        out
+    }
+}
+
+/// Fig. 12: compare native resume time against conversion + universal
+/// resume under the *same* strategy (native checkpoints cannot change
+/// strategy at all).
+pub fn fig12() -> Fig12Result {
+    let mut rows = Vec::new();
+    for (label, preset) in sizes() {
+        let model = ModelConfig::sized(preset);
+        let params = model.num_parameters();
+        let cfg = efficiency_config(model);
+        let dir = scratch_dir(&format!("fig12_{label}"));
+
+        train_run(&TrainPlan {
+            config: cfg.clone(),
+            until_iteration: WARM_ITERS,
+            resume: ResumeMode::Fresh,
+            checkpoint_every: Some(WARM_ITERS),
+            checkpoint_dir: Some(dir.clone()),
+        })
+        .expect("fig12 source");
+        let native_bytes = disk::dir_size_bytes(&disk::step_dir(&dir, WARM_ITERS));
+
+        // Native resume (same strategy — the only thing native supports).
+        let native = train_run(&TrainPlan {
+            config: cfg.clone(),
+            until_iteration: WARM_ITERS,
+            resume: ResumeMode::Native {
+                dir: dir.clone(),
+                step: WARM_ITERS,
+            },
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        })
+        .expect("native resume");
+
+        // Lazy conversion + universal resume.
+        let t0 = std::time::Instant::now();
+        convert_checkpoint(&dir, WARM_ITERS, &ConvertOptions::default()).expect("fig12 conversion");
+        let convert_secs = t0.elapsed().as_secs_f64();
+        let universal_bytes = disk::dir_size_bytes(&disk::universal_dir(&dir, WARM_ITERS));
+        let ucp = train_run(&TrainPlan {
+            config: cfg.clone(),
+            until_iteration: WARM_ITERS,
+            resume: ResumeMode::Universal {
+                dir: dir.clone(),
+                step: WARM_ITERS,
+            },
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        })
+        .expect("ucp resume");
+
+        std::fs::remove_dir_all(&dir).ok();
+        rows.push(LoadRow {
+            size: label,
+            params,
+            native_load_secs: native.load_secs,
+            convert_secs,
+            ucp_load_secs: ucp.load_secs,
+            native_bytes,
+            universal_bytes,
+        });
+    }
+    Fig12Result { rows }
+}

@@ -1,0 +1,131 @@
+//! Result rendering and persistence helpers shared by the experiments.
+
+use std::path::{Path, PathBuf};
+
+/// A labelled loss curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Configuration label (e.g. `tp2_pp2_dp2_sp1_z1`).
+    pub label: String,
+    /// `(iteration, mean LM loss)` points.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Curve {
+    /// Loss at an iteration, if recorded.
+    pub fn at(&self, iteration: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(it, _)| *it == iteration)
+            .map(|(_, l)| *l)
+    }
+
+    /// Final recorded loss.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|(_, l)| *l)
+    }
+}
+
+/// Maximum |loss(a) − loss(b)| over iterations both curves share.
+pub fn max_divergence(a: &Curve, b: &Curve) -> f64 {
+    let mut worst = 0.0f64;
+    for (it, la) in &a.points {
+        if let Some(lb) = b.at(*it) {
+            worst = worst.max((la - lb).abs());
+        }
+    }
+    worst
+}
+
+/// Render curves as an aligned CSV (`iteration, <label...>`).
+pub fn curves_to_csv(curves: &[Curve]) -> String {
+    let mut iters: Vec<u64> = curves
+        .iter()
+        .flat_map(|c| c.points.iter().map(|(it, _)| *it))
+        .collect();
+    iters.sort_unstable();
+    iters.dedup();
+    let mut out = String::from("iteration");
+    for c in curves {
+        out.push(',');
+        out.push_str(&c.label);
+    }
+    out.push('\n');
+    for it in iters {
+        out.push_str(&it.to_string());
+        for c in curves {
+            out.push(',');
+            if let Some(l) = c.at(it) {
+                out.push_str(&format!("{l:.6}"))
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Where figure artifacts land (`results/` at the workspace root by
+/// default; override with `UCP_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("UCP_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        })
+}
+
+/// Write an artifact file under the results directory.
+pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Fresh scratch directory for checkpoints.
+pub fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ucp_bench_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_lookup_and_divergence() {
+        let a = Curve {
+            label: "a".into(),
+            points: vec![(1, 5.0), (2, 4.0)],
+        };
+        let b = Curve {
+            label: "b".into(),
+            points: vec![(1, 5.1), (2, 4.0), (3, 3.0)],
+        };
+        assert_eq!(a.at(2), Some(4.0));
+        assert_eq!(a.at(9), None);
+        assert_eq!(a.last(), Some(4.0));
+        assert!((max_divergence(&a, &b) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_renders_sparse_columns() {
+        let a = Curve {
+            label: "a".into(),
+            points: vec![(1, 5.0)],
+        };
+        let b = Curve {
+            label: "b".into(),
+            points: vec![(2, 4.0)],
+        };
+        let csv = curves_to_csv(&[a, b]);
+        assert!(csv.starts_with("iteration,a,b\n"));
+        assert!(csv.contains("1,5.000000,\n"));
+        assert!(csv.contains("2,,4.000000\n"));
+    }
+}

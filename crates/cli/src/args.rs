@@ -1,0 +1,151 @@
+//! Minimal flag parsing (no external CLI dependency).
+
+use std::path::PathBuf;
+
+/// Usage text.
+pub const USAGE: &str = "\
+ucp — universal checkpoint tools
+
+USAGE:
+  ucp convert --dir <ckpt-base> [--step N] [--workers W] [--spill] [--no-verify]
+      Convert a native distributed checkpoint into a universal checkpoint.
+  ucp inspect --dir <ckpt-base> [--step N]
+      Summarize a checkpoint: strategy, flat layout, atoms and patterns.
+  ucp plan --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--zero Z] --rank R
+      Print the GenUcpMetadata load plan for one target rank.
+  ucp verify --dir <ckpt-base> [--step N]
+      Read every checkpoint file and verify all checksums.
+  ucp prune --dir <ckpt-base> --keep-last K [--keep-every N]
+      Remove old checkpoint steps per the retention policy.
+  ucp spec --model <gpt3-tiny|llama-tiny|bloom-tiny|moe-tiny> --tp T
+      Print the derived UCP pattern spec (JSON) for a model preset.
+  ucp diff --dir <universal-dir-A> --other <universal-dir-B> [--tolerance T]
+      Compare two universal checkpoints atom by atom.
+  ucp help
+      Show this message.";
+
+/// Parsed flags (a flat bag; each command reads what it needs).
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// `--dir`.
+    pub dir: Option<PathBuf>,
+    /// `--step`.
+    pub step: Option<u64>,
+    /// `--workers`.
+    pub workers: Option<usize>,
+    /// `--spill`.
+    pub spill: bool,
+    /// `--no-verify`.
+    pub no_verify: bool,
+    /// `--tp`, `--pp`, `--dp`, `--sp`.
+    pub tp: Option<usize>,
+    /// Pipeline degree.
+    pub pp: Option<usize>,
+    /// Data-parallel degree.
+    pub dp: Option<usize>,
+    /// Sequence-parallel degree.
+    pub sp: Option<usize>,
+    /// `--zero` stage.
+    pub zero: Option<u8>,
+    /// `--rank`.
+    pub rank: Option<usize>,
+    /// `--keep-last` (prune).
+    pub keep_last: Option<usize>,
+    /// `--keep-every` (prune).
+    pub keep_every: Option<u64>,
+    /// `--model` (spec): preset name.
+    pub model: Option<String>,
+    /// `--other` (diff): second universal checkpoint directory.
+    pub other: Option<std::path::PathBuf>,
+    /// `--tolerance` (diff): max elementwise |Δ| treated as equal.
+    pub tolerance: Option<f64>,
+}
+
+/// Parse a flag list.
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut p = Parsed::default();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("flag {} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => p.dir = Some(PathBuf::from(value(&mut i)?)),
+            "--step" => p.step = Some(parse_num(&value(&mut i)?)?),
+            "--workers" => p.workers = Some(parse_num(&value(&mut i)?)? as usize),
+            "--spill" => p.spill = true,
+            "--no-verify" => p.no_verify = true,
+            "--tp" => p.tp = Some(parse_num(&value(&mut i)?)? as usize),
+            "--pp" => p.pp = Some(parse_num(&value(&mut i)?)? as usize),
+            "--dp" => p.dp = Some(parse_num(&value(&mut i)?)? as usize),
+            "--sp" => p.sp = Some(parse_num(&value(&mut i)?)? as usize),
+            "--zero" => p.zero = Some(parse_num(&value(&mut i)?)? as u8),
+            "--rank" => p.rank = Some(parse_num(&value(&mut i)?)? as usize),
+            "--keep-last" => p.keep_last = Some(parse_num(&value(&mut i)?)? as usize),
+            "--keep-every" => p.keep_every = Some(parse_num(&value(&mut i)?)?),
+            "--model" => p.model = Some(value(&mut i)?),
+            "--other" => p.other = Some(PathBuf::from(value(&mut i)?)),
+            "--tolerance" => {
+                let v = value(&mut i)?;
+                p.tolerance = Some(v.parse().map_err(|_| format!("'{v}' is not a number"))?);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(p)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_convert_flags() {
+        let p = parse(&sv(&[
+            "--dir",
+            "/ckpt",
+            "--step",
+            "100",
+            "--workers",
+            "8",
+            "--spill",
+        ]))
+        .unwrap();
+        assert_eq!(p.dir.unwrap(), PathBuf::from("/ckpt"));
+        assert_eq!(p.step, Some(100));
+        assert_eq!(p.workers, Some(8));
+        assert!(p.spill);
+        assert!(!p.no_verify);
+    }
+
+    #[test]
+    fn parses_plan_flags() {
+        let p = parse(&sv(&[
+            "--dir", "/c", "--step", "5", "--tp", "2", "--pp", "2", "--dp", "1", "--zero", "3",
+            "--rank", "3",
+        ]))
+        .unwrap();
+        assert_eq!((p.tp, p.pp, p.dp, p.sp), (Some(2), Some(2), Some(1), None));
+        assert_eq!(p.zero, Some(3));
+        assert_eq!(p.rank, Some(3));
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(parse(&sv(&["--bogus"])).is_err());
+        assert!(parse(&sv(&["--step"])).is_err());
+        assert!(parse(&sv(&["--step", "abc"])).is_err());
+    }
+}

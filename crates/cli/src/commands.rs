@@ -1,0 +1,318 @@
+//! Command implementations.
+
+use ucp_core::checkpoint::{load_model_states, load_optim_states};
+use ucp_core::convert::{convert_to_universal, ConvertOptions};
+use ucp_core::language::UcpSpec;
+use ucp_core::load::{gen_ucp_metadata, DEFAULT_ALIGNMENT};
+use ucp_core::manifest::UcpManifest;
+use ucp_model::ModelConfig;
+use ucp_parallel::{ParallelConfig, ZeroStage};
+use ucp_storage::{layout, retention, Container};
+
+use crate::args::Parsed;
+use crate::resolve_step;
+
+fn require_dir(p: &Parsed) -> Result<std::path::PathBuf, String> {
+    p.dir.clone().ok_or_else(|| "--dir is required".into())
+}
+
+/// `ucp convert`: native distributed checkpoint → universal checkpoint.
+pub fn convert(p: &Parsed) -> Result<(), String> {
+    let dir = require_dir(p)?;
+    let step = resolve_step(&dir, p.step)?;
+    let opts = ConvertOptions {
+        workers: p.workers.unwrap_or(4),
+        spill_fragments: p.spill,
+        verify_replicas: !p.no_verify,
+        spec_override: None,
+    };
+    println!(
+        "converting {} step {step} (workers={}, spill={}, verify={})",
+        dir.display(),
+        opts.workers,
+        opts.spill_fragments,
+        opts.verify_replicas
+    );
+    let (manifest, stats) = convert_to_universal(&dir, step, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "done: {} atoms, {} bytes written, extract {:.3}s, union {:.3}s",
+        stats.atoms_written, stats.bytes_written, stats.extract_secs, stats.union_secs
+    );
+    println!(
+        "universal checkpoint at {} (source was {})",
+        layout::universal_dir(&dir, step).display(),
+        manifest.source_label
+    );
+    Ok(())
+}
+
+/// `ucp inspect`: summarize a checkpoint tree.
+pub fn inspect(p: &Parsed) -> Result<(), String> {
+    let dir = require_dir(p)?;
+    let step = resolve_step(&dir, p.step)?;
+    let step_dir = layout::step_dir(&dir, step);
+    if step_dir.is_dir() {
+        let (common, params) = load_model_states(&step_dir, 0, 0).map_err(|e| e.to_string())?;
+        println!("native checkpoint {}", step_dir.display());
+        println!("  iteration       {}", common.iteration);
+        println!("  strategy        {}", common.parallel.label());
+        println!(
+            "  model           {} ({} layers, hidden {}, vocab {})",
+            common.model.family,
+            common.model.num_layers,
+            common.model.hidden_size,
+            common.model.vocab_size
+        );
+        println!("  total bytes     {}", layout::dir_size_bytes(&step_dir));
+        println!("  (tp=0, pp=0) model shards: {}", params.len());
+        if let Ok((_, shard)) = load_optim_states(&step_dir, 0, 0, 0) {
+            let straddlers = shard
+                .layout
+                .slots
+                .iter()
+                .filter(|s| shard.layout.fragments_of(s).len() > 1)
+                .count();
+            println!(
+                "  flat layout     {} slots, {} elements/chunk, alignment {}, {} straddling params",
+                shard.layout.slots.len(),
+                shard.layout.chunk,
+                shard.layout.alignment,
+                straddlers
+            );
+        }
+    } else {
+        println!("no native checkpoint at {}", step_dir.display());
+    }
+
+    let universal = layout::universal_dir(&dir, step);
+    if universal.is_dir() {
+        let manifest = UcpManifest::load(&universal).map_err(|e| e.to_string())?;
+        println!("universal checkpoint {}", universal.display());
+        println!("  source          {}", manifest.source_label);
+        println!("  atoms           {}", manifest.params.len());
+        println!("  total bytes     {}", layout::dir_size_bytes(&universal));
+        let mut by_pattern: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for a in &manifest.params {
+            *by_pattern.entry(a.pattern.paper_name()).or_default() += 1;
+        }
+        for (pattern, count) in by_pattern {
+            println!("    {pattern:<20} {count}");
+        }
+    } else {
+        println!(
+            "no universal checkpoint at {} (run `ucp convert`)",
+            universal.display()
+        );
+    }
+    Ok(())
+}
+
+/// `ucp plan`: print the GenUcpMetadata plan for one target rank.
+pub fn plan(p: &Parsed) -> Result<(), String> {
+    let dir = require_dir(p)?;
+    let step = resolve_step(&dir, p.step)?;
+    let target = ParallelConfig::new(
+        p.tp.ok_or("--tp is required")?,
+        p.pp.ok_or("--pp is required")?,
+        p.dp.ok_or("--dp is required")?,
+        p.sp.unwrap_or(1),
+        ZeroStage::from_u8(p.zero.unwrap_or(1)).ok_or("--zero must be 0..=3")?,
+    );
+    let rank = p.rank.ok_or("--rank is required")?;
+    if rank >= target.world_size() {
+        return Err(format!(
+            "rank {rank} out of range for world size {}",
+            target.world_size()
+        ));
+    }
+    let universal = layout::universal_dir(&dir, step);
+    let manifest = UcpManifest::load(&universal).map_err(|e| e.to_string())?;
+    let plan =
+        gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT).map_err(|e| e.to_string())?;
+    let coord = plan.coord;
+    println!(
+        "load plan for rank {rank} of {} (dp={}, pp={}, sp={}, tp={})",
+        target.label(),
+        coord.dp,
+        coord.pp,
+        coord.sp,
+        coord.tp
+    );
+    println!(
+        "  flat chunk: {} elements at [{}, {})",
+        plan.layout.chunk,
+        plan.layout
+            .rank_range(coord.dp * target.sp + coord.sp)
+            .start,
+        plan.layout.rank_range(coord.dp * target.sp + coord.sp).end,
+    );
+    let with_frags = plan
+        .entries
+        .iter()
+        .filter(|e| !e.fragments.is_empty())
+        .count();
+    println!(
+        "  {} parameters on this (tp, pp) slice; {} intersect this rank's chunk",
+        plan.entries.len(),
+        with_frags
+    );
+    for entry in plan.entries.iter().take(10) {
+        let frag: usize = entry.fragments.iter().map(|f| f.len).sum();
+        println!(
+            "    {:<50} {} — {} elements into chunk",
+            entry.name, entry.full_shape, frag
+        );
+    }
+    if plan.entries.len() > 10 {
+        println!("    ... ({} more)", plan.entries.len() - 10);
+    }
+    Ok(())
+}
+
+/// `ucp verify`: read every file of a checkpoint step (native and
+/// universal trees) and verify all container checksums.
+pub fn verify(p: &Parsed) -> Result<(), String> {
+    let dir = require_dir(p)?;
+    let step = resolve_step(&dir, p.step)?;
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for root in [
+        layout::step_dir(&dir, step),
+        layout::universal_dir(&dir, step),
+    ] {
+        if !root.is_dir() {
+            continue;
+        }
+        let mut stack = vec![root];
+        while let Some(d) = stack.pop() {
+            let entries = std::fs::read_dir(&d).map_err(|e| e.to_string())?;
+            for e in entries.flatten() {
+                let path = e.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|x| x == "ucpt") {
+                    checked += 1;
+                    if let Err(err) = Container::read_file(&path) {
+                        failures.push(format!("{}: {err}", path.display()));
+                    }
+                }
+            }
+        }
+    }
+    if checked == 0 {
+        return Err(format!("no checkpoint files found for step {step}"));
+    }
+    if failures.is_empty() {
+        println!("ok: {checked} files verified at step {step}");
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("CORRUPT {f}");
+        }
+        Err(format!(
+            "{} of {checked} files failed verification",
+            failures.len()
+        ))
+    }
+}
+
+/// `ucp prune`: apply a retention policy.
+pub fn prune(p: &Parsed) -> Result<(), String> {
+    let dir = require_dir(p)?;
+    let policy = retention::RetentionPolicy {
+        keep_last: p.keep_last.ok_or("--keep-last is required")?.max(1),
+        keep_every: p.keep_every,
+    };
+    let report = retention::prune(&dir, &policy).map_err(|e| e.to_string())?;
+    println!(
+        "pruned {} steps ({} bytes reclaimed); kept {:?}",
+        report.removed.len(),
+        report.bytes_reclaimed,
+        report.kept
+    );
+    Ok(())
+}
+
+/// `ucp spec`: print the derived pattern spec for a model preset — the
+/// JSON form of the UCP language, ready to be edited and extended.
+pub fn spec(p: &Parsed) -> Result<(), String> {
+    let model = match p.model.as_deref() {
+        Some("gpt3-tiny") => ModelConfig::gpt3_tiny(),
+        Some("gpt3-tiny-padded") => ModelConfig::gpt3_tiny_padded_vocab(),
+        Some("llama-tiny") => ModelConfig::llama_tiny(),
+        Some("bloom-tiny") => ModelConfig::bloom_tiny(),
+        Some("moe-tiny") => ModelConfig::moe_tiny(),
+        Some(other) => return Err(format!("unknown model preset '{other}'")),
+        None => return Err("--model is required".into()),
+    };
+    let tp = p.tp.unwrap_or(2);
+    model.validate(tp)?;
+    let spec = UcpSpec::from_model(&model, tp, &[]);
+    println!("{}", spec.to_json().map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+/// `ucp diff`: compare two universal checkpoint directories atom by atom.
+/// `--dir` and `--other` point directly at `global_step*_universal`
+/// directories. Exit is an error when any atom differs beyond the
+/// tolerance (default: bitwise).
+pub fn diff(p: &Parsed) -> Result<(), String> {
+    let a_dir = require_dir(p)?;
+    let b_dir = p.other.clone().ok_or("--other is required")?;
+    let tol = p.tolerance.unwrap_or(0.0);
+    let a = UcpManifest::load(&a_dir).map_err(|e| format!("{}: {e}", a_dir.display()))?;
+    let b = UcpManifest::load(&b_dir).map_err(|e| format!("{}: {e}", b_dir.display()))?;
+
+    let mut differing = 0usize;
+    let mut compared = 0usize;
+    for atom in &a.params {
+        let Some(other) = b.atom(&atom.name) else {
+            println!("only in A: {}", atom.name);
+            differing += 1;
+            continue;
+        };
+        if atom.shape != other.shape {
+            println!(
+                "shape mismatch {}: {} vs {}",
+                atom.name, atom.shape, other.shape
+            );
+            differing += 1;
+            continue;
+        }
+        for file in layout::AtomFile::ALL {
+            let ta = Container::read_file(&layout::atom_path(&a_dir, &atom.name, file))
+                .map_err(|e| e.to_string())?;
+            let tb = Container::read_file(&layout::atom_path(&b_dir, &atom.name, file))
+                .map_err(|e| e.to_string())?;
+            let (ta, tb) = (
+                ta.get(file.state_key()).ok_or("missing section")?,
+                tb.get(file.state_key()).ok_or("missing section")?,
+            );
+            compared += 1;
+            let delta = ta.max_abs_diff(tb).unwrap_or(f32::INFINITY);
+            if f64::from(delta) > tol {
+                println!(
+                    "differs {} [{}]: max |Δ| = {delta:e}",
+                    atom.name,
+                    file.state_key()
+                );
+                differing += 1;
+            }
+        }
+    }
+    for atom in &b.params {
+        if a.atom(&atom.name).is_none() {
+            println!("only in B: {}", atom.name);
+            differing += 1;
+        }
+    }
+    if differing == 0 {
+        println!(
+            "identical: {compared} state tensors across {} atoms (tolerance {tol:e})",
+            a.params.len()
+        );
+        Ok(())
+    } else {
+        Err(format!("{differing} differences found"))
+    }
+}

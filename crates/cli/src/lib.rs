@@ -1,0 +1,14 @@
+//! `ucp` command-line tool internals: flag parsing and command
+//! implementations, exposed as a library so integration tests can drive
+//! them directly.
+
+pub mod args;
+pub mod commands;
+
+use std::path::Path;
+
+/// Resolve the step to operate on: explicit flag, else the `latest` marker.
+pub fn resolve_step(dir: &Path, step: Option<u64>) -> Result<u64, String> {
+    step.or_else(|| ucp_storage::layout::read_latest(dir))
+        .ok_or_else(|| format!("no --step given and no latest marker in {}", dir.display()))
+}

@@ -1,0 +1,49 @@
+//! `ucp` — command-line tools for universal checkpoints.
+//!
+//! The Rust counterpart of DeepSpeed's `ds_to_universal.py`:
+//!
+//! ```text
+//! ucp convert --dir <ckpt-base> [--step N] [--workers W] [--spill] [--no-verify]
+//! ucp inspect --dir <ckpt-base> [--step N]
+//! ucp plan    --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--zero Z] --rank R
+//! ```
+
+use std::process::ExitCode;
+
+use ucp_cli::{args, commands};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", args::USAGE);
+        return ExitCode::from(2);
+    };
+    let parsed = match args::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "convert" => commands::convert(&parsed),
+        "inspect" => commands::inspect(&parsed),
+        "plan" => commands::plan(&parsed),
+        "verify" => commands::verify(&parsed),
+        "prune" => commands::prune(&parsed),
+        "spec" => commands::spec(&parsed),
+        "diff" => commands::diff(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", args::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

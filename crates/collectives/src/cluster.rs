@@ -1,0 +1,256 @@
+//! Cluster construction: spawn one thread per rank and wire the fabric.
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Payload};
+
+/// An in-process cluster of SPMD ranks.
+///
+/// [`Cluster::run`] stands in for `mpirun`/`torchrun`: it spawns
+/// `world_size` threads, each executing `body` with its own [`Comm`], and
+/// collects the per-rank return values in rank order.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `body` on `world_size` ranks and return their results in rank
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank's thread panics (the panic is propagated with the
+    /// rank id), mirroring a fatal NCCL abort taking down the job.
+    pub fn run<T, F>(world_size: usize, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+    {
+        assert!(world_size > 0, "cluster needs at least one rank");
+
+        // Channel matrix: fabric[src][dst] is the (sender, receiver) pair
+        // carrying src → dst traffic.
+        let mut senders: Vec<Vec<_>> = Vec::with_capacity(world_size);
+        let mut receivers: Vec<Vec<_>> = (0..world_size).map(|_| Vec::new()).collect();
+        for _src in 0..world_size {
+            let mut row = Vec::with_capacity(world_size);
+            for dst_inbox in receivers.iter_mut() {
+                let (tx, rx) = unbounded::<Payload>();
+                row.push(tx);
+                dst_inbox.push(rx);
+            }
+            senders.push(row);
+        }
+
+        let mut comms: Vec<Comm> = senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| Comm::new(rank, world_size, tx_row, rx_row))
+            .collect();
+
+        let body = &body;
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(world_size);
+            for (rank, comm) in comms.drain(..).enumerate() {
+                handles.push((rank, scope.spawn(move |_| body(&comm))));
+            }
+            handles
+                .into_iter()
+                .map(|(rank, h)| match h.join() {
+                    Ok(v) => v,
+                    Err(_) => panic!("rank {rank} panicked"),
+                })
+                .collect()
+        })
+        .expect("cluster scope")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Group, Payload};
+    use ucp_tensor::Tensor;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Cluster::run(1, |comm| comm.rank() * 10 + comm.world_size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = Cluster::run(8, |comm| comm.rank());
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = Cluster::run(4, |comm| {
+            let next = (comm.rank() + 1) % 4;
+            let prev = (comm.rank() + 3) % 4;
+            comm.send(next, Payload::U64(comm.rank() as u64)).unwrap();
+            match comm.recv(prev).unwrap() {
+                Payload::U64(v) => v,
+                _ => unreachable!(),
+            }
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn all_reduce_sum_is_identical_everywhere() {
+        let out = Cluster::run(4, |comm| {
+            let g = Group::world(4);
+            let t = Tensor::full([3], comm.rank() as f32 + 1.0);
+            comm.all_reduce_sum(&g, &t).unwrap()
+        });
+        for t in &out {
+            assert_eq!(t.as_slice(), &[10.0, 10.0, 10.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_on_subgroup_only_touches_members() {
+        let out = Cluster::run(4, |comm| {
+            let g = if comm.rank() < 2 {
+                Group::new(vec![0, 1]).unwrap()
+            } else {
+                Group::new(vec![2, 3]).unwrap()
+            };
+            let t = Tensor::full([1], comm.rank() as f32);
+            comm.all_reduce_sum(&g, &t).unwrap().as_slice()[0]
+        });
+        assert_eq!(out, vec![1.0, 1.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn all_gather_preserves_member_order() {
+        let out = Cluster::run(3, |comm| {
+            let g = Group::world(3);
+            let t = Tensor::full([1], comm.rank() as f32);
+            let all = comm.all_gather_tensors(&g, &t).unwrap();
+            all.iter().map(|t| t.as_slice()[0]).collect::<Vec<_>>()
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = Cluster::run(3, |comm| {
+            let g = Group::world(3);
+            let payload = Payload::U64(comm.rank() as u64 * 100);
+            match comm.broadcast(&g, 2, payload).unwrap() {
+                Payload::U64(v) => v,
+                _ => unreachable!(),
+            }
+        });
+        assert_eq!(out, vec![200, 200, 200]);
+    }
+
+    #[test]
+    fn reduce_scatter_chunks_the_sum() {
+        let out = Cluster::run(2, |comm| {
+            let g = Group::world(2);
+            let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]).unwrap();
+            comm.reduce_scatter_sum(&g, &t).unwrap()
+        });
+        assert_eq!(out[0].as_slice(), &[2.0, 4.0]);
+        assert_eq!(out[1].as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn all_to_all_transposes_payloads() {
+        let out = Cluster::run(3, |comm| {
+            let g = Group::world(3);
+            let outgoing = (0..3)
+                .map(|dst| Payload::U64((comm.rank() * 10 + dst) as u64))
+                .collect();
+            comm.all_to_all(&g, outgoing)
+                .unwrap()
+                .into_iter()
+                .map(|p| match p {
+                    Payload::U64(v) => v,
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>()
+        });
+        // Rank j receives value src*10 + j from every src, in src order.
+        assert_eq!(out[0], vec![0, 10, 20]);
+        assert_eq!(out[1], vec![1, 11, 21]);
+        assert_eq!(out[2], vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn gather_and_scatter() {
+        let out = Cluster::run(2, |comm| {
+            let g = Group::world(2);
+            let t = Tensor::full([2], comm.rank() as f32);
+            let gathered = comm.gather_tensors(&g, 0, &t).unwrap();
+            let to_scatter = if comm.rank() == 0 {
+                Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0], [4]).unwrap()
+            } else {
+                Tensor::zeros([1])
+            };
+            let chunk = comm.scatter_chunks(&g, 0, &to_scatter).unwrap();
+            (gathered.map(|v| v.len()), chunk)
+        });
+        assert_eq!(out[0].0, Some(2));
+        assert_eq!(out[1].0, None);
+        assert_eq!(out[0].1.as_slice(), &[7.0, 8.0]);
+        assert_eq!(out[1].1.as_slice(), &[9.0, 10.0]);
+    }
+
+    #[test]
+    fn f64_all_reduce_is_exact() {
+        let out = Cluster::run(4, |comm| {
+            let g = Group::world(4);
+            let v = vec![0.1f64 * (comm.rank() as f64 + 1.0); 2];
+            comm.all_reduce_sum_f64(&g, &v).unwrap()
+        });
+        let expected = 0.1 + 0.2 + 0.30000000000000004 + 0.4;
+        for v in &out {
+            assert!((v[0] - expected).abs() < 1e-15);
+        }
+        // All ranks agree bitwise.
+        assert!(out.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn scalar_all_reduce() {
+        let out = Cluster::run(3, |comm| {
+            comm.all_reduce_scalar(&Group::world(3), comm.rank() as f64)
+                .unwrap()
+        });
+        assert_eq!(out, vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn non_member_use_is_an_error() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 1 {
+                let g = Group::new(vec![0]).unwrap();
+                comm.barrier(&g).is_err()
+            } else {
+                let g = Group::new(vec![0]).unwrap();
+                comm.barrier(&g).unwrap();
+                true
+            }
+        });
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        // Smoke test that repeated barriers on overlapping groups complete.
+        Cluster::run(4, |comm| {
+            let world = Group::world(4);
+            let pair = Group::new(vec![comm.rank() & !1, comm.rank() | 1]).unwrap();
+            for _ in 0..10 {
+                comm.barrier(&world).unwrap();
+                comm.barrier(&pair).unwrap();
+            }
+        });
+    }
+}

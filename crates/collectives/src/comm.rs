@@ -1,0 +1,394 @@
+//! Per-rank communicators: point-to-point messaging and deterministic
+//! collectives built on top of it.
+
+use crossbeam::channel::{Receiver, Sender};
+use ucp_tensor::Tensor;
+
+use crate::{group::Group, CommError, Result};
+
+/// A message payload exchanged between ranks.
+///
+/// `F64` exists so gradient reduction can travel at full double precision:
+/// the trainer accumulates microbatch gradients in f64 and reduces in f64,
+/// making the result effectively independent of the data-parallel layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A tensor (shape + f32 values).
+    Tensor(Tensor),
+    /// Raw f64 vector (gradient accumulators).
+    F64(Vec<f64>),
+    /// Raw u32 vector (token ids).
+    U32(Vec<u32>),
+    /// Opaque bytes (serialized control state).
+    Bytes(Vec<u8>),
+    /// A single integer (control messages, sizes).
+    U64(u64),
+}
+
+impl Payload {
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::Tensor(_) => "tensor",
+            Payload::F64(_) => "f64",
+            Payload::U32(_) => "u32",
+            Payload::Bytes(_) => "bytes",
+            Payload::U64(_) => "u64",
+        }
+    }
+}
+
+macro_rules! expect_payload {
+    ($expr:expr, $variant:ident, $name:literal) => {
+        match $expr {
+            Payload::$variant(v) => Ok(v),
+            other => Err(CommError::PayloadKindMismatch {
+                expected: $name,
+                got: other.kind(),
+            }),
+        }
+    };
+}
+
+/// The per-rank handle to the cluster's communication fabric.
+///
+/// One `Comm` is handed to each rank closure by [`crate::Cluster::run`].
+/// All methods are blocking; the SPMD contract (see crate docs) guarantees
+/// progress.
+pub struct Comm {
+    rank: usize,
+    world_size: usize,
+    /// `senders[dst]` sends to rank `dst`.
+    senders: Vec<Sender<Payload>>,
+    /// `receivers[src]` receives from rank `src`.
+    receivers: Vec<Receiver<Payload>>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        world_size: usize,
+        senders: Vec<Sender<Payload>>,
+        receivers: Vec<Receiver<Payload>>,
+    ) -> Comm {
+        Comm {
+            rank,
+            world_size,
+            senders,
+            receivers,
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the cluster.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    // ---- Point-to-point -------------------------------------------------
+
+    /// Send a payload to `dst`. Sending to self is allowed (buffered).
+    pub fn send(&self, dst: usize, payload: Payload) -> Result<()> {
+        self.senders[dst]
+            .send(payload)
+            .map_err(|_| CommError::Disconnected { peer: dst })
+    }
+
+    /// Receive the next payload from `src` (blocking, FIFO per pair).
+    pub fn recv(&self, src: usize) -> Result<Payload> {
+        self.receivers[src]
+            .recv()
+            .map_err(|_| CommError::Disconnected { peer: src })
+    }
+
+    /// Send a tensor to `dst`.
+    pub fn send_tensor(&self, dst: usize, t: &Tensor) -> Result<()> {
+        self.send(dst, Payload::Tensor(t.clone()))
+    }
+
+    /// Receive a tensor from `src`.
+    pub fn recv_tensor(&self, src: usize) -> Result<Tensor> {
+        expect_payload!(self.recv(src)?, Tensor, "tensor")
+    }
+
+    // ---- Collectives ----------------------------------------------------
+
+    fn member_index(&self, group: &Group) -> Result<usize> {
+        group
+            .index_of(self.rank)
+            .ok_or(CommError::NotAMember { rank: self.rank })
+    }
+
+    /// Gather every member's payload to the leader (in member order), apply
+    /// `reduce`, and broadcast the result back. The deterministic backbone
+    /// of every collective below.
+    fn leader_reduce<F>(&self, group: &Group, payload: Payload, reduce: F) -> Result<Payload>
+    where
+        F: FnOnce(Vec<Payload>) -> Result<Payload>,
+    {
+        self.member_index(group)?;
+        let leader = group.leader();
+        if self.rank == leader {
+            let mut contributions = Vec::with_capacity(group.size());
+            for &m in group.members() {
+                if m == self.rank {
+                    contributions.push(payload.clone());
+                } else {
+                    contributions.push(self.recv(m)?);
+                }
+            }
+            let result = reduce(contributions)?;
+            for &m in group.members() {
+                if m != self.rank {
+                    self.send(m, result.clone())?;
+                }
+            }
+            Ok(result)
+        } else {
+            self.send(leader, payload)?;
+            self.recv(leader)
+        }
+    }
+
+    /// Barrier over a group.
+    pub fn barrier(&self, group: &Group) -> Result<()> {
+        self.leader_reduce(group, Payload::U64(0), |_| Ok(Payload::U64(0)))?;
+        Ok(())
+    }
+
+    /// Broadcast `payload` from `root` to all members; every member returns
+    /// the root's payload.
+    pub fn broadcast(&self, group: &Group, root: usize, payload: Payload) -> Result<Payload> {
+        self.member_index(group)?;
+        if !group.contains(root) {
+            return Err(CommError::InvalidGroup(format!(
+                "broadcast root {root} not in group"
+            )));
+        }
+        if self.rank == root {
+            for &m in group.members() {
+                if m != self.rank {
+                    self.send(m, payload.clone())?;
+                }
+            }
+            Ok(payload)
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// All-gather: every member contributes a payload and receives the full
+    /// member-ordered list.
+    pub fn all_gather(&self, group: &Group, payload: Payload) -> Result<Vec<Payload>> {
+        self.member_index(group)?;
+        let leader = group.leader();
+        if self.rank == leader {
+            let mut all = Vec::with_capacity(group.size());
+            for &m in group.members() {
+                if m == self.rank {
+                    all.push(payload.clone());
+                } else {
+                    all.push(self.recv(m)?);
+                }
+            }
+            for &m in group.members() {
+                if m != self.rank {
+                    for p in &all {
+                        self.send(m, p.clone())?;
+                    }
+                }
+            }
+            Ok(all)
+        } else {
+            self.send(leader, payload)?;
+            let mut all = Vec::with_capacity(group.size());
+            for _ in 0..group.size() {
+                all.push(self.recv(leader)?);
+            }
+            Ok(all)
+        }
+    }
+
+    /// All-gather tensors.
+    pub fn all_gather_tensors(&self, group: &Group, t: &Tensor) -> Result<Vec<Tensor>> {
+        self.all_gather(group, Payload::Tensor(t.clone()))?
+            .into_iter()
+            .map(|p| expect_payload!(p, Tensor, "tensor"))
+            .collect()
+    }
+
+    /// Deterministic all-reduce (sum) of tensors with f64 accumulation in
+    /// member order. All members receive the identical result.
+    pub fn all_reduce_sum(&self, group: &Group, t: &Tensor) -> Result<Tensor> {
+        let out = self.leader_reduce(group, Payload::Tensor(t.clone()), |contribs| {
+            let mut tensors = Vec::with_capacity(contribs.len());
+            for c in contribs {
+                tensors.push(expect_payload!(c, Tensor, "tensor")?);
+            }
+            let shape = tensors[0].shape().clone();
+            let mut acc = vec![0.0f64; shape.num_elements()];
+            for t in &tensors {
+                if t.shape() != &shape {
+                    return Err(CommError::InvalidGroup(format!(
+                        "all_reduce shape mismatch: {} vs {}",
+                        t.shape(),
+                        shape
+                    )));
+                }
+                for (a, v) in acc.iter_mut().zip(t.as_slice()) {
+                    *a += f64::from(*v);
+                }
+            }
+            let data: Vec<f32> = acc.into_iter().map(|v| v as f32).collect();
+            // Shape is preserved, so from_vec cannot fail.
+            Ok(Payload::Tensor(
+                Tensor::from_vec(data, shape).expect("shape preserved"),
+            ))
+        })?;
+        expect_payload!(out, Tensor, "tensor")
+    }
+
+    /// Deterministic all-reduce (sum) of f64 vectors in member order.
+    pub fn all_reduce_sum_f64(&self, group: &Group, v: &[f64]) -> Result<Vec<f64>> {
+        let out = self.leader_reduce(group, Payload::F64(v.to_vec()), |contribs| {
+            let mut acc: Option<Vec<f64>> = None;
+            for c in contribs {
+                let vec = expect_payload!(c, F64, "f64")?;
+                match &mut acc {
+                    None => acc = Some(vec),
+                    Some(a) => {
+                        if a.len() != vec.len() {
+                            return Err(CommError::InvalidGroup(format!(
+                                "all_reduce_f64 length mismatch: {} vs {}",
+                                a.len(),
+                                vec.len()
+                            )));
+                        }
+                        for (x, y) in a.iter_mut().zip(vec) {
+                            *x += y;
+                        }
+                    }
+                }
+            }
+            Ok(Payload::F64(acc.expect("group is non-empty")))
+        })?;
+        expect_payload!(out, F64, "f64")
+    }
+
+    /// Deterministic sum of scalars across the group.
+    pub fn all_reduce_scalar(&self, group: &Group, v: f64) -> Result<f64> {
+        Ok(self.all_reduce_sum_f64(group, &[v])?[0])
+    }
+
+    /// Reduce-scatter over the flattened tensor: the full sum is computed
+    /// deterministically, and member `i` receives chunk `i` of the result
+    /// (the ZeRO-2 gradient-partitioning primitive). The flattened length
+    /// must be divisible by the group size.
+    pub fn reduce_scatter_sum(&self, group: &Group, t: &Tensor) -> Result<Tensor> {
+        let summed = self.all_reduce_sum(group, t)?;
+        let n = summed.num_elements();
+        let parts = group.size();
+        if n % parts != 0 {
+            return Err(CommError::InvalidGroup(format!(
+                "reduce_scatter: {n} elements not divisible by {parts} members"
+            )));
+        }
+        let idx = self.member_index(group)?;
+        let chunk = n / parts;
+        let flat = summed.flatten();
+        flat.narrow(0, idx * chunk, chunk)
+            .map_err(|e| CommError::InvalidGroup(e.to_string()))
+    }
+
+    /// All-to-all: member `i` provides one payload per member; member `j`
+    /// receives the list of payloads destined to it, in member order.
+    /// The sequence-parallel (Ulysses) attention primitive.
+    pub fn all_to_all(&self, group: &Group, outgoing: Vec<Payload>) -> Result<Vec<Payload>> {
+        let my_idx = self.member_index(group)?;
+        if outgoing.len() != group.size() {
+            return Err(CommError::InvalidGroup(format!(
+                "all_to_all: {} payloads for group of {}",
+                outgoing.len(),
+                group.size()
+            )));
+        }
+        // Send phase: deliver to each peer (self-delivery kept local).
+        let mut mine: Vec<Option<Payload>> = (0..group.size()).map(|_| None).collect();
+        for (j, payload) in outgoing.into_iter().enumerate() {
+            let dst = group.members()[j];
+            if dst == self.rank {
+                mine[my_idx] = Some(payload);
+            } else {
+                self.send(dst, payload)?;
+            }
+        }
+        // Receive phase, in member order for determinism.
+        for (i, &src) in group.members().iter().enumerate() {
+            if src != self.rank {
+                mine[i] = Some(self.recv(src)?);
+            }
+        }
+        Ok(mine.into_iter().map(|p| p.expect("filled above")).collect())
+    }
+
+    /// Gather tensors to `root` (member order); non-roots return `None`.
+    pub fn gather_tensors(
+        &self,
+        group: &Group,
+        root: usize,
+        t: &Tensor,
+    ) -> Result<Option<Vec<Tensor>>> {
+        self.member_index(group)?;
+        if self.rank == root {
+            let mut all = Vec::with_capacity(group.size());
+            for &m in group.members() {
+                if m == self.rank {
+                    all.push(t.clone());
+                } else {
+                    all.push(self.recv_tensor(m)?);
+                }
+            }
+            Ok(Some(all))
+        } else {
+            self.send_tensor(root, t)?;
+            Ok(None)
+        }
+    }
+
+    /// Scatter equal flat chunks of a rank-1 tensor from `root`; member `i`
+    /// receives chunk `i`. Non-root members pass any tensor (ignored).
+    pub fn scatter_chunks(&self, group: &Group, root: usize, t: &Tensor) -> Result<Tensor> {
+        let idx = self.member_index(group)?;
+        if self.rank == root {
+            let n = t.num_elements();
+            let parts = group.size();
+            if !n.is_multiple_of(parts) {
+                return Err(CommError::InvalidGroup(format!(
+                    "scatter: {n} elements not divisible by {parts} members"
+                )));
+            }
+            let chunk = n / parts;
+            let flat = t.flatten();
+            let mut my_chunk = None;
+            for (i, &m) in group.members().iter().enumerate() {
+                let piece = flat
+                    .narrow(0, i * chunk, chunk)
+                    .map_err(|e| CommError::InvalidGroup(e.to_string()))?;
+                if m == self.rank {
+                    my_chunk = Some(piece);
+                } else {
+                    self.send_tensor(m, &piece)?;
+                }
+            }
+            // The root is always a member, so its chunk was filled; `idx`
+            // proves membership.
+            let _ = idx;
+            Ok(my_chunk.expect("root is a member"))
+        } else {
+            self.recv_tensor(root)
+        }
+    }
+}

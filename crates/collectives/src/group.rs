@@ -1,0 +1,97 @@
+//! Process groups: ordered subsets of ranks that communicate collectively.
+
+use crate::{CommError, Result};
+
+/// An ordered communication group.
+///
+/// Mirrors NCCL/`torch.distributed` process groups: the data-parallel group,
+/// tensor-parallel group, pipeline stage neighbours, etc. Member order is
+/// the *reduction order* for deterministic collectives, so construction
+/// sorts members ascending; the leader is the smallest rank.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Group {
+    members: Vec<usize>,
+}
+
+impl Group {
+    /// Create a group from member ranks. Members are sorted; duplicates are
+    /// rejected.
+    pub fn new(mut members: Vec<usize>) -> Result<Group> {
+        if members.is_empty() {
+            return Err(CommError::InvalidGroup("empty member list".into()));
+        }
+        members.sort_unstable();
+        if members.windows(2).any(|w| w[0] == w[1]) {
+            return Err(CommError::InvalidGroup(format!(
+                "duplicate members in {members:?}"
+            )));
+        }
+        Ok(Group { members })
+    }
+
+    /// A group over all ranks `0..world_size`.
+    pub fn world(world_size: usize) -> Group {
+        Group {
+            members: (0..world_size).collect(),
+        }
+    }
+
+    /// The ordered member list.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The group leader (smallest member rank); collectives reduce here.
+    pub fn leader(&self) -> usize {
+        self.members[0]
+    }
+
+    /// Index of `rank` within the group, if a member.
+    pub fn index_of(&self, rank: usize) -> Option<usize> {
+        self.members.binary_search(&rank).ok()
+    }
+
+    /// True if `rank` is a member.
+    pub fn contains(&self, rank: usize) -> bool {
+        self.index_of(rank).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_members() {
+        let g = Group::new(vec![3, 1, 2]).unwrap();
+        assert_eq!(g.members(), &[1, 2, 3]);
+        assert_eq!(g.leader(), 1);
+        assert_eq!(g.size(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(Group::new(vec![]).is_err());
+        assert!(Group::new(vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn index_and_membership() {
+        let g = Group::new(vec![0, 4, 2]).unwrap();
+        assert_eq!(g.index_of(4), Some(2));
+        assert_eq!(g.index_of(3), None);
+        assert!(g.contains(0));
+        assert!(!g.contains(5));
+    }
+
+    #[test]
+    fn world_covers_all_ranks() {
+        let g = Group::world(4);
+        assert_eq!(g.members(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic in-process SPMD cluster.
+//!
+//! The paper's substrate is a GPU cluster communicating over NCCL. Here a
+//! "rank" is an OS thread and communication happens over per-pair FIFO
+//! channels. Collectives are built on top of point-to-point messages with a
+//! gather-to-leader / broadcast structure: the lowest rank of a group
+//! receives every member's contribution *in rank order*, reduces with f64
+//! accumulation, and sends the result back. This makes every collective
+//! bitwise deterministic and independent of thread scheduling — a property
+//! real GPU training lacks (the paper's Table 3 tolerates a ±0.02 loss band
+//! for exactly this reason) and which lets our tests assert far tighter.
+//!
+//! SPMD contract: all members of a group must call the same sequence of
+//! collectives on that group. Because each rank executes sequentially and
+//! channels between any pair are FIFO, matching operations pair up in
+//! program order; violating the contract deadlocks or mismatches payloads
+//! (caught by a payload-kind check).
+
+pub mod cluster;
+pub mod comm;
+pub mod group;
+
+pub use cluster::Cluster;
+pub use comm::{Comm, Payload};
+pub use group::Group;
+
+/// Errors surfaced by the communication layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A received payload had a different kind than the operation expected.
+    PayloadKindMismatch {
+        /// What the caller expected.
+        expected: &'static str,
+        /// What arrived.
+        got: &'static str,
+    },
+    /// A peer disconnected (its thread panicked or exited early).
+    Disconnected {
+        /// The peer rank.
+        peer: usize,
+    },
+    /// The calling rank is not a member of the group it used.
+    NotAMember {
+        /// The calling rank.
+        rank: usize,
+    },
+    /// Group construction was invalid (empty, duplicates, or out of range).
+    InvalidGroup(String),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PayloadKindMismatch { expected, got } => {
+                write!(f, "payload kind mismatch: expected {expected}, got {got}")
+            }
+            CommError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            CommError::NotAMember { rank } => {
+                write!(f, "rank {rank} is not a member of the group")
+            }
+            CommError::InvalidGroup(msg) => write!(f, "invalid group: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Result alias for communication operations.
+pub type Result<T> = std::result::Result<T, CommError>;

@@ -1,0 +1,325 @@
+//! Conversion of native distributed checkpoints into the universal format —
+//! the paper's Algorithm 1.
+//!
+//! The workflow, per pipeline stage of the source configuration:
+//!
+//! 1. **Extract** (parallel over checkpoint files): read each (dp, tp, pp)
+//!    optimizer-states file and slice its ZeRO chunk into per-parameter
+//!    flat fragments (alignment padding dropped — `StripPadding`).
+//! 2. **Union, phase 1** (flat): stitch each parameter's fragments across
+//!    DP ranks back into the (tp, pp)-shard tensor.
+//! 3. **Union, phase 2** (parallel over parameters): consolidate the TP
+//!    shards according to each parameter's pattern — first copy for
+//!    `replicated_params`, mean for `params_to_average`, sub-pattern-aware
+//!    concatenation for `fragment_params`.
+//! 4. Write one atom checkpoint per parameter (`fp32` / `exp_avg` /
+//!    `exp_avg_sq` files, §3.1) plus the manifest.
+//!
+//! `ConvertOptions::spill_fragments` reproduces the paper's
+//! memory-bounded variant where Extract persists fragment files to disk and
+//! Union reads them back (Table 2 notes the memory/parallelism trade-off;
+//! the ablation bench measures it).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+use ucp_model::{param_specs, ParamSpec};
+use ucp_storage::layout::AtomFile;
+use ucp_storage::{layout, Container};
+use ucp_tensor::Tensor;
+
+use crate::checkpoint::{load_model_states, load_optim_states};
+use crate::language::UcpSpec;
+use crate::manifest::{AtomMeta, UcpManifest};
+use crate::ops::{extract_flat, strip_padding, union_flat, union_tp, Fragment};
+use crate::pattern::{FragmentSpec, ParamPattern};
+use crate::util::par_map;
+use crate::{Result, UcpError};
+
+/// Options controlling the conversion.
+#[derive(Debug, Clone)]
+pub struct ConvertOptions {
+    /// Worker threads for the parallel Extract and Union phases.
+    pub workers: usize,
+    /// Persist extracted fragments to disk between phases (memory-bounded
+    /// mode) instead of holding them in memory.
+    pub spill_fragments: bool,
+    /// Verify that replicated-parameter copies are bitwise identical.
+    pub verify_replicas: bool,
+    /// Replace the automatically-derived pattern spec with a user-written
+    /// one — the UCP-language extension point for new parallelism patterns
+    /// (its rules must cover every parameter; unmatched names still fall
+    /// back to the derived spec).
+    pub spec_override: Option<crate::language::UcpSpec>,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> ConvertOptions {
+        ConvertOptions {
+            workers: 4,
+            spill_fragments: false,
+            verify_replicas: true,
+            spec_override: None,
+        }
+    }
+}
+
+/// Timing and volume accounting of one conversion.
+#[derive(Debug, Clone, Default)]
+pub struct ConvertStats {
+    /// Atom checkpoints written (one per parameter).
+    pub atoms_written: usize,
+    /// Total bytes of atom payloads written.
+    pub bytes_written: u64,
+    /// Wall time of the Extract phase (seconds).
+    pub extract_secs: f64,
+    /// Wall time of the Union + write phase (seconds).
+    pub union_secs: f64,
+}
+
+/// Per-parameter consolidated state for one (tp, pp) slice: the three state
+/// tensors, indexed `[fp32, exp_avg, exp_avg_sq]`.
+type SliceStates = BTreeMap<String, [Tensor; 3]>;
+
+/// Reassemble one (tp, pp) slice's per-parameter state tensors from its DP
+/// optimizer chunks (Extract + flat Union).
+fn assemble_slice(
+    step_dir: &Path,
+    dp_degree: usize,
+    tp: usize,
+    pp: usize,
+    opts: &ConvertOptions,
+    spill_dir: Option<&Path>,
+) -> Result<SliceStates> {
+    // Extract phase: parallel over the dp checkpoint files.
+    let extracted = par_map(dp_degree, opts.workers, |dp| {
+        let (_, shard) = load_optim_states(step_dir, dp, tp, pp)?;
+        let keys: [(&str, &[f32]); 3] = [
+            ("fp32", &shard.fp32),
+            ("exp_avg", &shard.exp_avg),
+            ("exp_avg_sq", &shard.exp_avg_sq),
+        ];
+        let mut out: Vec<(String, usize, Fragment)> = Vec::new();
+        for (ki, (_, chunk)) in keys.iter().enumerate() {
+            for (name, frag) in extract_flat(&shard.layout, dp, chunk) {
+                out.push((name, ki, frag));
+            }
+        }
+        // Memory-bounded mode: persist fragments and return only their
+        // identity; the union phase reads them back.
+        if let Some(spill) = spill_dir {
+            let mut spilled = Vec::with_capacity(out.len());
+            for (name, ki, frag) in out {
+                let path = spill.join(format!("{name}.tp{tp}.pp{pp}.k{ki}.dp{dp}.frag"));
+                let mut c = Container::new(format!(r#"{{"param_offset": {}}}"#, frag.param_offset));
+                let len = frag.data.len();
+                c.push(
+                    "frag",
+                    Tensor::from_vec(frag.data, [len]).map_err(UcpError::Tensor)?,
+                );
+                c.write_file(&path)?;
+                // Keep only the identity; union reads the payload back.
+                spilled.push((
+                    name,
+                    ki,
+                    Fragment {
+                        param_offset: frag.param_offset,
+                        data: Vec::new(),
+                    },
+                ));
+            }
+            return Ok(spilled);
+        }
+        Ok(out)
+    })?;
+
+    // Reload one header for the flat layout (headers are tiny).
+    let flat_layout = load_optim_states(step_dir, 0, tp, pp)?.1.layout;
+
+    let mut grouped: BTreeMap<(String, usize), Vec<Fragment>> = BTreeMap::new();
+    for (dp, per_file) in extracted.into_iter().enumerate() {
+        for (name, ki, frag) in per_file {
+            let frag = if let Some(spill) = spill_dir {
+                // Read the spilled fragment back.
+                let path = spill.join(format!("{name}.tp{tp}.pp{pp}.k{ki}.dp{dp}.frag"));
+                let c = Container::read_file(&path)?;
+                let data = c
+                    .get("frag")
+                    .ok_or_else(|| UcpError::Inconsistent("missing frag section".into()))?
+                    .as_slice()
+                    .to_vec();
+                Fragment {
+                    param_offset: frag.param_offset,
+                    data,
+                }
+            } else {
+                frag
+            };
+            grouped.entry((name, ki)).or_default().push(frag);
+        }
+    }
+
+    // Flat union per (param, key).
+    let mut states: SliceStates = BTreeMap::new();
+    for slot in &flat_layout.slots {
+        let mut tensors: Vec<Tensor> = Vec::with_capacity(3);
+        for ki in 0..3 {
+            let frags = grouped.remove(&(slot.name.clone(), ki)).ok_or_else(|| {
+                UcpError::Inconsistent(format!("no fragments for {} key {ki}", slot.name))
+            })?;
+            let flat = union_flat(slot.len, &frags)?;
+            tensors.push(Tensor::from_vec(flat, slot.shape.clone()).map_err(UcpError::Tensor)?);
+        }
+        let [a, b, c]: [Tensor; 3] = tensors.try_into().expect("three keys");
+        states.insert(slot.name.clone(), [a, b, c]);
+    }
+    Ok(states)
+}
+
+/// Convert the native distributed checkpoint at `base/global_step<step>`
+/// into a universal checkpoint at `base/global_step<step>_universal`.
+///
+/// Returns the manifest and conversion statistics.
+pub fn convert_to_universal(
+    base: &Path,
+    step: u64,
+    opts: &ConvertOptions,
+) -> Result<(UcpManifest, ConvertStats)> {
+    let step_dir = layout::step_dir(base, step);
+    let universal = layout::universal_dir(base, step);
+    std::fs::create_dir_all(&universal)?;
+    let spill_dir = if opts.spill_fragments {
+        let d = universal.join("_extract_tmp");
+        std::fs::create_dir_all(&d)?;
+        Some(d)
+    } else {
+        None
+    };
+
+    // Source metadata from the first model-states file.
+    let (common, _) = load_model_states(&step_dir, 0, 0)?;
+    let src = common.parallel;
+    let derived = UcpSpec::from_model(&common.model, src.tp, &common.params_to_average);
+    let all_specs = param_specs(&common.model);
+
+    let mut stats = ConvertStats::default();
+    let mut atoms: Vec<AtomMeta> = Vec::new();
+
+    for pp in 0..src.pp {
+        // Extract + flat union for every TP shard of this stage.
+        let t0 = Instant::now();
+        let slices = par_map(src.tp, opts.workers, |tp| {
+            // ZeRO partitions over the combined dp × sp group (Ulysses
+            // composes sequence parallelism into the ZeRO axis), so one
+            // optimizer chunk exists per (dp, sp) replica.
+            assemble_slice(
+                &step_dir,
+                src.dp * src.sp,
+                tp,
+                pp,
+                opts,
+                spill_dir.as_deref(),
+            )
+        })?;
+        stats.extract_secs += t0.elapsed().as_secs_f64();
+
+        // TP union + atom writes, parallel at individual-parameter level.
+        let t1 = Instant::now();
+        let names: Vec<String> = slices[0].keys().cloned().collect();
+        let written = par_map(names.len(), opts.workers, |i| {
+            let name = &names[i];
+            // User rules take precedence; the derived spec is the fallback.
+            let pattern = opts
+                .spec_override
+                .as_ref()
+                .and_then(|s| s.pattern_of(name))
+                .or_else(|| derived.pattern_of(name))
+                .cloned()
+                .ok_or_else(|| UcpError::Inconsistent(format!("no pattern rule matches {name}")))?;
+            let spec_entry = find_param(&all_specs, name)?;
+            let mut metas = Vec::with_capacity(3);
+            let mut bytes = 0u64;
+            for (ki, file) in AtomFile::ALL.iter().enumerate() {
+                let shards: Vec<Tensor> = slices
+                    .iter()
+                    .map(|s| {
+                        s.get(name).map(|t| t[ki].clone()).ok_or_else(|| {
+                            UcpError::Inconsistent(format!("{name} missing in a TP slice"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let mut atom = union_tp(&pattern, &shards, opts.verify_replicas)?;
+                // Algorithm 1, lines 19-20: hasPadding → StripPadding. The
+                // padded-dim sub-pattern carries alignment padding past the
+                // union; strip it against the logical shape.
+                if matches!(
+                    pattern,
+                    ParamPattern::Fragment(FragmentSpec::PaddedDim { .. })
+                ) {
+                    atom = strip_padding(&atom, &spec_entry.shape)?;
+                }
+                if atom.shape() != &spec_entry.shape {
+                    return Err(UcpError::Inconsistent(format!(
+                        "atom {name}: consolidated shape {} != spec shape {}",
+                        atom.shape(),
+                        spec_entry.shape
+                    )));
+                }
+                let header = serde_json::to_string(&AtomMeta {
+                    name: name.clone(),
+                    shape: atom.shape().clone(),
+                    pattern: pattern.clone(),
+                })?;
+                let mut c = Container::new(header);
+                c.push(file.state_key(), atom);
+                let path = layout::atom_path(&universal, name, *file);
+                bytes += c.encoded_len() as u64;
+                c.write_file(&path)?;
+                if ki == 0 {
+                    metas.push(AtomMeta {
+                        name: name.clone(),
+                        shape: spec_entry.shape.clone(),
+                        pattern: pattern.clone(),
+                    });
+                }
+            }
+            Ok((metas, bytes))
+        })?;
+        stats.union_secs += t1.elapsed().as_secs_f64();
+        for (metas, bytes) in written {
+            stats.atoms_written += metas.len();
+            stats.bytes_written += bytes;
+            atoms.extend(metas);
+        }
+    }
+
+    if let Some(spill) = &spill_dir {
+        std::fs::remove_dir_all(spill).ok();
+    }
+
+    atoms.sort_by(|a, b| a.name.cmp(&b.name));
+    // A pipeline-shared parameter (tied embeddings) is consolidated once
+    // per owning stage; keep one manifest entry.
+    atoms.dedup_by(|a, b| a.name == b.name);
+    let manifest = UcpManifest {
+        version: UcpManifest::VERSION,
+        iteration: common.iteration,
+        seed: common.seed,
+        data_cursor: common.data_cursor,
+        adam_step: common.adam_step,
+        model: common.model,
+        source_label: src.label(),
+        params: atoms,
+    };
+    manifest.save(&universal)?;
+    layout::write_latest_universal(base, step)?;
+    Ok((manifest, stats))
+}
+
+fn find_param<'a>(specs: &'a [ParamSpec], name: &str) -> Result<&'a ParamSpec> {
+    specs
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| UcpError::Inconsistent(format!("unknown parameter {name}")))
+}

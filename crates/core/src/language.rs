@@ -1,0 +1,263 @@
+//! The UCP specification language (§3.2): declarative rules mapping
+//! parameter names to patterns.
+//!
+//! A [`UcpSpec`] is an ordered rule list; the first rule whose name glob
+//! matches a parameter decides its pattern. Globs use `*` to match within a
+//! dotted name segment and `**` to match across segments, so
+//! `layers.*.attention.dense.weight` covers every layer while
+//! `embedding.**` covers the whole embedding subtree.
+//!
+//! Specs can be hand-written through [`UcpSpecBuilder`] — the "in-the-box"
+//! extension point the paper describes for onboarding new parallelism
+//! patterns — or derived automatically from a model's parameter inventory
+//! with [`UcpSpec::from_model`].
+
+use serde::{Deserialize, Serialize};
+use ucp_model::{param_specs, ModelConfig};
+
+use crate::pattern::ParamPattern;
+use crate::{Result, UcpError};
+
+/// One `glob → pattern` rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Name glob (see module docs for the syntax).
+    pub glob: String,
+    /// Pattern assigned to matching parameters.
+    pub pattern: ParamPattern,
+}
+
+/// An ordered set of pattern rules.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UcpSpec {
+    rules: Vec<Rule>,
+}
+
+/// Fluent builder for [`UcpSpec`].
+#[derive(Debug, Default)]
+pub struct UcpSpecBuilder {
+    rules: Vec<Rule>,
+}
+
+impl UcpSpecBuilder {
+    /// Start an empty spec.
+    pub fn new() -> UcpSpecBuilder {
+        UcpSpecBuilder::default()
+    }
+
+    /// Append a rule; earlier rules take precedence.
+    pub fn rule(mut self, glob: impl Into<String>, pattern: ParamPattern) -> UcpSpecBuilder {
+        self.rules.push(Rule {
+            glob: glob.into(),
+            pattern,
+        });
+        self
+    }
+
+    /// Finish the spec.
+    pub fn build(self) -> UcpSpec {
+        UcpSpec { rules: self.rules }
+    }
+}
+
+impl UcpSpec {
+    /// Derive the spec for a model trained at TP degree `tp`.
+    ///
+    /// `averaged` lists replicated parameters whose replicas were updated
+    /// independently (they get `params_to_average`).
+    pub fn from_model(cfg: &ModelConfig, tp: usize, averaged: &[String]) -> UcpSpec {
+        let rules = param_specs(cfg)
+            .into_iter()
+            .map(|spec| Rule {
+                pattern: ParamPattern::from_partition(
+                    &spec.partition,
+                    tp,
+                    averaged.iter().any(|a| a == &spec.name),
+                ),
+                glob: spec.name,
+            })
+            .collect();
+        UcpSpec { rules }
+    }
+
+    /// The rules, in precedence order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Serialize the spec to JSON — the textual form of the UCP language,
+    /// so new parallelism patterns can be described in a file and loaded
+    /// without recompiling.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(UcpError::Json)
+    }
+
+    /// Parse a spec from its JSON form.
+    pub fn from_json(json: &str) -> Result<UcpSpec> {
+        serde_json::from_str(json).map_err(UcpError::Json)
+    }
+
+    /// Pattern for a parameter name, if any rule matches.
+    ///
+    /// This is the `PatternMatch` primitive of the paper's Algorithm 1.
+    pub fn pattern_of(&self, name: &str) -> Option<&ParamPattern> {
+        self.rules
+            .iter()
+            .find(|r| glob_match(&r.glob, name))
+            .map(|r| &r.pattern)
+    }
+}
+
+/// Match a dotted-name glob: `*` matches within a segment (no dots), `**`
+/// matches anything including dots. Matching is anchored at both ends.
+pub fn glob_match(glob: &str, name: &str) -> bool {
+    fn inner(g: &[u8], n: &[u8]) -> bool {
+        if g.is_empty() {
+            return n.is_empty();
+        }
+        if g.starts_with(b"**") {
+            // Try consuming 0..=len(n) characters.
+            let rest = &g[2..];
+            (0..=n.len()).any(|k| inner(rest, &n[k..]))
+        } else if g[0] == b'*' {
+            let rest = &g[1..];
+            // Consume 0..k non-dot characters.
+            let mut k = 0;
+            loop {
+                if inner(rest, &n[k..]) {
+                    return true;
+                }
+                if k >= n.len() || n[k] == b'.' {
+                    return false;
+                }
+                k += 1;
+            }
+        } else {
+            !n.is_empty() && g[0] == n[0] && inner(&g[1..], &n[1..])
+        }
+    }
+    inner(glob.as_bytes(), name.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::FragmentSpec;
+
+    #[test]
+    fn glob_star_stays_within_segment() {
+        assert!(glob_match(
+            "layers.*.attention.dense.weight",
+            "layers.7.attention.dense.weight"
+        ));
+        assert!(!glob_match(
+            "layers.*.weight",
+            "layers.7.attention.dense.weight"
+        ));
+        assert!(glob_match("layers.*", "layers.12"));
+        assert!(!glob_match("layers.*", "layers.1.x"));
+    }
+
+    #[test]
+    fn glob_double_star_crosses_segments() {
+        assert!(glob_match(
+            "embedding.**",
+            "embedding.word_embeddings.weight"
+        ));
+        assert!(glob_match("**.bias", "layers.0.mlp.dense_h_to_4h.bias"));
+        assert!(glob_match("**", "anything.at.all"));
+        assert!(!glob_match("**.bias", "layers.0.mlp.weight"));
+    }
+
+    #[test]
+    fn exact_names_match_themselves() {
+        assert!(glob_match("lm_head.weight", "lm_head.weight"));
+        assert!(!glob_match("lm_head.weight", "lm_head.weigh"));
+        assert!(!glob_match("lm_head.weight", "lm_head.weightx"));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let spec = UcpSpecBuilder::new()
+            .rule("layers.0.attention.dense.weight", ParamPattern::Replicated)
+            .rule(
+                "layers.*.attention.dense.weight",
+                ParamPattern::Fragment(FragmentSpec::Dim { dim: 1 }),
+            )
+            .build();
+        assert_eq!(
+            spec.pattern_of("layers.0.attention.dense.weight"),
+            Some(&ParamPattern::Replicated)
+        );
+        assert_eq!(
+            spec.pattern_of("layers.3.attention.dense.weight"),
+            Some(&ParamPattern::Fragment(FragmentSpec::Dim { dim: 1 }))
+        );
+        assert_eq!(spec.pattern_of("unmatched"), None);
+    }
+
+    #[test]
+    fn derived_spec_covers_every_parameter() {
+        let cfg = ModelConfig::llama_tiny();
+        let spec = UcpSpec::from_model(&cfg, 2, &[]);
+        for p in param_specs(&cfg) {
+            assert!(
+                spec.pattern_of(&p.name).is_some(),
+                "no pattern for {}",
+                p.name
+            );
+        }
+        // Spot-check the interesting patterns.
+        assert_eq!(
+            spec.pattern_of("layers.0.attention.query_key_value.weight"),
+            Some(&ParamPattern::Fragment(FragmentSpec::Grouped {
+                dim: 0,
+                sections: vec![32, 16, 16]
+            }))
+        );
+        assert_eq!(
+            spec.pattern_of("layers.0.input_layernorm.weight"),
+            Some(&ParamPattern::Replicated)
+        );
+    }
+
+    #[test]
+    fn derived_spec_honours_averaged_list() {
+        let cfg = ModelConfig::gpt3_tiny();
+        let spec = UcpSpec::from_model(&cfg, 2, &["layers.0.input_layernorm.weight".to_string()]);
+        assert_eq!(
+            spec.pattern_of("layers.0.input_layernorm.weight"),
+            Some(&ParamPattern::ToAverage)
+        );
+        assert_eq!(
+            spec.pattern_of("layers.1.input_layernorm.weight"),
+            Some(&ParamPattern::Replicated)
+        );
+    }
+
+    #[test]
+    fn moe_spec_gets_3d_fragments() {
+        let cfg = ModelConfig::moe_tiny();
+        let spec = UcpSpec::from_model(&cfg, 2, &[]);
+        assert_eq!(
+            spec.pattern_of("layers.0.moe.experts.dense_4h_to_h.weight"),
+            Some(&ParamPattern::Fragment(FragmentSpec::Dim { dim: 2 }))
+        );
+        assert_eq!(
+            spec.pattern_of("layers.0.moe.router.weight"),
+            Some(&ParamPattern::Replicated)
+        );
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let cfg = ModelConfig::moe_tiny();
+        let spec = UcpSpec::from_model(&cfg, 2, &[]);
+        let json = spec.to_json().unwrap();
+        let back = UcpSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        // The textual form names the paper's patterns.
+        assert!(json.contains("Fragment"));
+        assert!(json.contains("Replicated"));
+    }
+}

@@ -1,0 +1,117 @@
+//! The universal checkpoint manifest: the index of atom checkpoints plus
+//! the training state needed to resume under any configuration.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use ucp_model::ModelConfig;
+use ucp_storage::{layout, Container};
+use ucp_tensor::Shape;
+
+use crate::pattern::ParamPattern;
+use crate::Result;
+
+/// Metadata of one atom checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtomMeta {
+    /// Canonical parameter name (also the atom directory name).
+    pub name: String,
+    /// Full, consolidated shape (padding already stripped).
+    pub shape: Shape,
+    /// The source-side pattern this atom was consolidated from.
+    pub pattern: ParamPattern,
+}
+
+/// The universal checkpoint's top-level manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UcpManifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// Completed training iterations at checkpoint time.
+    pub iteration: u64,
+    /// Run seed.
+    pub seed: u64,
+    /// Samples consumed from the data stream.
+    pub data_cursor: u64,
+    /// Adam step count.
+    pub adam_step: u64,
+    /// Model architecture.
+    pub model: ModelConfig,
+    /// Human-readable label of the source strategy (e.g.
+    /// `tp2_pp2_dp2_sp1_z1`), informational only — targets never depend on
+    /// it, which is the whole point.
+    pub source_label: String,
+    /// Atom index.
+    pub params: Vec<AtomMeta>,
+}
+
+impl UcpManifest {
+    /// Current manifest version.
+    pub const VERSION: u32 = 1;
+
+    /// Look up an atom by name.
+    pub fn atom(&self, name: &str) -> Option<&AtomMeta> {
+        self.params.iter().find(|a| a.name == name)
+    }
+
+    /// Persist to `manifest.ucpt` inside the universal directory.
+    pub fn save(&self, universal_dir: &Path) -> Result<()> {
+        let c = Container::new(serde_json::to_string(self)?);
+        c.write_file(&layout::manifest_path(universal_dir))?;
+        Ok(())
+    }
+
+    /// Read from a universal directory.
+    pub fn load(universal_dir: &Path) -> Result<UcpManifest> {
+        let c = Container::read_file(&layout::manifest_path(universal_dir))?;
+        Ok(serde_json::from_str(&c.header)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::FragmentSpec;
+
+    fn sample() -> UcpManifest {
+        UcpManifest {
+            version: UcpManifest::VERSION,
+            iteration: 100,
+            seed: 7,
+            data_cursor: 12_800,
+            adam_step: 100,
+            model: ModelConfig::gpt3_tiny(),
+            source_label: "tp2_pp2_dp2_sp1_z1".into(),
+            params: vec![
+                AtomMeta {
+                    name: "embedding.word_embeddings.weight".into(),
+                    shape: Shape::new([256, 32]),
+                    pattern: ParamPattern::Fragment(FragmentSpec::Dim { dim: 0 }),
+                },
+                AtomMeta {
+                    name: "final_layernorm.weight".into(),
+                    shape: Shape::new([32]),
+                    pattern: ParamPattern::Replicated,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("ucp_manifest_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let m = sample();
+        m.save(&dir).unwrap();
+        let back = UcpManifest::load(&dir).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atom_lookup() {
+        let m = sample();
+        assert!(m.atom("final_layernorm.weight").is_some());
+        assert!(m.atom("nope").is_none());
+    }
+}

@@ -1,0 +1,399 @@
+//! The UCP transformation operations (paper Table 2).
+//!
+//! `Extract` pulls per-parameter fragments out of a rank's checkpoint,
+//! `Union` consolidates fragments according to their pattern,
+//! `StripPadding` removes alignment padding; `GenUcpMetadata` and `Load`
+//! live in [`crate::load`]. Everything here is pure data movement — union
+//! of fragments is asserted bitwise-exact by the property tests.
+
+use ucp_model::Partition;
+use ucp_parallel::FlatLayout;
+use ucp_tensor::{Shape, Tensor};
+
+use crate::pattern::{FragmentSpec, ParamPattern};
+use crate::{Result, UcpError};
+
+/// A 1-D fragment of a parameter extracted from a ZeRO chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fragment {
+    /// Offset of this fragment within the flattened parameter.
+    pub param_offset: usize,
+    /// Fragment values.
+    pub data: Vec<f32>,
+}
+
+/// `Extract` for flat ZeRO chunks: given the flat layout and one DP rank's
+/// chunk, return `(parameter name, fragment)` pairs for every parameter
+/// (partially) present in the chunk. Alignment padding never appears in a
+/// fragment.
+pub fn extract_flat(layout: &FlatLayout, dp_rank: usize, chunk: &[f32]) -> Vec<(String, Fragment)> {
+    debug_assert_eq!(chunk.len(), layout.chunk);
+    let mut out = Vec::new();
+    for slot in &layout.slots {
+        for frag in layout.fragments_of(slot) {
+            if frag.dp_rank == dp_rank {
+                out.push((
+                    slot.name.clone(),
+                    Fragment {
+                        param_offset: frag.param_offset,
+                        data: chunk[frag.chunk_offset..frag.chunk_offset + frag.len].to_vec(),
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `Union` for flat fragments: reassemble the flattened parameter of
+/// `total_len` real elements from fragments (any order; must tile the
+/// parameter exactly).
+pub fn union_flat(total_len: usize, fragments: &[Fragment]) -> Result<Vec<f32>> {
+    let mut out = vec![0.0f32; total_len];
+    let mut covered = 0usize;
+    let mut sorted: Vec<&Fragment> = fragments.iter().collect();
+    sorted.sort_by_key(|f| f.param_offset);
+    for f in sorted {
+        if f.param_offset != covered {
+            return Err(UcpError::Inconsistent(format!(
+                "flat union gap: expected offset {covered}, got {}",
+                f.param_offset
+            )));
+        }
+        let end = f.param_offset + f.data.len();
+        if end > total_len {
+            return Err(UcpError::Inconsistent(format!(
+                "flat union overflow: fragment ends at {end}, parameter has {total_len}"
+            )));
+        }
+        out[f.param_offset..end].copy_from_slice(&f.data);
+        covered = end;
+    }
+    if covered != total_len {
+        return Err(UcpError::Inconsistent(format!(
+            "flat union incomplete: covered {covered} of {total_len}"
+        )));
+    }
+    Ok(out)
+}
+
+/// `Union` across tensor-parallel shards, dispatched on the parameter
+/// pattern (the `Switch` of the paper's Algorithm 1).
+///
+/// `verify_replicas` additionally checks that `replicated_params` copies
+/// are bitwise identical (a cheap corruption/misconfiguration tripwire).
+pub fn union_tp(
+    pattern: &ParamPattern,
+    shards: &[Tensor],
+    verify_replicas: bool,
+) -> Result<Tensor> {
+    if shards.is_empty() {
+        return Err(UcpError::Inconsistent("union of zero shards".into()));
+    }
+    match pattern {
+        ParamPattern::Unique => {
+            if shards.len() != 1 {
+                return Err(UcpError::Inconsistent(format!(
+                    "unique_params with {} shards",
+                    shards.len()
+                )));
+            }
+            Ok(shards[0].clone())
+        }
+        ParamPattern::Replicated => {
+            if verify_replicas {
+                for (i, s) in shards.iter().enumerate().skip(1) {
+                    if !s.bitwise_eq(&shards[0]) {
+                        return Err(UcpError::Inconsistent(format!(
+                            "replicated_params copies diverge (rank 0 vs rank {i})"
+                        )));
+                    }
+                }
+            }
+            Ok(shards[0].clone())
+        }
+        ParamPattern::ToAverage => {
+            let shape = shards[0].shape().clone();
+            let mut acc = vec![0.0f64; shape.num_elements()];
+            for s in shards {
+                if s.shape() != &shape {
+                    return Err(UcpError::Inconsistent(
+                        "params_to_average shape mismatch".into(),
+                    ));
+                }
+                for (a, v) in acc.iter_mut().zip(s.as_slice()) {
+                    *a += f64::from(*v);
+                }
+            }
+            let n = shards.len() as f64;
+            let data: Vec<f32> = acc.into_iter().map(|v| (v / n) as f32).collect();
+            Ok(Tensor::from_vec(data, shape).map_err(UcpError::Tensor)?)
+        }
+        ParamPattern::Fragment(spec) => {
+            let partition = match spec {
+                FragmentSpec::Dim { dim } => Partition::Shard { dim: *dim },
+                FragmentSpec::PaddedDim { dim, multiple } => Partition::PaddedShard {
+                    dim: *dim,
+                    multiple: *multiple,
+                },
+                FragmentSpec::Grouped { dim, sections } => Partition::Grouped {
+                    dim: *dim,
+                    sections: sections.clone(),
+                },
+                FragmentSpec::Flat1D => {
+                    return Err(UcpError::Inconsistent(
+                        "flat fragments must go through union_flat".into(),
+                    ))
+                }
+            };
+            Ok(partition.unshard(shards))
+        }
+    }
+}
+
+/// `StripPadding`: remove trailing padding so the tensor matches its true
+/// shape (narrow every dimension to the target extent).
+pub fn strip_padding(t: &Tensor, true_shape: &Shape) -> Result<Tensor> {
+    if t.shape().rank() != true_shape.rank() {
+        return Err(UcpError::Inconsistent(format!(
+            "strip_padding rank mismatch: {} vs {}",
+            t.shape(),
+            true_shape
+        )));
+    }
+    let mut out = t.clone();
+    for (dim, &target) in true_shape.dims().iter().enumerate() {
+        if out.shape().dims()[dim] != target {
+            out = out.strip_dim(dim, target).map_err(UcpError::Tensor)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ucp_tensor::DetRng;
+
+    #[test]
+    fn extract_union_flat_roundtrip() {
+        // Two params (7 + 3 elements), alignment 1, dp 4 (chunk 3).
+        let layout = FlatLayout::build(
+            &[
+                ("a".to_string(), Shape::new([7])),
+                ("b".to_string(), Shape::new([3])),
+            ],
+            1,
+            4,
+        );
+        let flat: Vec<f32> = (0..layout.total_len).map(|i| i as f32).collect();
+        let mut frags_a = Vec::new();
+        let mut frags_b = Vec::new();
+        for dp in 0..4 {
+            let r = layout.rank_range(dp);
+            for (name, frag) in extract_flat(&layout, dp, &flat[r]) {
+                match name.as_str() {
+                    "a" => frags_a.push(frag),
+                    "b" => frags_b.push(frag),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        assert_eq!(union_flat(7, &frags_a).unwrap(), &flat[0..7]);
+        assert_eq!(union_flat(3, &frags_b).unwrap(), &flat[7..10]);
+    }
+
+    #[test]
+    fn union_flat_detects_gaps_and_overlaps() {
+        let f = |off: usize, len: usize| Fragment {
+            param_offset: off,
+            data: vec![0.0; len],
+        };
+        assert!(union_flat(6, &[f(0, 3), f(3, 3)]).is_ok());
+        assert!(union_flat(6, &[f(0, 3), f(4, 2)]).is_err(), "gap");
+        assert!(union_flat(6, &[f(0, 4), f(3, 3)]).is_err(), "overlap");
+        assert!(union_flat(6, &[f(0, 3)]).is_err(), "incomplete");
+        assert!(union_flat(6, &[f(0, 3), f(3, 4)]).is_err(), "overflow");
+    }
+
+    #[test]
+    fn union_unique_requires_single_shard() {
+        let t = Tensor::zeros([2]);
+        assert!(union_tp(&ParamPattern::Unique, std::slice::from_ref(&t), false).is_ok());
+        assert!(union_tp(&ParamPattern::Unique, &[t.clone(), t], false).is_err());
+    }
+
+    #[test]
+    fn union_replicated_verification() {
+        let a = Tensor::full([3], 1.0);
+        let mut b = a.clone();
+        assert!(union_tp(&ParamPattern::Replicated, &[a.clone(), b.clone()], true).is_ok());
+        b.as_mut_slice()[1] = 2.0;
+        assert!(union_tp(&ParamPattern::Replicated, &[a.clone(), b.clone()], true).is_err());
+        // Without verification the first copy wins silently.
+        let out = union_tp(&ParamPattern::Replicated, &[a.clone(), b], false).unwrap();
+        assert!(out.bitwise_eq(&a));
+    }
+
+    #[test]
+    fn union_to_average_means() {
+        let a = Tensor::from_vec(vec![1.0, 3.0], [2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], [2]).unwrap();
+        let out = union_tp(&ParamPattern::ToAverage, &[a, b], false).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn union_fragment_dim_concatenates() {
+        let rng = DetRng::new(1);
+        let full = Tensor::randn([4, 6], 1.0, &rng.derive("w"));
+        let shards = full.chunk(1, 2).unwrap();
+        let pattern = ParamPattern::Fragment(FragmentSpec::Dim { dim: 1 });
+        let out = union_tp(&pattern, &shards, false).unwrap();
+        assert!(out.bitwise_eq(&full));
+    }
+
+    #[test]
+    fn union_fragment_grouped_reassembles_gqa() {
+        // QKV of GQA: sections [8, 4, 4] rows at TP=2; per-rank shards are
+        // [4 q-rows; 2 k-rows; 2 v-rows].
+        let rng = DetRng::new(2);
+        let full = Tensor::randn([16, 5], 1.0, &rng.derive("qkv"));
+        let partition = Partition::Grouped {
+            dim: 0,
+            sections: vec![8, 4, 4],
+        };
+        let shards: Vec<Tensor> = (0..2).map(|r| partition.shard(&full, 2, r)).collect();
+        assert_eq!(shards[0].shape().dims(), &[8, 5]);
+        let pattern = ParamPattern::Fragment(FragmentSpec::Grouped {
+            dim: 0,
+            sections: vec![8, 4, 4],
+        });
+        let out = union_tp(&pattern, &shards, false).unwrap();
+        assert!(out.bitwise_eq(&full));
+    }
+
+    #[test]
+    fn flat_fragments_rejected_by_union_tp() {
+        let t = Tensor::zeros([2]);
+        assert!(union_tp(&ParamPattern::Fragment(FragmentSpec::Flat1D), &[t], false).is_err());
+    }
+
+    #[test]
+    fn strip_padding_multi_dim() {
+        let t = Tensor::zeros([6, 8]);
+        let out = strip_padding(&t, &Shape::new([5, 8])).unwrap();
+        assert_eq!(out.shape().dims(), &[5, 8]);
+        let out = strip_padding(&t, &Shape::new([5, 7])).unwrap();
+        assert_eq!(out.shape().dims(), &[5, 7]);
+        assert!(strip_padding(&t, &Shape::new([5])).is_err());
+        assert!(strip_padding(&t, &Shape::new([7, 8])).is_err(), "growing");
+    }
+
+    proptest! {
+        /// Extract → union over arbitrary layouts reproduces every
+        /// parameter bitwise (the T2 invariant of DESIGN.md).
+        #[test]
+        fn prop_flat_roundtrip(
+            sizes in prop::collection::vec(1usize..40, 1..8),
+            alignment in 1usize..9,
+            dp in 1usize..7,
+        ) {
+            let params: Vec<(String, Shape)> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (format!("p{i}"), Shape::new([*s])))
+                .collect();
+            let layout = FlatLayout::build(&params, alignment, dp);
+            // Fill real elements with recognizable values, padding with NaN
+            // poison: padding must never leak into fragments.
+            let mut flat = vec![f32::NAN; layout.total_len];
+            for slot in &layout.slots {
+                for k in 0..slot.len {
+                    flat[slot.offset + k] = (slot.offset + k) as f32;
+                }
+            }
+            let mut per_param: std::collections::HashMap<String, Vec<Fragment>> =
+                Default::default();
+            for rank in 0..dp {
+                let r = layout.rank_range(rank);
+                for (name, frag) in extract_flat(&layout, rank, &flat[r]) {
+                    per_param.entry(name).or_default().push(frag);
+                }
+            }
+            for slot in &layout.slots {
+                let frags = per_param.get(&slot.name).expect("every param extracted");
+                let rebuilt = union_flat(slot.len, frags).unwrap();
+                for (k, v) in rebuilt.iter().enumerate() {
+                    prop_assert_eq!(*v, (slot.offset + k) as f32);
+                }
+            }
+        }
+
+        /// TP shard → union reproduces tensors bitwise for every partition
+        /// kind and degree.
+        #[test]
+        fn prop_tp_roundtrip(
+            rows_per_rank in 1usize..5,
+            cols in 1usize..6,
+            tp in 1usize..5,
+            dim0 in proptest::bool::ANY,
+            seed in 0u64..1000,
+        ) {
+            let rows = rows_per_rank * tp;
+            let (r, c) = if dim0 { (rows, cols) } else { (cols, rows) };
+            let dim = if dim0 { 0 } else { 1 };
+            let full = Tensor::randn([r, c], 1.0, &DetRng::new(seed));
+            let partition = Partition::Shard { dim };
+            let shards: Vec<Tensor> =
+                (0..tp).map(|k| partition.shard(&full, tp, k)).collect();
+            let pattern = if tp == 1 {
+                ParamPattern::Unique
+            } else {
+                ParamPattern::Fragment(FragmentSpec::Dim { dim })
+            };
+            let out = union_tp(&pattern, &shards, false).unwrap();
+            prop_assert!(out.bitwise_eq(&full));
+        }
+
+        /// Grouped (variable-section) shard → union round-trips for random
+        /// section structures.
+        #[test]
+        fn prop_grouped_roundtrip(
+            section_units in prop::collection::vec(1usize..4, 1..4),
+            tp in 1usize..4,
+            cols in 1usize..4,
+            seed in 0u64..1000,
+        ) {
+            let sections: Vec<usize> = section_units.iter().map(|u| u * tp).collect();
+            let total: usize = sections.iter().sum();
+            let full = Tensor::randn([total, cols], 1.0, &DetRng::new(seed));
+            let partition = Partition::Grouped { dim: 0, sections: sections.clone() };
+            let shards: Vec<Tensor> =
+                (0..tp).map(|k| partition.shard(&full, tp, k)).collect();
+            let pattern = if tp == 1 {
+                ParamPattern::Unique
+            } else {
+                ParamPattern::Fragment(FragmentSpec::Grouped { dim: 0, sections })
+            };
+            let out = union_tp(&pattern, &shards, false).unwrap();
+            prop_assert!(out.bitwise_eq(&full));
+        }
+
+        /// Pad → strip is the identity.
+        #[test]
+        fn prop_pad_strip_identity(
+            r in 1usize..6,
+            c in 1usize..6,
+            pad_r in 0usize..4,
+            pad_c in 0usize..4,
+            seed in 0u64..1000,
+        ) {
+            let t = Tensor::randn([r, c], 1.0, &DetRng::new(seed));
+            let padded = t.pad_dim(0, r + pad_r).unwrap().pad_dim(1, c + pad_c).unwrap();
+            let back = strip_padding(&padded, &Shape::new([r, c])).unwrap();
+            prop_assert!(back.bitwise_eq(&t));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Parameter patterns (paper Table 1) and fragment sub-patterns (Fig. 5).
+
+use serde::{Deserialize, Serialize};
+use ucp_model::Partition;
+
+/// How a parameter's fragments relate to GPU ranks in the source
+/// checkpoint — the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamPattern {
+    /// `unique_params`: uniquely associated with one rank (ZeRO-1/2 flat
+    /// chunks within a DP group, PP-stage-owned tensors).
+    Unique,
+    /// `replicated_params`: identical copies on several ranks; any one copy
+    /// is the consolidated value.
+    Replicated,
+    /// `fragment_params`: partitioned along some dimension(s); union is a
+    /// sub-pattern-specific concatenation.
+    Fragment(FragmentSpec),
+    /// `params_to_average`: updated independently across ranks (e.g. under
+    /// some sequence-parallel setups); union is the elementwise mean.
+    ToAverage,
+}
+
+/// Sub-patterns of `fragment_params` carrying the shape/partition-dimension
+/// information the paper's Fig. 5 describes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FragmentSpec {
+    /// Evenly split along `dim` (row/column TP; `dim > 0` covers the 3-D
+    /// MoE tensor `[experts, hidden_out, hidden_in]` split on `hidden_out`).
+    Dim {
+        /// Partitioned dimension.
+        dim: usize,
+    },
+    /// `dim` is a concatenation of variable-size sections, each split
+    /// evenly across ranks — the fused QKV of GQA (`[q, k, v]` sections of
+    /// different sizes) and fused SwiGLU gate+up.
+    Grouped {
+        /// Partitioned dimension.
+        dim: usize,
+        /// Section extents along `dim`.
+        sections: Vec<usize>,
+    },
+    /// Evenly split along `dim` after zero-padding to a multiple of
+    /// `multiple × tp` (Megatron vocab alignment). Union concatenates the
+    /// padded shards; the conversion then applies `StripPadding` against
+    /// the logical shape (Algorithm 1's `hasPadding` branch).
+    PaddedDim {
+        /// Partitioned dimension.
+        dim: usize,
+        /// Alignment quantum.
+        multiple: usize,
+    },
+    /// Fragments are ranges of the *flattened* parameter with explicit
+    /// offsets — ZeRO-1/2/3 optimizer-state partitions, where a parameter
+    /// straddles DP-rank chunk boundaries.
+    Flat1D,
+}
+
+impl ParamPattern {
+    /// Derive the checkpoint pattern from a model parameter's TP partition
+    /// rule, given the TP degree of the source run.
+    ///
+    /// `average` forces `params_to_average` for replicated parameters whose
+    /// replicas were updated independently (trainer-declared).
+    pub fn from_partition(partition: &Partition, tp: usize, average: bool) -> ParamPattern {
+        match partition {
+            Partition::Replicated => {
+                if average {
+                    ParamPattern::ToAverage
+                } else if tp > 1 {
+                    ParamPattern::Replicated
+                } else {
+                    ParamPattern::Unique
+                }
+            }
+            // A padded shard is a real fragment even at TP=1: the single
+            // shard still carries alignment padding to strip.
+            Partition::PaddedShard { dim, multiple } => {
+                ParamPattern::Fragment(FragmentSpec::PaddedDim {
+                    dim: *dim,
+                    multiple: *multiple,
+                })
+            }
+            _ if tp == 1 => ParamPattern::Unique,
+            Partition::Shard { dim } => ParamPattern::Fragment(FragmentSpec::Dim { dim: *dim }),
+            Partition::Grouped { dim, sections } => ParamPattern::Fragment(FragmentSpec::Grouped {
+                dim: *dim,
+                sections: sections.clone(),
+            }),
+        }
+    }
+
+    /// The paper's name for this pattern (reports, manifests).
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            ParamPattern::Unique => "unique_params",
+            ParamPattern::Replicated => "replicated_params",
+            ParamPattern::Fragment(_) => "fragment_params",
+            ParamPattern::ToAverage => "params_to_average",
+        }
+    }
+}
+
+impl std::fmt::Display for ParamPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamPattern::Fragment(FragmentSpec::Dim { dim }) => {
+                write!(f, "fragment_params(dim={dim})")
+            }
+            ParamPattern::Fragment(FragmentSpec::Grouped { dim, sections }) => {
+                write!(f, "fragment_params(dim={dim}, sections={sections:?})")
+            }
+            ParamPattern::Fragment(FragmentSpec::PaddedDim { dim, multiple }) => {
+                write!(f, "fragment_params(dim={dim}, pad_multiple={multiple})")
+            }
+            ParamPattern::Fragment(FragmentSpec::Flat1D) => write!(f, "fragment_params(flat)"),
+            other => write!(f, "{}", other.paper_name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_from_partitions() {
+        let rep = Partition::Replicated;
+        assert_eq!(
+            ParamPattern::from_partition(&rep, 2, false),
+            ParamPattern::Replicated
+        );
+        assert_eq!(
+            ParamPattern::from_partition(&rep, 1, false),
+            ParamPattern::Unique,
+            "with one rank nothing is replicated"
+        );
+        assert_eq!(
+            ParamPattern::from_partition(&rep, 2, true),
+            ParamPattern::ToAverage
+        );
+
+        let shard = Partition::Shard { dim: 1 };
+        assert_eq!(
+            ParamPattern::from_partition(&shard, 2, false),
+            ParamPattern::Fragment(FragmentSpec::Dim { dim: 1 })
+        );
+        assert_eq!(
+            ParamPattern::from_partition(&shard, 1, false),
+            ParamPattern::Unique,
+            "TP=1 shard is the whole tensor"
+        );
+
+        let grouped = Partition::Grouped {
+            dim: 0,
+            sections: vec![32, 16, 16],
+        };
+        assert_eq!(
+            ParamPattern::from_partition(&grouped, 2, false),
+            ParamPattern::Fragment(FragmentSpec::Grouped {
+                dim: 0,
+                sections: vec![32, 16, 16]
+            })
+        );
+    }
+
+    #[test]
+    fn paper_names_match_table_1() {
+        assert_eq!(ParamPattern::Unique.paper_name(), "unique_params");
+        assert_eq!(ParamPattern::Replicated.paper_name(), "replicated_params");
+        assert_eq!(
+            ParamPattern::Fragment(FragmentSpec::Flat1D).paper_name(),
+            "fragment_params"
+        );
+        assert_eq!(ParamPattern::ToAverage.paper_name(), "params_to_average");
+    }
+
+    #[test]
+    fn display_includes_subpattern_info() {
+        let p = ParamPattern::Fragment(FragmentSpec::Grouped {
+            dim: 0,
+            sections: vec![8, 4, 4],
+        });
+        assert!(p.to_string().contains("sections=[8, 4, 4]"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = ParamPattern::Fragment(FragmentSpec::Dim { dim: 2 });
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ParamPattern = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,78 @@
+//! Small shared utilities for the parallel phases.
+
+use crate::Result;
+
+/// Run `f(i)` for every index in `0..n` on up to `workers` threads,
+/// collecting results in index order. Errors propagate (first error wins).
+///
+/// This is the execution backbone of the paper's parallel `Extract` (over
+/// checkpoint files), parallel `Union` (over individual parameters), and
+/// parallel `Load` (over atoms).
+pub fn par_map<T, F>(n: usize, workers: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+    let slots_ptr = parking_lot::Mutex::new(&mut slots);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                slots_ptr.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("par_map scope");
+    slots
+        .into_iter()
+        .map(|s| s.expect("all indices processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UcpError;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map(100, 7, |i| Ok(i * 3)).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches() {
+        let a = par_map(10, 1, Ok).unwrap();
+        let b = par_map(10, 4, Ok).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let err = par_map(10, 3, |i| {
+            if i == 5 {
+                Err(UcpError::Inconsistent("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zero_items() {
+        let out: Vec<usize> = par_map(0, 4, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the UCP language's name-glob matcher.
+
+use proptest::prelude::*;
+use ucp_core::language::glob_match;
+
+/// Strategy: dotted names from a small alphabet.
+fn name() -> impl Strategy<Value = String> {
+    prop::collection::vec("[abc]{1,3}", 1..4).prop_map(|segs| segs.join("."))
+}
+
+proptest! {
+    #[test]
+    fn exact_globs_match_only_themselves(a in name(), b in name()) {
+        prop_assert!(glob_match(&a, &a));
+        prop_assert_eq!(glob_match(&a, &b), a == b);
+    }
+
+    #[test]
+    fn double_star_matches_everything(n in name()) {
+        prop_assert!(glob_match("**", &n));
+        // `**.last` requires a dot before the last segment, so it matches
+        // exactly the multi-segment names ending in that segment.
+        let with_suffix = format!("**.{}", n.rsplit('.').next().unwrap());
+        prop_assert_eq!(glob_match(&with_suffix, &n), n.contains('.'));
+    }
+
+    #[test]
+    fn star_never_crosses_dots(prefix in "[abc]{1,3}", middle in "[abc]{1,3}", suffix in "[abc]{1,3}") {
+        let name = format!("{prefix}.{middle}.{suffix}");
+        // `prefix.*.suffix` matches the 3-segment name...
+        let mid_glob = format!("{prefix}.*.{suffix}");
+        let matched_mid = glob_match(&mid_glob, &name);
+        prop_assert!(matched_mid, "{} should match {}", mid_glob, name);
+        // ...but `prefix.*` must not match it (the star would need to
+        // cross a dot).
+        let short_glob = format!("{prefix}.*");
+        let matched_short = glob_match(&short_glob, &name);
+        prop_assert!(!matched_short, "{} must not match {}", short_glob, name);
+    }
+
+    #[test]
+    fn replacing_any_segment_with_star_still_matches(n in name(), idx in 0usize..4) {
+        let segs: Vec<&str> = n.split('.').collect();
+        let idx = idx % segs.len();
+        let glob: Vec<&str> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| if i == idx { "*" } else { *s })
+            .collect();
+        prop_assert!(glob_match(&glob.join("."), &n));
+    }
+
+    #[test]
+    fn empty_never_matches_nonempty(n in name()) {
+        prop_assert!(!glob_match("", &n));
+        prop_assert!(!glob_match(&n, ""));
+    }
+}

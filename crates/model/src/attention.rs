@@ -1,0 +1,601 @@
+//! Multi-head causal self-attention with grouped-query attention,
+//! tensor-parallel head sharding, and sequence-parallel execution.
+//!
+//! Layouts: activations are `[T, H]` with `T = batch · s_local` and tokens
+//! ordered batch-major (`t = b · s_local + s`). Under sequence parallelism
+//! each rank holds a contiguous sequence chunk of every batch row; keys and
+//! values are all-gathered across the SP group (a simplified
+//! Ulysses/ring-attention hybrid — see DESIGN.md substitutions), queries
+//! stay local, and key/value gradients are reduced back to their owning
+//! chunk.
+
+use ucp_tensor::{ops, Shape, Tensor};
+
+use crate::config::PositionKind;
+use crate::group_ops::GroupOps;
+use crate::layers::{linear_backward, linear_forward, LinearCache};
+
+/// Static geometry of one attention invocation.
+#[derive(Debug, Clone)]
+pub struct AttnDims {
+    /// Microbatch rows.
+    pub batch: usize,
+    /// Local sequence length (`seq_total / sp`).
+    pub s_local: usize,
+    /// Full sequence length.
+    pub seq_total: usize,
+    /// Query heads on this TP rank.
+    pub n_q_local: usize,
+    /// Key/value heads on this TP rank.
+    pub n_kv_local: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Global position of this rank's first sequence element
+    /// (`sp_rank · s_local`).
+    pub pos_start: usize,
+    /// Global index of this rank's first query head (`tp_rank · n_q_local`),
+    /// needed for ALiBi slopes.
+    pub q_head_start: usize,
+    /// Total query heads in the model (for ALiBi slopes).
+    pub n_heads_total: usize,
+    /// Position-encoding flavor.
+    pub position: PositionKind,
+}
+
+impl AttnDims {
+    fn t_local(&self) -> usize {
+        self.batch * self.s_local
+    }
+
+    fn rows_local(&self) -> usize {
+        (self.n_q_local + 2 * self.n_kv_local) * self.head_dim
+    }
+}
+
+/// Parameter shards used by one attention invocation.
+pub struct AttnParams<'a> {
+    /// Fused QKV weight shard `[rows_local, H]`.
+    pub qkv_w: &'a Tensor,
+    /// Fused QKV bias shard `[rows_local]`.
+    pub qkv_b: Option<&'a Tensor>,
+    /// Output projection shard `[H, n_q_local · head_dim]` (row-parallel).
+    pub dense_w: &'a Tensor,
+    /// Output bias `[H]` (replicated; added after the TP all-reduce).
+    pub dense_b: Option<&'a Tensor>,
+}
+
+/// Gradient buffers matching [`AttnParams`].
+pub struct AttnGrads<'a> {
+    /// Gradient of `qkv_w`.
+    pub qkv_w: &'a mut [f64],
+    /// Gradient of `qkv_b`.
+    pub qkv_b: Option<&'a mut [f64]>,
+    /// Gradient of `dense_w`.
+    pub dense_w: &'a mut [f64],
+    /// Gradient of `dense_b`.
+    pub dense_b: Option<&'a mut [f64]>,
+}
+
+/// Saved state for the attention backward pass.
+pub struct AttnCache {
+    dims: AttnDims,
+    qkv_cache: LinearCache,
+    /// Rotated queries `[T, n_q_local · d]`.
+    q: Tensor,
+    /// Gathered, rotated keys `[seq_total, batch · n_kv_local · d]`.
+    k_full: Tensor,
+    /// Gathered values `[seq_total, batch · n_kv_local · d]`.
+    v_full: Tensor,
+    /// Softmax probabilities, one `[s_local, seq_total]` per (batch, q-head).
+    probs: Vec<Tensor>,
+    dense_cache: LinearCache,
+}
+
+/// ALiBi slope for global head `g` of `n` (BLOOM formula for power-of-two
+/// head counts).
+pub fn alibi_slope(g: usize, n: usize) -> f64 {
+    2f64.powf(-8.0 * (g as f64 + 1.0) / n as f64)
+}
+
+/// Apply rotary embedding in place to one head vector at `pos`.
+fn rope_rotate(vec: &mut [f32], pos: usize, inverse: bool) {
+    let d = vec.len();
+    for i in 0..d / 2 {
+        let theta = pos as f64 / 10000f64.powf(2.0 * i as f64 / d as f64);
+        let (sin, cos) = theta.sin_cos();
+        let sin = if inverse { -sin } else { sin };
+        let (x, y) = (f64::from(vec[2 * i]), f64::from(vec[2 * i + 1]));
+        vec[2 * i] = (x * cos - y * sin) as f32;
+        vec[2 * i + 1] = (x * sin + y * cos) as f32;
+    }
+}
+
+/// Extract `[T, section]` views of the fused QKV activation and lay K/V out
+/// sequence-major for the SP gather.
+///
+/// Returns `(q [T, nq·d], k_seq [s_local, B·nkv·d], v_seq [s_local, B·nkv·d])`.
+fn split_qkv(qkv: &Tensor, dims: &AttnDims) -> (Tensor, Tensor, Tensor) {
+    let d = dims.head_dim;
+    let (nq, nkv) = (dims.n_q_local, dims.n_kv_local);
+    let t_local = dims.t_local();
+    let rows = dims.rows_local();
+    let src = qkv.as_slice();
+
+    let mut q = vec![0.0f32; t_local * nq * d];
+    let mut k = vec![0.0f32; dims.s_local * dims.batch * nkv * d];
+    let mut v = vec![0.0f32; dims.s_local * dims.batch * nkv * d];
+    for b in 0..dims.batch {
+        for s in 0..dims.s_local {
+            let t = b * dims.s_local + s;
+            let row = &src[t * rows..(t + 1) * rows];
+            q[t * nq * d..(t + 1) * nq * d].copy_from_slice(&row[..nq * d]);
+            let kv_base = (s * dims.batch + b) * nkv * d;
+            k[kv_base..kv_base + nkv * d].copy_from_slice(&row[nq * d..(nq + nkv) * d]);
+            v[kv_base..kv_base + nkv * d].copy_from_slice(&row[(nq + nkv) * d..(nq + 2 * nkv) * d]);
+        }
+    }
+    (
+        Tensor::from_vec(q, [t_local, nq * d]).expect("q dims"),
+        Tensor::from_vec(k, [dims.s_local, dims.batch * nkv * d]).expect("k dims"),
+        Tensor::from_vec(v, [dims.s_local, dims.batch * nkv * d]).expect("v dims"),
+    )
+}
+
+/// Inverse of [`split_qkv`]: pack gradient pieces back into the fused
+/// `[T, rows_local]` layout.
+fn pack_dqkv(dq: &Tensor, dk_seq: &Tensor, dv_seq: &Tensor, dims: &AttnDims) -> Tensor {
+    let d = dims.head_dim;
+    let (nq, nkv) = (dims.n_q_local, dims.n_kv_local);
+    let rows = dims.rows_local();
+    let mut out = vec![0.0f32; dims.t_local() * rows];
+    let (dqs, dks, dvs) = (dq.as_slice(), dk_seq.as_slice(), dv_seq.as_slice());
+    for b in 0..dims.batch {
+        for s in 0..dims.s_local {
+            let t = b * dims.s_local + s;
+            let row = &mut out[t * rows..(t + 1) * rows];
+            row[..nq * d].copy_from_slice(&dqs[t * nq * d..(t + 1) * nq * d]);
+            let kv_base = (s * dims.batch + b) * nkv * d;
+            row[nq * d..(nq + nkv) * d].copy_from_slice(&dks[kv_base..kv_base + nkv * d]);
+            row[(nq + nkv) * d..(nq + 2 * nkv) * d]
+                .copy_from_slice(&dvs[kv_base..kv_base + nkv * d]);
+        }
+    }
+    Tensor::from_vec(out, [dims.t_local(), rows]).expect("packed dims")
+}
+
+/// Forward pass. Returns the attention block output `[T, H]` (already
+/// TP-reduced, bias added) and the backward cache.
+pub fn attention_forward(
+    h: &Tensor,
+    params: &AttnParams<'_>,
+    dims: &AttnDims,
+    tp: &dyn GroupOps,
+    sp: &dyn GroupOps,
+) -> (Tensor, AttnCache) {
+    let d = dims.head_dim;
+    let (qkv, qkv_cache) = linear_forward(h, params.qkv_w, params.qkv_b);
+    let (mut q, mut k_seq, v_seq) = split_qkv(&qkv, dims);
+
+    // Rotary embedding on local queries and keys (global positions).
+    if dims.position == PositionKind::Rotary {
+        let nq = dims.n_q_local;
+        for b in 0..dims.batch {
+            for s in 0..dims.s_local {
+                let pos = dims.pos_start + s;
+                let t = b * dims.s_local + s;
+                for head in 0..nq {
+                    rope_rotate(
+                        &mut q.as_mut_slice()[(t * nq + head) * d..(t * nq + head + 1) * d],
+                        pos,
+                        false,
+                    );
+                }
+                for head in 0..dims.n_kv_local {
+                    let base = ((s * dims.batch + b) * dims.n_kv_local + head) * d;
+                    rope_rotate(&mut k_seq.as_mut_slice()[base..base + d], pos, false);
+                }
+            }
+        }
+    }
+
+    // Sequence-parallel gather of keys and values across the SP group.
+    let k_full = sp.all_gather_cat(&k_seq, 0);
+    let v_full = sp.all_gather_cat(&v_seq, 0);
+
+    // Per (batch, q-head) causal attention over the full sequence.
+    let group_ratio = dims.n_q_local / dims.n_kv_local;
+    let nkv = dims.n_kv_local;
+    let scale = 1.0 / (d as f64).sqrt();
+    let mut probs = Vec::with_capacity(dims.batch * dims.n_q_local);
+    let mut ctx = vec![0.0f32; dims.t_local() * dims.n_q_local * d];
+    let (qs, ks, vs) = (q.as_slice(), k_full.as_slice(), v_full.as_slice());
+    for b in 0..dims.batch {
+        for qh in 0..dims.n_q_local {
+            let kvh = qh / group_ratio;
+            let slope = if dims.position == PositionKind::Alibi {
+                alibi_slope(dims.q_head_start + qh, dims.n_heads_total)
+            } else {
+                0.0
+            };
+            let mut p = vec![0.0f32; dims.s_local * dims.seq_total];
+            for s in 0..dims.s_local {
+                let qpos = dims.pos_start + s;
+                let t = b * dims.s_local + s;
+                let qvec = &qs[(t * dims.n_q_local + qh) * d..(t * dims.n_q_local + qh + 1) * d];
+                // Scores with causal mask; softmax over the visible prefix.
+                let mut max = f64::NEG_INFINITY;
+                let mut scores = vec![0.0f64; qpos + 1];
+                for (j, score) in scores.iter_mut().enumerate() {
+                    let kbase = ((j * dims.batch + b) * nkv + kvh) * d;
+                    let mut s_val = ops::dot64(qvec, &ks[kbase..kbase + d]) * scale;
+                    if slope != 0.0 {
+                        s_val -= slope * (qpos - j) as f64;
+                    }
+                    *score = s_val;
+                    max = max.max(s_val);
+                }
+                let mut denom = 0.0f64;
+                for score in scores.iter_mut() {
+                    *score = (*score - max).exp();
+                    denom += *score;
+                }
+                let prow = &mut p[s * dims.seq_total..(s + 1) * dims.seq_total];
+                let cvec =
+                    &mut ctx[(t * dims.n_q_local + qh) * d..(t * dims.n_q_local + qh + 1) * d];
+                let mut acc = vec![0.0f64; d];
+                for (j, score) in scores.iter().enumerate() {
+                    let pj = score / denom;
+                    prow[j] = pj as f32;
+                    let vbase = ((j * dims.batch + b) * nkv + kvh) * d;
+                    for (a, vv) in acc.iter_mut().zip(&vs[vbase..vbase + d]) {
+                        *a += pj * f64::from(*vv);
+                    }
+                }
+                for (c, a) in cvec.iter_mut().zip(acc) {
+                    *c = a as f32;
+                }
+            }
+            probs.push(Tensor::from_vec(p, [dims.s_local, dims.seq_total]).expect("prob dims"));
+        }
+    }
+    let ctx = Tensor::from_vec(ctx, [dims.t_local(), dims.n_q_local * d]).expect("ctx dims");
+
+    // Row-parallel output projection: partial matmul, TP reduce, then bias.
+    let (partial, dense_cache) = linear_forward(&ctx, params.dense_w, None);
+    let mut out = tp.all_reduce_sum(&partial);
+    if let Some(bias) = params.dense_b {
+        let hdim = bias.num_elements();
+        for row in out.as_mut_slice().chunks_exact_mut(hdim) {
+            for (v, bv) in row.iter_mut().zip(bias.as_slice()) {
+                *v += bv;
+            }
+        }
+    }
+
+    (
+        out,
+        AttnCache {
+            dims: dims.clone(),
+            qkv_cache,
+            q,
+            k_full,
+            v_full,
+            probs,
+            dense_cache,
+        },
+    )
+}
+
+/// Backward pass. `dy` is the gradient of the block output `[T, H]`
+/// (replicated across TP). Returns the TP-reduced gradient w.r.t. the block
+/// input (column-parallel input rule).
+pub fn attention_backward(
+    cache: &AttnCache,
+    params: &AttnParams<'_>,
+    grads: &mut AttnGrads<'_>,
+    dy: &Tensor,
+    tp: &dyn GroupOps,
+    sp: &dyn GroupOps,
+) -> Tensor {
+    let dims = &cache.dims;
+    let d = dims.head_dim;
+    let nkv = dims.n_kv_local;
+    let group_ratio = dims.n_q_local / dims.n_kv_local;
+    let scale = 1.0 / (d as f64).sqrt();
+
+    // Row-parallel dense: bias gradient is the plain column sum (dy is
+    // replicated across TP; replicated-param gradients stay identical).
+    if let (Some(db), Some(bias)) = (grads.dense_b.as_deref_mut(), params.dense_b) {
+        let hdim = bias.num_elements();
+        for row in dy.as_slice().chunks_exact(hdim) {
+            for (acc, v) in db.iter_mut().zip(row) {
+                *acc += f64::from(*v);
+            }
+        }
+    }
+    let dctx = linear_backward(&cache.dense_cache, params.dense_w, dy, grads.dense_w, None);
+
+    // Attention core backward.
+    let mut dq = vec![0.0f32; cache.q.num_elements()];
+    let mut dk_full = vec![0.0f64; cache.k_full.num_elements()];
+    let mut dv_full = vec![0.0f64; cache.v_full.num_elements()];
+    let (qs, ks, vs) = (
+        cache.q.as_slice(),
+        cache.k_full.as_slice(),
+        cache.v_full.as_slice(),
+    );
+    let dctxs = dctx.as_slice();
+    for b in 0..dims.batch {
+        for qh in 0..dims.n_q_local {
+            let kvh = qh / group_ratio;
+            let p = cache.probs[b * dims.n_q_local + qh].as_slice();
+            for s in 0..dims.s_local {
+                let qpos = dims.pos_start + s;
+                let t = b * dims.s_local + s;
+                let head_off = (t * dims.n_q_local + qh) * d;
+                let dc = &dctxs[head_off..head_off + d];
+                let prow = &p[s * dims.seq_total..(s + 1) * dims.seq_total];
+                // dP[j] = dc · v_j ; dS = P ⊙ (dP − Σ dP⊙P).
+                let mut dp = vec![0.0f64; qpos + 1];
+                let mut inner = 0.0f64;
+                for (j, dpj) in dp.iter_mut().enumerate() {
+                    let vbase = ((j * dims.batch + b) * nkv + kvh) * d;
+                    *dpj = ops::dot64(dc, &vs[vbase..vbase + d]);
+                    inner += *dpj * f64::from(prow[j]);
+                }
+                let qvec = &qs[head_off..head_off + d];
+                let dqvec = &mut dq[head_off..head_off + d];
+                for (j, dpj) in dp.iter().enumerate() {
+                    let pj = f64::from(prow[j]);
+                    let ds = pj * (dpj - inner) * scale;
+                    let kbase = ((j * dims.batch + b) * nkv + kvh) * d;
+                    let vbase = kbase;
+                    for i in 0..d {
+                        dqvec[i] += (ds * f64::from(ks[kbase + i])) as f32;
+                        dk_full[kbase + i] += ds * f64::from(qvec[i]);
+                        dv_full[vbase + i] += pj * f64::from(dc[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Reduce K/V gradients over the SP group and keep the local chunk.
+    let dk_full_t = Tensor::from_vec(
+        dk_full.into_iter().map(|v| v as f32).collect(),
+        cache.k_full.shape().clone(),
+    )
+    .expect("dk dims");
+    let dv_full_t = Tensor::from_vec(
+        dv_full.into_iter().map(|v| v as f32).collect(),
+        cache.v_full.shape().clone(),
+    )
+    .expect("dv dims");
+    let (mut dk_seq, dv_seq) = if sp.size() > 1 {
+        let dk_sum = sp.all_reduce_sum(&dk_full_t);
+        let dv_sum = sp.all_reduce_sum(&dv_full_t);
+        (
+            dk_sum
+                .narrow(0, dims.pos_start, dims.s_local)
+                .expect("local k chunk"),
+            dv_sum
+                .narrow(0, dims.pos_start, dims.s_local)
+                .expect("local v chunk"),
+        )
+    } else {
+        (dk_full_t, dv_full_t)
+    };
+
+    // Inverse rotary on dq and local dk.
+    let mut dq =
+        Tensor::from_vec(dq, Shape::new([dims.t_local(), dims.n_q_local * d])).expect("dq dims");
+    if dims.position == PositionKind::Rotary {
+        let nq = dims.n_q_local;
+        for b in 0..dims.batch {
+            for s in 0..dims.s_local {
+                let pos = dims.pos_start + s;
+                let t = b * dims.s_local + s;
+                for head in 0..nq {
+                    rope_rotate(
+                        &mut dq.as_mut_slice()[(t * nq + head) * d..(t * nq + head + 1) * d],
+                        pos,
+                        true,
+                    );
+                }
+                for head in 0..nkv {
+                    let base = ((s * dims.batch + b) * nkv + head) * d;
+                    rope_rotate(&mut dk_seq.as_mut_slice()[base..base + d], pos, true);
+                }
+            }
+        }
+    }
+
+    // Pack and run the fused QKV linear backward; the input gradient of a
+    // column-parallel linear is a partial sum across TP ranks.
+    let dqkv = pack_dqkv(&dq, &dk_seq, &dv_seq, dims);
+    let dx = linear_backward(
+        &cache.qkv_cache,
+        params.qkv_w,
+        &dqkv,
+        grads.qkv_w,
+        grads.qkv_b.as_deref_mut(),
+    );
+    tp.all_reduce_sum(&dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_ops::Solo;
+    use ucp_tensor::DetRng;
+
+    fn dims(batch: usize, seq: usize, nq: usize, nkv: usize, d: usize) -> AttnDims {
+        AttnDims {
+            batch,
+            s_local: seq,
+            seq_total: seq,
+            n_q_local: nq,
+            n_kv_local: nkv,
+            head_dim: d,
+            pos_start: 0,
+            q_head_start: 0,
+            n_heads_total: nq,
+            position: PositionKind::Learned,
+        }
+    }
+
+    fn make_params(
+        rng: &DetRng,
+        h: usize,
+        rows: usize,
+        bias: bool,
+    ) -> (Tensor, Option<Tensor>, Tensor, Option<Tensor>) {
+        (
+            Tensor::randn([rows, h], 0.3, &rng.derive("qkvw")),
+            bias.then(|| Tensor::randn([rows], 0.1, &rng.derive("qkvb"))),
+            Tensor::randn([h, h], 0.3, &rng.derive("dw")),
+            bias.then(|| Tensor::randn([h], 0.1, &rng.derive("db"))),
+        )
+    }
+
+    #[test]
+    fn causal_masking_blocks_future() {
+        // With identical K for all positions, probabilities over the visible
+        // prefix are uniform; future positions must be exactly zero.
+        let rng = DetRng::new(10);
+        let h = 8;
+        let dims = dims(1, 4, 2, 2, 4);
+        let (qkv_w, _, dense_w, _) = make_params(&rng, h, 3 * h, false);
+        let x = Tensor::randn([4, h], 0.5, &rng.derive("x"));
+        let params = AttnParams {
+            qkv_w: &qkv_w,
+            qkv_b: None,
+            dense_w: &dense_w,
+            dense_b: None,
+        };
+        let (_, cache) = attention_forward(&x, &params, &dims, &Solo, &Solo);
+        for p in &cache.probs {
+            let ps = p.as_slice();
+            for s in 0..4 {
+                for j in 0..4 {
+                    let v = ps[s * 4 + j];
+                    if j > s {
+                        assert_eq!(v, 0.0, "future leak at s={s}, j={j}");
+                    }
+                }
+                let row_sum: f32 = ps[s * 4..(s + 1) * 4].iter().sum();
+                assert!((row_sum - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn rope_rotate_roundtrip() {
+        let mut v = vec![1.0, 2.0, -0.5, 0.25];
+        let orig = v.clone();
+        rope_rotate(&mut v, 7, false);
+        assert!(v.iter().zip(&orig).any(|(a, b)| (a - b).abs() > 1e-3));
+        rope_rotate(&mut v, 7, true);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn alibi_slopes_decay() {
+        let s: Vec<f64> = (0..4).map(|g| alibi_slope(g, 4)).collect();
+        assert!((s[0] - 0.25).abs() < 1e-12);
+        assert!(s.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn split_pack_roundtrip() {
+        let rng = DetRng::new(11);
+        let dims = dims(2, 3, 2, 1, 4);
+        let qkv = Tensor::randn([6, dims.rows_local()], 1.0, &rng.derive("qkv"));
+        let (q, k, v) = split_qkv(&qkv, &dims);
+        let back = pack_dqkv(&q, &k, &v, &dims);
+        assert!(back.bitwise_eq(&qkv));
+    }
+
+    #[test]
+    fn backward_finite_difference_full_block() {
+        let rng = DetRng::new(12);
+        let h = 8;
+        let batch = 2;
+        let seq = 4;
+        let mut dm = dims(batch, seq, 2, 1, 4);
+        dm.position = PositionKind::Rotary;
+        let rows = dm.rows_local();
+        let (qkv_w, qkv_b, dense_w, dense_b) = make_params(&rng, h, rows, true);
+        let x = Tensor::randn([batch * seq, h], 0.5, &rng.derive("x"));
+        let dy = Tensor::randn([batch * seq, h], 1.0, &rng.derive("dy"));
+
+        let run = |x: &Tensor, qkv_w: &Tensor, dense_w: &Tensor| -> f64 {
+            let params = AttnParams {
+                qkv_w,
+                qkv_b: qkv_b.as_ref(),
+                dense_w,
+                dense_b: dense_b.as_ref(),
+            };
+            let (y, _) = attention_forward(x, &params, &dm, &Solo, &Solo);
+            ops::dot64(y.as_slice(), dy.as_slice())
+        };
+
+        let params = AttnParams {
+            qkv_w: &qkv_w,
+            qkv_b: qkv_b.as_ref(),
+            dense_w: &dense_w,
+            dense_b: dense_b.as_ref(),
+        };
+        let (_, cache) = attention_forward(&x, &params, &dm, &Solo, &Solo);
+        let mut g_qkv_w = vec![0.0f64; qkv_w.num_elements()];
+        let mut g_qkv_b = vec![0.0f64; rows];
+        let mut g_dense_w = vec![0.0f64; dense_w.num_elements()];
+        let mut g_dense_b = vec![0.0f64; h];
+        let mut grads = AttnGrads {
+            qkv_w: &mut g_qkv_w,
+            qkv_b: Some(&mut g_qkv_b),
+            dense_w: &mut g_dense_w,
+            dense_b: Some(&mut g_dense_b),
+        };
+        let dx = attention_backward(&cache, &params, &mut grads, &dy, &Solo, &Solo);
+
+        let eps = 1e-3f32;
+        let base = run(&x, &qkv_w, &dense_w);
+        // dx spot checks.
+        for idx in [0usize, 17, 40] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&xp, &qkv_w, &dense_w) - base) / f64::from(eps);
+            let analytic = f64::from(dx.as_slice()[idx]);
+            assert!(
+                (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dx[{idx}]: {analytic} vs {numeric}"
+            );
+        }
+        // Weight spot checks.
+        for idx in [3usize, 50] {
+            let mut wp = qkv_w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&x, &wp, &dense_w) - base) / f64::from(eps);
+            assert!(
+                (g_qkv_w[idx] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dqkv_w[{idx}]: {} vs {numeric}",
+                g_qkv_w[idx]
+            );
+        }
+        for idx in [5usize, 33] {
+            let mut wp = dense_w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&x, &qkv_w, &wp) - base) / f64::from(eps);
+            assert!(
+                (g_dense_w[idx] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "ddense_w[{idx}]: {} vs {numeric}",
+                g_dense_w[idx]
+            );
+        }
+    }
+
+    use ucp_tensor::ops;
+}

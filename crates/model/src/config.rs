@@ -1,0 +1,352 @@
+//! Model architecture configuration and the paper's evaluation presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Normalization layer flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NormKind {
+    /// LayerNorm with learned scale and bias (GPT, BLOOM).
+    LayerNorm,
+    /// RMSNorm with learned scale only (LLaMA, Mixtral).
+    RmsNorm,
+}
+
+/// Feed-forward activation flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MlpKind {
+    /// `fc1 → GELU → fc2` (GPT, BLOOM).
+    Gelu,
+    /// Fused gate+up projection with SiLU gating (LLaMA, Mixtral).
+    SwiGlu,
+}
+
+/// Position-encoding flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PositionKind {
+    /// Learned absolute position embeddings (GPT).
+    Learned,
+    /// Rotary position embeddings applied to Q/K (LLaMA, Mixtral).
+    Rotary,
+    /// ALiBi-style additive attention bias (BLOOM).
+    Alibi,
+}
+
+/// A decoder-only transformer configuration.
+///
+/// Covers the four architecture families of the paper's evaluation (GPT-3,
+/// LLaMA, BLOOM, Mixtral-style MoE) through the flavor enums; §4.1 Table 4
+/// lists the paper-scale instantiations, and the `*_tiny` constructors are
+/// the scaled-down versions our simulator trains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Architecture family label (for checkpoint metadata and reports).
+    pub family: String,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Maximum sequence length (context window).
+    pub max_seq_len: usize,
+    /// Hidden size.
+    pub hidden_size: usize,
+    /// Number of transformer layers.
+    pub num_layers: usize,
+    /// Number of attention (query) heads.
+    pub num_heads: usize,
+    /// Number of key/value heads (`== num_heads` disables GQA).
+    pub num_kv_heads: usize,
+    /// FFN intermediate size.
+    pub ffn_size: usize,
+    /// Experts per MoE layer (1 = dense model).
+    pub num_experts: usize,
+    /// Experts routed per token when `num_experts > 1`.
+    pub top_k: usize,
+    /// Normalization flavor.
+    pub norm: NormKind,
+    /// MLP flavor.
+    pub mlp: MlpKind,
+    /// Position-encoding flavor.
+    pub position: PositionKind,
+    /// Whether linear layers carry biases (GPT/BLOOM yes, LLaMA no).
+    pub linear_bias: bool,
+    /// Pad the vocabulary dimension of the embedding and LM head to a
+    /// multiple of `vocab_pad_multiple × tp` (Megatron's hardware-alignment
+    /// padding; `≤ 1` disables). The padding is a *runtime* artifact: atom
+    /// checkpoints always store the unpadded tensors (`StripPadding`).
+    pub vocab_pad_multiple: usize,
+    /// Tie the LM head to the word embeddings (GPT-2/BLOOM style). Under
+    /// pipeline parallelism the tied weight lives on *both* the first and
+    /// last stages with gradients summed across them — the shared-embedding
+    /// group of Megatron — and checkpoints carry one logical parameter.
+    pub tie_embeddings: bool,
+}
+
+impl ModelConfig {
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden_size / self.num_heads
+    }
+
+    /// Rows of the fused QKV projection: `q_size + k_size + v_size`
+    /// (the GQA fused layout of the paper's Fig. 5).
+    pub fn qkv_rows(&self) -> usize {
+        self.hidden_size + 2 * self.num_kv_heads * self.head_dim()
+    }
+
+    /// True when the FFN is a routed mixture of experts.
+    pub fn is_moe(&self) -> bool {
+        self.num_experts > 1
+    }
+
+    /// Validate internal divisibility constraints, plus divisibility by a
+    /// tensor-parallel degree when `tp > 1`.
+    pub fn validate(&self, tp: usize) -> Result<(), String> {
+        if !self.hidden_size.is_multiple_of(self.num_heads) {
+            return Err(format!(
+                "hidden_size {} not divisible by num_heads {}",
+                self.hidden_size, self.num_heads
+            ));
+        }
+        if !self.num_heads.is_multiple_of(self.num_kv_heads) {
+            return Err(format!(
+                "num_heads {} not divisible by num_kv_heads {}",
+                self.num_heads, self.num_kv_heads
+            ));
+        }
+        if self.is_moe() && self.top_k > self.num_experts {
+            return Err(format!(
+                "top_k {} exceeds num_experts {}",
+                self.top_k, self.num_experts
+            ));
+        }
+        if tp > 0 {
+            for (what, v) in [
+                ("num_heads", self.num_heads),
+                ("num_kv_heads", self.num_kv_heads),
+                ("ffn_size", self.ffn_size),
+            ] {
+                if v % tp != 0 {
+                    return Err(format!("{what} {v} not divisible by TP degree {tp}"));
+                }
+            }
+            // With vocab padding enabled any vocab size works; otherwise
+            // the vocab must divide evenly across TP ranks.
+            if self.vocab_pad_multiple <= 1 && !self.vocab_size.is_multiple_of(tp) {
+                return Err(format!(
+                    "vocab_size {} not divisible by TP degree {tp} (enable vocab padding)",
+                    self.vocab_size
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total parameter count of the unsharded model.
+    pub fn num_parameters(&self) -> usize {
+        crate::spec::param_specs(self)
+            .iter()
+            .map(|p| p.shape.num_elements())
+            .sum()
+    }
+
+    /// Scaled-down GPT-3-medium analogue (the paper's correctness workload).
+    pub fn gpt3_tiny() -> ModelConfig {
+        ModelConfig {
+            family: "gpt3".into(),
+            vocab_size: 256,
+            max_seq_len: 32,
+            hidden_size: 32,
+            num_layers: 8,
+            num_heads: 4,
+            num_kv_heads: 4,
+            ffn_size: 128,
+            num_experts: 1,
+            top_k: 1,
+            norm: NormKind::LayerNorm,
+            mlp: MlpKind::Gelu,
+            position: PositionKind::Learned,
+            linear_bias: true,
+            vocab_pad_multiple: 1,
+            tie_embeddings: false,
+        }
+    }
+
+    /// A GPT-2-style variant with the LM head tied to the word embeddings —
+    /// under PP > 1 the tied weight is replicated on the first and last
+    /// stages with summed gradients (Megatron's shared-embedding group).
+    pub fn gpt3_tiny_tied() -> ModelConfig {
+        let mut cfg = ModelConfig::gpt3_tiny();
+        cfg.family = "gpt3-tied".into();
+        cfg.tie_embeddings = true;
+        cfg
+    }
+
+    /// A GPT variant with an "awkward" vocabulary (250) padded to hardware
+    /// alignment at runtime — exercises the paper's vocab `StripPadding`
+    /// flow, where the padded extent differs between TP degrees.
+    pub fn gpt3_tiny_padded_vocab() -> ModelConfig {
+        let mut cfg = ModelConfig::gpt3_tiny();
+        cfg.family = "gpt3-padded-vocab".into();
+        cfg.vocab_size = 250;
+        cfg.vocab_pad_multiple = 16;
+        cfg
+    }
+
+    /// Scaled-down LLaMA analogue (RMSNorm, SwiGLU, rotary, no biases).
+    pub fn llama_tiny() -> ModelConfig {
+        ModelConfig {
+            family: "llama".into(),
+            vocab_size: 256,
+            max_seq_len: 32,
+            hidden_size: 32,
+            num_layers: 8,
+            num_heads: 4,
+            num_kv_heads: 2,
+            ffn_size: 96,
+            num_experts: 1,
+            top_k: 1,
+            norm: NormKind::RmsNorm,
+            mlp: MlpKind::SwiGlu,
+            position: PositionKind::Rotary,
+            linear_bias: false,
+            vocab_pad_multiple: 1,
+            tie_embeddings: false,
+        }
+    }
+
+    /// Scaled-down BLOOM analogue (ALiBi, LayerNorm, GELU). 24 layers so
+    /// the Fig. 9 pipeline reconfiguration divides evenly.
+    pub fn bloom_tiny() -> ModelConfig {
+        ModelConfig {
+            family: "bloom".into(),
+            vocab_size: 256,
+            max_seq_len: 32,
+            hidden_size: 16,
+            num_layers: 24,
+            num_heads: 4,
+            num_kv_heads: 4,
+            ffn_size: 64,
+            num_experts: 1,
+            top_k: 1,
+            norm: NormKind::LayerNorm,
+            mlp: MlpKind::Gelu,
+            position: PositionKind::Alibi,
+            linear_bias: true,
+            vocab_pad_multiple: 1,
+            // BLOOM ties its LM head to the word embeddings.
+            tie_embeddings: true,
+        }
+    }
+
+    /// Scaled-down Mixtral-style MoE analogue (8 experts, top-2, GQA).
+    pub fn moe_tiny() -> ModelConfig {
+        ModelConfig {
+            family: "mixtral-moe".into(),
+            vocab_size: 256,
+            max_seq_len: 32,
+            hidden_size: 32,
+            num_layers: 4,
+            num_heads: 4,
+            num_kv_heads: 2,
+            ffn_size: 64,
+            num_experts: 8,
+            top_k: 2,
+            norm: NormKind::RmsNorm,
+            mlp: MlpKind::SwiGlu,
+            position: PositionKind::Rotary,
+            linear_bias: false,
+            vocab_pad_multiple: 1,
+            tie_embeddings: false,
+        }
+    }
+
+    /// Parameter-volume presets for the efficiency experiments (Fig. 11/12):
+    /// "small" / "medium" / "large" sweep checkpoint bytes, standing in for
+    /// the paper's three model sizes.
+    pub fn sized(size: SizePreset) -> ModelConfig {
+        let mut cfg = ModelConfig::gpt3_tiny();
+        match size {
+            SizePreset::Small => {
+                cfg.family = "gpt-small".into();
+                cfg.hidden_size = 64;
+                cfg.num_heads = 4;
+                cfg.num_kv_heads = 4;
+                cfg.ffn_size = 256;
+                cfg.num_layers = 4;
+            }
+            SizePreset::Medium => {
+                cfg.family = "gpt-medium".into();
+                cfg.hidden_size = 128;
+                cfg.num_heads = 8;
+                cfg.num_kv_heads = 8;
+                cfg.ffn_size = 512;
+                cfg.num_layers = 8;
+            }
+            SizePreset::Large => {
+                cfg.family = "gpt-large".into();
+                cfg.hidden_size = 256;
+                cfg.num_heads = 8;
+                cfg.num_kv_heads = 8;
+                cfg.ffn_size = 1024;
+                cfg.num_layers = 12;
+                cfg.vocab_size = 1024;
+            }
+        }
+        cfg
+    }
+}
+
+/// The three checkpoint-volume presets used by the Fig. 11/12 benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizePreset {
+    /// Smallest volume.
+    Small,
+    /// Middle volume.
+    Medium,
+    /// Largest volume.
+    Large,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_at_tp2() {
+        for cfg in [
+            ModelConfig::gpt3_tiny(),
+            ModelConfig::llama_tiny(),
+            ModelConfig::bloom_tiny(),
+            ModelConfig::moe_tiny(),
+        ] {
+            cfg.validate(1).unwrap();
+            cfg.validate(2).unwrap();
+        }
+    }
+
+    #[test]
+    fn gqa_qkv_rows() {
+        let cfg = ModelConfig::llama_tiny();
+        // H=32, head_dim=8, kv_heads=2 → qkv rows = 32 + 2*2*8 = 64.
+        assert_eq!(cfg.qkv_rows(), 64);
+        assert_eq!(cfg.head_dim(), 8);
+    }
+
+    #[test]
+    fn invalid_tp_rejected() {
+        let cfg = ModelConfig::gpt3_tiny();
+        assert!(cfg.validate(3).is_err(), "4 heads don't divide by 3");
+    }
+
+    #[test]
+    fn moe_flag() {
+        assert!(!ModelConfig::gpt3_tiny().is_moe());
+        assert!(ModelConfig::moe_tiny().is_moe());
+    }
+
+    #[test]
+    fn size_presets_strictly_increase() {
+        let s = ModelConfig::sized(SizePreset::Small).num_parameters();
+        let m = ModelConfig::sized(SizePreset::Medium).num_parameters();
+        let l = ModelConfig::sized(SizePreset::Large).num_parameters();
+        assert!(s < m && m < l, "{s} < {m} < {l}");
+    }
+}

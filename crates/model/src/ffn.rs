@@ -1,0 +1,678 @@
+//! Feed-forward blocks: dense GELU MLP, SwiGLU MLP, and the top-k routed
+//! mixture-of-experts FFN (Mixtral-style).
+//!
+//! Tensor-parallel convention matches Megatron: the first projection is
+//! column-parallel (no forward communication), the second is row-parallel
+//! (one all-reduce of the partial outputs). Backward passes return an
+//! already-TP-reduced input gradient.
+
+use ucp_tensor::{ops, Tensor};
+
+use crate::config::MlpKind;
+use crate::group_ops::GroupOps;
+use crate::layers::{
+    gelu, gelu_grad, linear_backward, linear_forward, silu, silu_grad, LinearCache,
+};
+
+// ---------------------------------------------------------------------------
+// Dense MLP
+// ---------------------------------------------------------------------------
+
+/// Parameter shards for a dense MLP block.
+pub struct MlpParams<'a> {
+    /// Flavor (GELU two-matrix or fused SwiGLU).
+    pub kind: MlpKind,
+    /// First projection shard: GELU `[F/tp, H]`, SwiGLU `[2F/tp, H]`
+    /// (gate rows then up rows).
+    pub w1: &'a Tensor,
+    /// First projection bias shard (GELU only).
+    pub b1: Option<&'a Tensor>,
+    /// Second projection shard `[H, F/tp]` (row-parallel).
+    pub w2: &'a Tensor,
+    /// Output bias `[H]` (replicated, added post-reduce).
+    pub b2: Option<&'a Tensor>,
+}
+
+/// Gradient buffers matching [`MlpParams`].
+pub struct MlpGrads<'a> {
+    /// Gradient of `w1`.
+    pub w1: &'a mut [f64],
+    /// Gradient of `b1`.
+    pub b1: Option<&'a mut [f64]>,
+    /// Gradient of `w2`.
+    pub w2: &'a mut [f64],
+    /// Gradient of `b2`.
+    pub b2: Option<&'a mut [f64]>,
+}
+
+/// Backward cache for the dense MLP.
+pub struct MlpCache {
+    kind: MlpKind,
+    c1: LinearCache,
+    /// Pre-activation `[T, rows_local]`.
+    pre: Tensor,
+    c2: LinearCache,
+}
+
+/// Apply the activation to pre-activations, returning the second-projection
+/// input.
+fn activate(kind: MlpKind, pre: &Tensor) -> Tensor {
+    match kind {
+        MlpKind::Gelu => {
+            let data = pre.as_slice().iter().map(|v| gelu(*v)).collect();
+            Tensor::from_vec(data, pre.shape().clone()).expect("same shape")
+        }
+        MlpKind::SwiGlu => {
+            let rows = pre.shape().dims()[1];
+            let f_local = rows / 2;
+            let t = pre.shape().dims()[0];
+            let mut out = vec![0.0f32; t * f_local];
+            let src = pre.as_slice();
+            for ti in 0..t {
+                let row = &src[ti * rows..(ti + 1) * rows];
+                for i in 0..f_local {
+                    out[ti * f_local + i] = silu(row[i]) * row[f_local + i];
+                }
+            }
+            Tensor::from_vec(out, [t, f_local]).expect("act dims")
+        }
+    }
+}
+
+/// Backward of [`activate`]: gradient w.r.t. the pre-activation.
+fn activate_backward(kind: MlpKind, pre: &Tensor, dact: &Tensor) -> Tensor {
+    match kind {
+        MlpKind::Gelu => {
+            let data = pre
+                .as_slice()
+                .iter()
+                .zip(dact.as_slice())
+                .map(|(x, d)| gelu_grad(*x) * d)
+                .collect();
+            Tensor::from_vec(data, pre.shape().clone()).expect("same shape")
+        }
+        MlpKind::SwiGlu => {
+            let rows = pre.shape().dims()[1];
+            let f_local = rows / 2;
+            let t = pre.shape().dims()[0];
+            let mut out = vec![0.0f32; t * rows];
+            let (src, d) = (pre.as_slice(), dact.as_slice());
+            for ti in 0..t {
+                let row = &src[ti * rows..(ti + 1) * rows];
+                let drow = &mut out[ti * rows..(ti + 1) * rows];
+                for i in 0..f_local {
+                    let dv = d[ti * f_local + i];
+                    drow[i] = silu_grad(row[i]) * row[f_local + i] * dv;
+                    drow[f_local + i] = silu(row[i]) * dv;
+                }
+            }
+            Tensor::from_vec(out, pre.shape().clone()).expect("same shape")
+        }
+    }
+}
+
+/// Dense MLP forward; returns the TP-reduced block output `[T, H]`.
+pub fn mlp_forward(h: &Tensor, params: &MlpParams<'_>, tp: &dyn GroupOps) -> (Tensor, MlpCache) {
+    let (pre, c1) = linear_forward(h, params.w1, params.b1);
+    let act = activate(params.kind, &pre);
+    let (partial, c2) = linear_forward(&act, params.w2, None);
+    let mut out = tp.all_reduce_sum(&partial);
+    if let Some(bias) = params.b2 {
+        let hd = bias.num_elements();
+        for row in out.as_mut_slice().chunks_exact_mut(hd) {
+            for (v, bv) in row.iter_mut().zip(bias.as_slice()) {
+                *v += bv;
+            }
+        }
+    }
+    (
+        out,
+        MlpCache {
+            kind: params.kind,
+            c1,
+            pre,
+            c2,
+        },
+    )
+}
+
+/// Dense MLP backward; returns the TP-reduced input gradient.
+pub fn mlp_backward(
+    cache: &MlpCache,
+    params: &MlpParams<'_>,
+    grads: &mut MlpGrads<'_>,
+    dy: &Tensor,
+    tp: &dyn GroupOps,
+) -> Tensor {
+    if let (Some(db), Some(bias)) = (grads.b2.as_deref_mut(), params.b2) {
+        let hd = bias.num_elements();
+        for row in dy.as_slice().chunks_exact(hd) {
+            for (acc, v) in db.iter_mut().zip(row) {
+                *acc += f64::from(*v);
+            }
+        }
+    }
+    let dact = linear_backward(&cache.c2, params.w2, dy, grads.w2, None);
+    let dpre = activate_backward(cache.kind, &cache.pre, &dact);
+    let dx = linear_backward(
+        &cache.c1,
+        params.w1,
+        &dpre,
+        grads.w1,
+        grads.b1.as_deref_mut(),
+    );
+    tp.all_reduce_sum(&dx)
+}
+
+// ---------------------------------------------------------------------------
+// Mixture of experts
+// ---------------------------------------------------------------------------
+
+/// Parameter shards for a routed MoE block.
+pub struct MoeParams<'a> {
+    /// FFN flavor inside each expert.
+    pub kind: MlpKind,
+    /// Router `[E, H]` (replicated).
+    pub router: &'a Tensor,
+    /// Expert first projections `[E, rows_local, H]`.
+    pub w1: &'a Tensor,
+    /// Expert second projections `[E, H, F/tp]`.
+    pub w2: &'a Tensor,
+    /// Experts routed per token.
+    pub top_k: usize,
+}
+
+/// Gradient buffers matching [`MoeParams`].
+pub struct MoeGrads<'a> {
+    /// Gradient of `router`.
+    pub router: &'a mut [f64],
+    /// Gradient of `w1`.
+    pub w1: &'a mut [f64],
+    /// Gradient of `w2`.
+    pub w2: &'a mut [f64],
+}
+
+/// Per-token routing decision.
+#[derive(Debug, Clone)]
+struct Route {
+    /// Selected expert ids, highest probability first.
+    experts: Vec<usize>,
+    /// Renormalized gate weights (sum to 1 over the selection).
+    gates: Vec<f64>,
+    /// Full softmax probabilities over all experts.
+    probs: Vec<f64>,
+}
+
+/// Backward cache for the MoE block.
+pub struct MoeCache {
+    /// Saved block input `[T, H]`.
+    x: Tensor,
+    routes: Vec<Route>,
+    /// Per (token, slot): expert pre-activation (local rows).
+    pre: Vec<Vec<f32>>,
+    /// Per (token, slot): activated values `[F/tp]`.
+    act: Vec<Vec<f32>>,
+    /// Per (token, slot): partial expert output `[H]` (pre-gate, pre-reduce).
+    partial: Vec<Vec<f32>>,
+}
+
+/// Deterministic top-k: probabilities descending, ties broken by lower
+/// expert index. Identical on every rank because the router input is
+/// replicated across TP.
+fn top_k_indices(probs: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..probs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        probs[b]
+            .partial_cmp(&probs[a])
+            .expect("finite probabilities")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// MoE forward; returns the TP-reduced block output `[T, H]`.
+pub fn moe_forward(h: &Tensor, params: &MoeParams<'_>, tp: &dyn GroupOps) -> (Tensor, MoeCache) {
+    let t_count = h.shape().dims()[0];
+    let hd = h.shape().dims()[1];
+    let n_exp = params.router.shape().dims()[0];
+    let rows_local = params.w1.shape().dims()[1];
+    let f_local = params.w2.shape().dims()[2];
+
+    let (logits, _) = linear_forward(h, params.router, None);
+    let xs = h.as_slice();
+    let w1s = params.w1.as_slice();
+    let w2s = params.w2.as_slice();
+
+    let mut routes = Vec::with_capacity(t_count);
+    let mut pres = Vec::with_capacity(t_count * params.top_k);
+    let mut acts = Vec::with_capacity(t_count * params.top_k);
+    let mut partials = Vec::with_capacity(t_count * params.top_k);
+    let mut out = vec![0.0f32; t_count * hd];
+
+    for t in 0..t_count {
+        let lrow = &logits.as_slice()[t * n_exp..(t + 1) * n_exp];
+        let max = lrow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut probs: Vec<f64> = lrow.iter().map(|v| f64::from(v - max).exp()).collect();
+        let denom: f64 = probs.iter().sum();
+        for p in probs.iter_mut() {
+            *p /= denom;
+        }
+        let experts = top_k_indices(&probs, params.top_k);
+        let z: f64 = experts.iter().map(|&e| probs[e]).sum();
+        let gates: Vec<f64> = experts.iter().map(|&e| probs[e] / z).collect();
+
+        let xrow = &xs[t * hd..(t + 1) * hd];
+        let orow = &mut out[t * hd..(t + 1) * hd];
+        for (slot, &e) in experts.iter().enumerate() {
+            // pre = W1[e] · x  (rows_local × H matrix-vector).
+            let w1e = &w1s[e * rows_local * hd..(e + 1) * rows_local * hd];
+            let mut pre = vec![0.0f32; rows_local];
+            for (r, p) in pre.iter_mut().enumerate() {
+                *p = ops::dot64(&w1e[r * hd..(r + 1) * hd], xrow) as f32;
+            }
+            // Activate.
+            let act: Vec<f32> = match params.kind {
+                MlpKind::Gelu => pre.iter().map(|v| gelu(*v)).collect(),
+                MlpKind::SwiGlu => (0..f_local)
+                    .map(|i| silu(pre[i]) * pre[f_local + i])
+                    .collect(),
+            };
+            // partial = W2[e] · act  (H × F_local matrix-vector).
+            let w2e = &w2s[e * hd * f_local..(e + 1) * hd * f_local];
+            let mut partial = vec![0.0f32; hd];
+            for (r, p) in partial.iter_mut().enumerate() {
+                *p = ops::dot64(&w2e[r * f_local..(r + 1) * f_local], &act) as f32;
+            }
+            let g = gates[slot];
+            for (o, p) in orow.iter_mut().zip(&partial) {
+                *o += (g * f64::from(*p)) as f32;
+            }
+            pres.push(pre);
+            acts.push(act);
+            partials.push(partial);
+        }
+        routes.push(Route {
+            experts,
+            gates,
+            probs,
+        });
+    }
+
+    let out = Tensor::from_vec(out, [t_count, hd]).expect("moe out dims");
+    let out = tp.all_reduce_sum(&out);
+    (
+        out,
+        MoeCache {
+            x: h.clone(),
+            routes,
+            pre: pres,
+            act: acts,
+            partial: partials,
+        },
+    )
+}
+
+/// MoE backward; returns the TP-reduced input gradient (expert paths summed
+/// across TP, router path added once).
+pub fn moe_backward(
+    cache: &MoeCache,
+    params: &MoeParams<'_>,
+    grads: &mut MoeGrads<'_>,
+    dy: &Tensor,
+    tp: &dyn GroupOps,
+) -> Tensor {
+    let t_count = cache.x.shape().dims()[0];
+    let hd = cache.x.shape().dims()[1];
+    let n_exp = params.router.shape().dims()[0];
+    let rows_local = params.w1.shape().dims()[1];
+    let f_local = params.w2.shape().dims()[2];
+
+    let xs = cache.x.as_slice();
+    let dys = dy.as_slice();
+    let w1s = params.w1.as_slice();
+    let w2s = params.w2.as_slice();
+
+    // Gate gradients need the *full* expert outputs, which are sharded
+    // across TP; compute partial dot products and reduce once.
+    let mut dgate_partial = vec![0.0f32; t_count * params.top_k];
+    for t in 0..t_count {
+        let dyrow = &dys[t * hd..(t + 1) * hd];
+        for slot in 0..cache.routes[t].experts.len() {
+            let partial = &cache.partial[t * params.top_k + slot];
+            dgate_partial[t * params.top_k + slot] = ops::dot64(dyrow, partial) as f32;
+        }
+    }
+    let dgate = tp.all_reduce_sum(
+        &Tensor::from_vec(dgate_partial, [t_count, params.top_k]).expect("gate dims"),
+    );
+
+    let mut dx_experts = vec![0.0f64; t_count * hd];
+    let mut dlogits = vec![0.0f32; t_count * n_exp];
+    for t in 0..t_count {
+        let route = &cache.routes[t];
+        let dyrow = &dys[t * hd..(t + 1) * hd];
+        let xrow = &xs[t * hd..(t + 1) * hd];
+
+        // Renormalized-gate → softmax → router-logit backward.
+        let dgrow = &dgate.as_slice()[t * params.top_k..(t + 1) * params.top_k];
+        let z: f64 = route.experts.iter().map(|&e| route.probs[e]).sum();
+        let inner_g: f64 = dgrow
+            .iter()
+            .zip(&route.gates)
+            .map(|(dg, g)| f64::from(*dg) * g)
+            .sum();
+        let mut dp = vec![0.0f64; n_exp];
+        for (slot, &e) in route.experts.iter().enumerate() {
+            dp[e] = (f64::from(dgrow[slot]) - inner_g) / z;
+        }
+        let inner_p: f64 = dp.iter().zip(&route.probs).map(|(d, p)| d * p).sum();
+        let dlrow = &mut dlogits[t * n_exp..(t + 1) * n_exp];
+        for e in 0..n_exp {
+            dlrow[e] = (route.probs[e] * (dp[e] - inner_p)) as f32;
+        }
+
+        // Expert paths.
+        for (slot, &e) in route.experts.iter().enumerate() {
+            let g = route.gates[slot];
+            let pre = &cache.pre[t * params.top_k + slot];
+            let act = &cache.act[t * params.top_k + slot];
+            // d partial = g · dy ; dW2[e] += dpartial ⊗ act ; dact = W2[e]ᵀ dpartial.
+            let w2e = &w2s[e * hd * f_local..(e + 1) * hd * f_local];
+            let gw2 = &mut grads.w2[e * hd * f_local..(e + 1) * hd * f_local];
+            let mut dact = vec![0.0f64; f_local];
+            for r in 0..hd {
+                let dpart = g * f64::from(dyrow[r]);
+                for i in 0..f_local {
+                    gw2[r * f_local + i] += dpart * f64::from(act[i]);
+                    dact[i] += dpart * f64::from(w2e[r * f_local + i]);
+                }
+            }
+            // Activation backward.
+            let mut dpre = vec![0.0f64; rows_local];
+            match params.kind {
+                MlpKind::Gelu => {
+                    for i in 0..rows_local {
+                        dpre[i] = dact[i] * f64::from(gelu_grad(pre[i]));
+                    }
+                }
+                MlpKind::SwiGlu => {
+                    for i in 0..f_local {
+                        dpre[i] =
+                            dact[i] * f64::from(silu_grad(pre[i])) * f64::from(pre[f_local + i]);
+                        dpre[f_local + i] = dact[i] * f64::from(silu(pre[i]));
+                    }
+                }
+            }
+            // dW1[e] += dpre ⊗ x ; dx += W1[e]ᵀ dpre.
+            let w1e = &w1s[e * rows_local * hd..(e + 1) * rows_local * hd];
+            let gw1 = &mut grads.w1[e * rows_local * hd..(e + 1) * rows_local * hd];
+            let dxrow = &mut dx_experts[t * hd..(t + 1) * hd];
+            for r in 0..rows_local {
+                let dp = dpre[r];
+                if dp == 0.0 {
+                    continue;
+                }
+                for i in 0..hd {
+                    gw1[r * hd + i] += dp * f64::from(xrow[i]);
+                    dxrow[i] += dp * f64::from(w1e[r * hd + i]);
+                }
+            }
+        }
+    }
+
+    // Router backward (replicated parameter: gradients identical across TP
+    // because dlogits derive from TP-reduced quantities).
+    let dlogits = Tensor::from_vec(dlogits, [t_count, n_exp]).expect("dlogits dims");
+    let router_cache = LinearCache { x: cache.x.clone() };
+    let dx_router = linear_backward(&router_cache, params.router, &dlogits, grads.router, None);
+
+    // Expert dx is partial (sums over local FFN units) → reduce, then add
+    // the already-full router path once.
+    let dx_experts = Tensor::from_vec(
+        dx_experts.into_iter().map(|v| v as f32).collect(),
+        [t_count, hd],
+    )
+    .expect("dx dims");
+    let mut dx = tp.all_reduce_sum(&dx_experts);
+    ops::add_assign(&mut dx, &dx_router).expect("same dims");
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_ops::Solo;
+    use ucp_tensor::DetRng;
+
+    #[test]
+    fn gelu_mlp_finite_difference() {
+        let rng = DetRng::new(20);
+        let (t, h, f) = (3, 4, 8);
+        let x = Tensor::randn([t, h], 0.5, &rng.derive("x"));
+        let w1 = Tensor::randn([f, h], 0.4, &rng.derive("w1"));
+        let b1 = Tensor::randn([f], 0.1, &rng.derive("b1"));
+        let w2 = Tensor::randn([h, f], 0.4, &rng.derive("w2"));
+        let b2 = Tensor::randn([h], 0.1, &rng.derive("b2"));
+        let dy = Tensor::randn([t, h], 1.0, &rng.derive("dy"));
+
+        let run = |x: &Tensor, w1: &Tensor| -> f64 {
+            let p = MlpParams {
+                kind: MlpKind::Gelu,
+                w1,
+                b1: Some(&b1),
+                w2: &w2,
+                b2: Some(&b2),
+            };
+            let (y, _) = mlp_forward(x, &p, &Solo);
+            ops::dot64(y.as_slice(), dy.as_slice())
+        };
+        let p = MlpParams {
+            kind: MlpKind::Gelu,
+            w1: &w1,
+            b1: Some(&b1),
+            w2: &w2,
+            b2: Some(&b2),
+        };
+        let (_, cache) = mlp_forward(&x, &p, &Solo);
+        let mut gw1 = vec![0.0f64; w1.num_elements()];
+        let mut gb1 = vec![0.0f64; f];
+        let mut gw2 = vec![0.0f64; w2.num_elements()];
+        let mut gb2 = vec![0.0f64; h];
+        let mut grads = MlpGrads {
+            w1: &mut gw1,
+            b1: Some(&mut gb1),
+            w2: &mut gw2,
+            b2: Some(&mut gb2),
+        };
+        let dx = mlp_backward(&cache, &p, &mut grads, &dy, &Solo);
+
+        let eps = 1e-3f32;
+        let base = run(&x, &w1);
+        for idx in [0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&xp, &w1) - base) / f64::from(eps);
+            let analytic = f64::from(dx.as_slice()[idx]);
+            assert!(
+                (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dx[{idx}] {analytic} vs {numeric}"
+            );
+        }
+        for idx in [2usize, 19] {
+            let mut wp = w1.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&x, &wp) - base) / f64::from(eps);
+            assert!(
+                (gw1[idx] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "gw1[{idx}] {} vs {numeric}",
+                gw1[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn swiglu_mlp_finite_difference() {
+        let rng = DetRng::new(21);
+        let (t, h, f) = (2, 4, 6);
+        let x = Tensor::randn([t, h], 0.5, &rng.derive("x"));
+        let w1 = Tensor::randn([2 * f, h], 0.4, &rng.derive("w1"));
+        let w2 = Tensor::randn([h, f], 0.4, &rng.derive("w2"));
+        let dy = Tensor::randn([t, h], 1.0, &rng.derive("dy"));
+
+        let run = |x: &Tensor| -> f64 {
+            let p = MlpParams {
+                kind: MlpKind::SwiGlu,
+                w1: &w1,
+                b1: None,
+                w2: &w2,
+                b2: None,
+            };
+            let (y, _) = mlp_forward(x, &p, &Solo);
+            ops::dot64(y.as_slice(), dy.as_slice())
+        };
+        let p = MlpParams {
+            kind: MlpKind::SwiGlu,
+            w1: &w1,
+            b1: None,
+            w2: &w2,
+            b2: None,
+        };
+        let (_, cache) = mlp_forward(&x, &p, &Solo);
+        let mut gw1 = vec![0.0f64; w1.num_elements()];
+        let mut gw2 = vec![0.0f64; w2.num_elements()];
+        let mut grads = MlpGrads {
+            w1: &mut gw1,
+            b1: None,
+            w2: &mut gw2,
+            b2: None,
+        };
+        let dx = mlp_backward(&cache, &p, &mut grads, &dy, &Solo);
+        let eps = 1e-3f32;
+        let base = run(&x);
+        for idx in [1usize, 6] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&xp) - base) / f64::from(eps);
+            let analytic = f64::from(dx.as_slice()[idx]);
+            assert!(
+                (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dx[{idx}] {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_is_deterministic_with_ties() {
+        assert_eq!(top_k_indices(&[0.25, 0.25, 0.25, 0.25], 2), vec![0, 1]);
+        assert_eq!(top_k_indices(&[0.1, 0.4, 0.2, 0.3], 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn moe_gates_sum_to_one() {
+        let rng = DetRng::new(22);
+        let (t, h, f, e) = (4, 4, 6, 4);
+        let x = Tensor::randn([t, h], 0.5, &rng.derive("x"));
+        let router = Tensor::randn([e, h], 0.4, &rng.derive("r"));
+        let w1 = Tensor::randn([e, 2 * f, h], 0.4, &rng.derive("w1"));
+        let w2 = Tensor::randn([e, h, f], 0.4, &rng.derive("w2"));
+        let p = MoeParams {
+            kind: MlpKind::SwiGlu,
+            router: &router,
+            w1: &w1,
+            w2: &w2,
+            top_k: 2,
+        };
+        let (_, cache) = moe_forward(&x, &p, &Solo);
+        for route in &cache.routes {
+            let s: f64 = route.gates.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert_eq!(route.experts.len(), 2);
+        }
+    }
+
+    #[test]
+    fn moe_backward_finite_difference() {
+        let rng = DetRng::new(23);
+        let (t, h, f, e) = (3, 4, 4, 3);
+        let x = Tensor::randn([t, h], 0.5, &rng.derive("x"));
+        let router = Tensor::randn([e, h], 0.4, &rng.derive("r"));
+        let w1 = Tensor::randn([e, 2 * f, h], 0.4, &rng.derive("w1"));
+        let w2 = Tensor::randn([e, h, f], 0.4, &rng.derive("w2"));
+        let dy = Tensor::randn([t, h], 1.0, &rng.derive("dy"));
+
+        let run = |x: &Tensor, router: &Tensor, w1: &Tensor, w2: &Tensor| -> f64 {
+            let p = MoeParams {
+                kind: MlpKind::SwiGlu,
+                router,
+                w1,
+                w2,
+                top_k: 2,
+            };
+            let (y, _) = moe_forward(x, &p, &Solo);
+            ops::dot64(y.as_slice(), dy.as_slice())
+        };
+        let p = MoeParams {
+            kind: MlpKind::SwiGlu,
+            router: &router,
+            w1: &w1,
+            w2: &w2,
+            top_k: 2,
+        };
+        let (_, cache) = moe_forward(&x, &p, &Solo);
+        let mut gr = vec![0.0f64; router.num_elements()];
+        let mut gw1 = vec![0.0f64; w1.num_elements()];
+        let mut gw2 = vec![0.0f64; w2.num_elements()];
+        let mut grads = MoeGrads {
+            router: &mut gr,
+            w1: &mut gw1,
+            w2: &mut gw2,
+        };
+        let dx = moe_backward(&cache, &p, &mut grads, &dy, &Solo);
+
+        let eps = 1e-3f32;
+        let base = run(&x, &router, &w1, &w2);
+        for idx in [0usize, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&xp, &router, &w1, &w2) - base) / f64::from(eps);
+            let analytic = f64::from(dx.as_slice()[idx]);
+            assert!(
+                (analytic - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+                "dx[{idx}] {analytic} vs {numeric}"
+            );
+        }
+        for idx in [1usize, 9] {
+            let mut rp = router.clone();
+            rp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&x, &rp, &w1, &w2) - base) / f64::from(eps);
+            assert!(
+                (gr[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+                "grouter[{idx}] {} vs {numeric}",
+                gr[idx]
+            );
+        }
+        for idx in [4usize, 40] {
+            let mut wp = w1.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&x, &router, &wp, &w2) - base) / f64::from(eps);
+            assert!(
+                (gw1[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+                "gw1[{idx}] {} vs {numeric}",
+                gw1[idx]
+            );
+        }
+        for idx in [2usize, 30] {
+            let mut wp = w2.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let numeric = (run(&x, &router, &w1, &wp) - base) / f64::from(eps);
+            assert!(
+                (gw2[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+                "gw2[{idx}] {} vs {numeric}",
+                gw2[idx]
+            );
+        }
+    }
+
+    use ucp_tensor::ops;
+}

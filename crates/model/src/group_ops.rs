@@ -1,0 +1,58 @@
+//! Communication abstraction for tensor- and sequence-parallel math.
+//!
+//! The model crate stays independent of the cluster implementation: layer
+//! math calls these two collectives through a trait object, the trainer
+//! wires them to real process groups, and [`Solo`] provides the degenerate
+//! single-member implementation so `TP=1`/`SP=1` code paths involve no
+//! communication at all.
+
+use ucp_tensor::Tensor;
+
+/// The collectives layer math needs within one parallel group.
+pub trait GroupOps {
+    /// Number of members in the group.
+    fn size(&self) -> usize;
+    /// This member's index within the group.
+    fn rank(&self) -> usize;
+    /// Deterministic elementwise sum across the group.
+    fn all_reduce_sum(&self, t: &Tensor) -> Tensor;
+    /// Gather all members' tensors and concatenate along `dim`, member
+    /// order.
+    fn all_gather_cat(&self, t: &Tensor, dim: usize) -> Tensor;
+}
+
+/// A group of one: all collectives are identities.
+pub struct Solo;
+
+impl GroupOps for Solo {
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn all_reduce_sum(&self, t: &Tensor) -> Tensor {
+        t.clone()
+    }
+
+    fn all_gather_cat(&self, t: &Tensor, _dim: usize) -> Tensor {
+        t.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_is_identity() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let g = Solo;
+        assert_eq!(g.size(), 1);
+        assert_eq!(g.rank(), 0);
+        assert!(g.all_reduce_sum(&t).bitwise_eq(&t));
+        assert!(g.all_gather_cat(&t, 0).bitwise_eq(&t));
+    }
+}

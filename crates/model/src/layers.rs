@@ -1,0 +1,538 @@
+//! Primitive layer math with hand-derived backward passes.
+//!
+//! Conventions: activations are `[tokens, features]` row-major; weights use
+//! the PyTorch `Linear` layout `[out_features, in_features]` with
+//! `y = x Wᵀ + b`, matching the paper's QKV example shapes. Every backward
+//! accumulates parameter gradients into `f64` buffers (see the crate docs on
+//! layout-independent reduction).
+
+use ucp_tensor::{ops, Tensor};
+
+/// Accumulate `src` into an f64 gradient buffer.
+pub fn grad_accumulate(buf: &mut [f64], src: &[f32]) {
+    debug_assert_eq!(buf.len(), src.len());
+    for (b, s) in buf.iter_mut().zip(src) {
+        *b += f64::from(*s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// Cache for the linear backward pass.
+pub struct LinearCache {
+    /// Saved input `[n, in]`.
+    pub x: Tensor,
+}
+
+/// `y = x Wᵀ + b` with `x: [n, in]`, `w: [out, in]`, `b: [out]`.
+pub fn linear_forward(x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> (Tensor, LinearCache) {
+    let mut y = ops::matmul_a_bt(x, w).expect("linear dims");
+    if let Some(b) = b {
+        let out = b.num_elements();
+        for row in y.as_mut_slice().chunks_exact_mut(out) {
+            for (v, bias) in row.iter_mut().zip(b.as_slice()) {
+                *v += bias;
+            }
+        }
+    }
+    (y, LinearCache { x: x.clone() })
+}
+
+/// Backward of [`linear_forward`]. Returns `dx` and accumulates `dw`
+/// (and `db` when present) into the provided f64 buffers.
+pub fn linear_backward(
+    cache: &LinearCache,
+    w: &Tensor,
+    dy: &Tensor,
+    dw: &mut [f64],
+    db: Option<&mut [f64]>,
+) -> Tensor {
+    // dx = dy · W ; dW = dyᵀ · x ; db = column-sum of dy.
+    let dx = ops::matmul(dy, w).expect("linear bwd dx");
+    let dw_t = ops::matmul_at_b(dy, &cache.x).expect("linear bwd dw");
+    grad_accumulate(dw, dw_t.as_slice());
+    if let Some(db) = db {
+        let out = w.shape().dims()[0];
+        for row in dy.as_slice().chunks_exact(out) {
+            for (acc, v) in db.iter_mut().zip(row) {
+                *acc += f64::from(*v);
+            }
+        }
+    }
+    dx
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm / RMSNorm
+// ---------------------------------------------------------------------------
+
+const NORM_EPS: f64 = 1e-5;
+
+/// Cache for normalization backward passes.
+pub struct NormCache {
+    /// Saved input `[n, h]`.
+    pub x: Tensor,
+    /// Per-row mean (LayerNorm) — empty for RMSNorm.
+    pub mean: Vec<f64>,
+    /// Per-row inverse standard deviation (or inverse RMS).
+    pub inv_std: Vec<f64>,
+}
+
+/// LayerNorm: `y = (x - μ)/σ · g + b` per row.
+pub fn layernorm_forward(x: &Tensor, g: &Tensor, b: &Tensor) -> (Tensor, NormCache) {
+    let h = g.num_elements();
+    let n = x.num_elements() / h;
+    let mut y = x.clone();
+    let mut mean = Vec::with_capacity(n);
+    let mut inv_std = Vec::with_capacity(n);
+    for row in y.as_mut_slice().chunks_exact_mut(h) {
+        let mu: f64 = row.iter().map(|v| f64::from(*v)).sum::<f64>() / h as f64;
+        let var: f64 = row
+            .iter()
+            .map(|v| (f64::from(*v) - mu).powi(2))
+            .sum::<f64>()
+            / h as f64;
+        let istd = 1.0 / (var + NORM_EPS).sqrt();
+        for (v, (gv, bv)) in row.iter_mut().zip(g.as_slice().iter().zip(b.as_slice())) {
+            *v = (((f64::from(*v) - mu) * istd) as f32) * gv + bv;
+        }
+        mean.push(mu);
+        inv_std.push(istd);
+    }
+    (
+        y,
+        NormCache {
+            x: x.clone(),
+            mean,
+            inv_std,
+        },
+    )
+}
+
+/// Backward of [`layernorm_forward`].
+pub fn layernorm_backward(
+    cache: &NormCache,
+    g: &Tensor,
+    dy: &Tensor,
+    dg: &mut [f64],
+    db: &mut [f64],
+) -> Tensor {
+    let h = g.num_elements();
+    let mut dx = Tensor::zeros(cache.x.shape().clone());
+    let xs = cache.x.as_slice();
+    let dys = dy.as_slice();
+    for (r, drow) in dx.as_mut_slice().chunks_exact_mut(h).enumerate() {
+        let xrow = &xs[r * h..(r + 1) * h];
+        let dyrow = &dys[r * h..(r + 1) * h];
+        let (mu, istd) = (cache.mean[r], cache.inv_std[r]);
+        // xhat = (x - μ)·istd; dxhat = dy·g.
+        let mut sum_dxhat = 0.0f64;
+        let mut sum_dxhat_xhat = 0.0f64;
+        for i in 0..h {
+            let xhat = (f64::from(xrow[i]) - mu) * istd;
+            let dxhat = f64::from(dyrow[i]) * f64::from(g.as_slice()[i]);
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat;
+            dg[i] += f64::from(dyrow[i]) * xhat;
+            db[i] += f64::from(dyrow[i]);
+        }
+        let hn = h as f64;
+        for i in 0..h {
+            let xhat = (f64::from(xrow[i]) - mu) * istd;
+            let dxhat = f64::from(dyrow[i]) * f64::from(g.as_slice()[i]);
+            drow[i] = (istd * (dxhat - sum_dxhat / hn - xhat * sum_dxhat_xhat / hn)) as f32;
+        }
+    }
+    dx
+}
+
+/// RMSNorm: `y = x / rms(x) · g` per row.
+pub fn rmsnorm_forward(x: &Tensor, g: &Tensor) -> (Tensor, NormCache) {
+    let h = g.num_elements();
+    let n = x.num_elements() / h;
+    let mut y = x.clone();
+    let mut inv_std = Vec::with_capacity(n);
+    for row in y.as_mut_slice().chunks_exact_mut(h) {
+        let ms: f64 = row.iter().map(|v| f64::from(*v).powi(2)).sum::<f64>() / h as f64;
+        let irms = 1.0 / (ms + NORM_EPS).sqrt();
+        for (v, gv) in row.iter_mut().zip(g.as_slice()) {
+            *v = ((f64::from(*v) * irms) as f32) * gv;
+        }
+        inv_std.push(irms);
+    }
+    (
+        y,
+        NormCache {
+            x: x.clone(),
+            mean: Vec::new(),
+            inv_std,
+        },
+    )
+}
+
+/// Backward of [`rmsnorm_forward`].
+pub fn rmsnorm_backward(cache: &NormCache, g: &Tensor, dy: &Tensor, dg: &mut [f64]) -> Tensor {
+    let h = g.num_elements();
+    let mut dx = Tensor::zeros(cache.x.shape().clone());
+    let xs = cache.x.as_slice();
+    let dys = dy.as_slice();
+    for (r, drow) in dx.as_mut_slice().chunks_exact_mut(h).enumerate() {
+        let xrow = &xs[r * h..(r + 1) * h];
+        let dyrow = &dys[r * h..(r + 1) * h];
+        let irms = cache.inv_std[r];
+        let mut sum_dxhat_xhat = 0.0f64;
+        for i in 0..h {
+            let xhat = f64::from(xrow[i]) * irms;
+            let dxhat = f64::from(dyrow[i]) * f64::from(g.as_slice()[i]);
+            sum_dxhat_xhat += dxhat * xhat;
+            dg[i] += f64::from(dyrow[i]) * xhat;
+        }
+        let hn = h as f64;
+        for i in 0..h {
+            let xhat = f64::from(xrow[i]) * irms;
+            let dxhat = f64::from(dyrow[i]) * f64::from(g.as_slice()[i]);
+            drow[i] = (irms * (dxhat - xhat * sum_dxhat_xhat / hn)) as f32;
+        }
+    }
+    dx
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+/// GELU (tanh approximation), elementwise.
+pub fn gelu(x: f32) -> f32 {
+    let x = f64::from(x);
+    let c = (2.0 / std::f64::consts::PI).sqrt();
+    (0.5 * x * (1.0 + (c * (x + 0.044715 * x.powi(3))).tanh())) as f32
+}
+
+/// Derivative of [`gelu`].
+pub fn gelu_grad(x: f32) -> f32 {
+    let x = f64::from(x);
+    let c = (2.0 / std::f64::consts::PI).sqrt();
+    let inner = c * (x + 0.044715 * x.powi(3));
+    let t = inner.tanh();
+    let dinner = c * (1.0 + 3.0 * 0.044715 * x * x);
+    (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner) as f32
+}
+
+/// SiLU `x · σ(x)`, elementwise.
+pub fn silu(x: f32) -> f32 {
+    let x = f64::from(x);
+    (x / (1.0 + (-x).exp())) as f32
+}
+
+/// Derivative of [`silu`].
+pub fn silu_grad(x: f32) -> f32 {
+    let x = f64::from(x);
+    let s = 1.0 / (1.0 + (-x).exp());
+    (s * (1.0 + x * (1.0 - s))) as f32
+}
+
+// ---------------------------------------------------------------------------
+// Embedding
+// ---------------------------------------------------------------------------
+
+/// Vocab-parallel embedding lookup.
+///
+/// The weight shard covers vocab rows `[vocab_start, vocab_start + rows)`;
+/// out-of-range tokens contribute zero. Summing the per-rank results over
+/// the TP group (done by the caller) yields the full lookup.
+pub fn embedding_forward(tokens: &[u32], w_shard: &Tensor, vocab_start: usize) -> Tensor {
+    let h = w_shard.shape().dims()[1];
+    let rows = w_shard.shape().dims()[0];
+    let mut out = Tensor::zeros([tokens.len(), h]);
+    let (src, dst) = (w_shard.as_slice(), out.as_mut_slice());
+    for (t, &tok) in tokens.iter().enumerate() {
+        let tok = tok as usize;
+        if tok >= vocab_start && tok < vocab_start + rows {
+            let r = tok - vocab_start;
+            dst[t * h..(t + 1) * h].copy_from_slice(&src[r * h..(r + 1) * h]);
+        }
+    }
+    out
+}
+
+/// Backward of [`embedding_forward`]: scatter-add `dy` rows into the shard
+/// gradient for in-range tokens.
+pub fn embedding_backward(
+    tokens: &[u32],
+    dy: &Tensor,
+    vocab_start: usize,
+    rows: usize,
+    dw: &mut [f64],
+) {
+    let h = dy.shape().dims()[1];
+    let dys = dy.as_slice();
+    for (t, &tok) in tokens.iter().enumerate() {
+        let tok = tok as usize;
+        if tok >= vocab_start && tok < vocab_start + rows {
+            let r = tok - vocab_start;
+            for i in 0..h {
+                dw[r * h + i] += f64::from(dys[t * h + i]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross entropy
+// ---------------------------------------------------------------------------
+
+/// Fused softmax + cross-entropy over full-vocabulary logits.
+///
+/// Returns `(sum of per-token negative log-likelihoods, d logits)` where the
+/// gradient corresponds to the *sum* (not mean) of token losses — the caller
+/// divides by the global token count after data/sequence-parallel reduction,
+/// which keeps gradients independent of the parallel layout.
+pub fn cross_entropy(logits: &Tensor, targets: &[u32]) -> (f64, Tensor) {
+    let v = logits.shape().dims()[1];
+    debug_assert_eq!(logits.shape().dims()[0], targets.len());
+    let mut dlogits = logits.clone();
+    let mut loss_sum = 0.0f64;
+    for (row, &target) in dlogits
+        .as_mut_slice()
+        .chunks_exact_mut(v)
+        .zip(targets.iter())
+    {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for x in row.iter() {
+            denom += f64::from(x - max).exp();
+        }
+        let log_denom = denom.ln() + f64::from(max);
+        loss_sum += log_denom - f64::from(row[target as usize]);
+        for x in row.iter_mut() {
+            *x = (f64::from(*x - max).exp() / denom) as f32;
+        }
+        row[target as usize] -= 1.0;
+    }
+    (loss_sum, dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucp_tensor::DetRng;
+
+    /// Finite-difference check helper: |analytic - numeric| must be small.
+    fn fd_close(analytic: f64, numeric: f64) {
+        let denom = analytic.abs().max(numeric.abs()).max(1e-4);
+        assert!(
+            ((analytic - numeric) / denom).abs() < 2e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn linear_matches_manual() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], [1, 2]).unwrap();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], [3, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, 0.5, 0.5], [3]).unwrap();
+        let (y, _) = linear_forward(&x, &w, Some(&b));
+        assert_eq!(y.as_slice(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn linear_backward_finite_difference() {
+        let rng = DetRng::new(1);
+        let x = Tensor::randn([3, 4], 1.0, &rng.derive("x"));
+        let w = Tensor::randn([2, 4], 0.5, &rng.derive("w"));
+        let b = Tensor::randn([2], 0.5, &rng.derive("b"));
+        let dy = Tensor::randn([3, 2], 1.0, &rng.derive("dy"));
+
+        let (_, cache) = linear_forward(&x, &w, Some(&b));
+        let mut dw = vec![0.0f64; 8];
+        let mut db = vec![0.0f64; 2];
+        let dx = linear_backward(&cache, &w, &dy, &mut dw, Some(&mut db));
+
+        // Loss L = Σ dy ⊙ y; check dL/dx[0], dL/dw[3], dL/db[1] numerically.
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 {
+            let (y, _) = linear_forward(x, w, Some(b));
+            ops::dot64(y.as_slice(), dy.as_slice())
+        };
+        let eps = 1e-3f32;
+        let mut xp = x.clone();
+        xp.as_mut_slice()[0] += eps;
+        fd_close(
+            f64::from(dx.as_slice()[0]),
+            (loss(&xp, &w, &b) - loss(&x, &w, &b)) / f64::from(eps),
+        );
+        let mut wp = w.clone();
+        wp.as_mut_slice()[3] += eps;
+        fd_close(
+            dw[3],
+            (loss(&x, &wp, &b) - loss(&x, &w, &b)) / f64::from(eps),
+        );
+        let mut bp = b.clone();
+        bp.as_mut_slice()[1] += eps;
+        fd_close(
+            db[1],
+            (loss(&x, &w, &bp) - loss(&x, &w, &b)) / f64::from(eps),
+        );
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 4]).unwrap();
+        let g = Tensor::full([4], 1.0);
+        let b = Tensor::zeros([4]);
+        let (y, _) = layernorm_forward(&x, &g, &b);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        let var: f32 = y
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_backward_finite_difference() {
+        let rng = DetRng::new(2);
+        let x = Tensor::randn([2, 6], 1.0, &rng.derive("x"));
+        let g = Tensor::randn([6], 0.5, &rng.derive("g"));
+        let b = Tensor::randn([6], 0.5, &rng.derive("b"));
+        let dy = Tensor::randn([2, 6], 1.0, &rng.derive("dy"));
+
+        let (_, cache) = layernorm_forward(&x, &g, &b);
+        let mut dg = vec![0.0f64; 6];
+        let mut db = vec![0.0f64; 6];
+        let dx = layernorm_backward(&cache, &g, &dy, &mut dg, &mut db);
+
+        let loss = |x: &Tensor, g: &Tensor, b: &Tensor| -> f64 {
+            let (y, _) = layernorm_forward(x, g, b);
+            ops::dot64(y.as_slice(), dy.as_slice())
+        };
+        let eps = 1e-3f32;
+        for idx in [0usize, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            fd_close(
+                f64::from(dx.as_slice()[idx]),
+                (loss(&xp, &g, &b) - loss(&x, &g, &b)) / f64::from(eps),
+            );
+        }
+        let mut gp = g.clone();
+        gp.as_mut_slice()[2] += eps;
+        fd_close(
+            dg[2],
+            (loss(&x, &gp, &b) - loss(&x, &g, &b)) / f64::from(eps),
+        );
+        let mut bp = b.clone();
+        bp.as_mut_slice()[4] += eps;
+        fd_close(
+            db[4],
+            (loss(&x, &g, &bp) - loss(&x, &g, &b)) / f64::from(eps),
+        );
+    }
+
+    #[test]
+    fn rmsnorm_backward_finite_difference() {
+        let rng = DetRng::new(3);
+        let x = Tensor::randn([2, 5], 1.0, &rng.derive("x"));
+        let g = Tensor::randn([5], 0.5, &rng.derive("g"));
+        let dy = Tensor::randn([2, 5], 1.0, &rng.derive("dy"));
+
+        let (_, cache) = rmsnorm_forward(&x, &g);
+        let mut dg = vec![0.0f64; 5];
+        let dx = rmsnorm_backward(&cache, &g, &dy, &mut dg);
+
+        let loss = |x: &Tensor, g: &Tensor| -> f64 {
+            let (y, _) = rmsnorm_forward(x, g);
+            ops::dot64(y.as_slice(), dy.as_slice())
+        };
+        let eps = 1e-3f32;
+        let mut xp = x.clone();
+        xp.as_mut_slice()[3] += eps;
+        fd_close(
+            f64::from(dx.as_slice()[3]),
+            (loss(&xp, &g) - loss(&x, &g)) / f64::from(eps),
+        );
+        let mut gp = g.clone();
+        gp.as_mut_slice()[1] += eps;
+        fd_close(dg[1], (loss(&x, &gp) - loss(&x, &g)) / f64::from(eps));
+    }
+
+    #[test]
+    fn activation_gradients_finite_difference() {
+        let eps = 1e-3f32;
+        for x in [-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            fd_close(
+                f64::from(gelu_grad(x)),
+                f64::from(gelu(x + eps) - gelu(x - eps)) / f64::from(2.0 * eps),
+            );
+            fd_close(
+                f64::from(silu_grad(x)),
+                f64::from(silu(x + eps) - silu(x - eps)) / f64::from(2.0 * eps),
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_sharded_sum_equals_full() {
+        let rng = DetRng::new(4);
+        let w = Tensor::randn([8, 3], 1.0, &rng.derive("emb"));
+        let tokens = vec![0u32, 3, 7, 5];
+        let full = embedding_forward(&tokens, &w, 0);
+        // Two vocab shards of 4 rows each.
+        let w0 = w.narrow(0, 0, 4).unwrap();
+        let w1 = w.narrow(0, 4, 4).unwrap();
+        let y0 = embedding_forward(&tokens, &w0, 0);
+        let y1 = embedding_forward(&tokens, &w1, 4);
+        let sum = ops::add(&y0, &y1).unwrap();
+        assert!(sum.bitwise_eq(&full));
+    }
+
+    #[test]
+    fn embedding_backward_scatters_rows() {
+        let tokens = vec![1u32, 1, 3];
+        let dy = Tensor::full([3, 2], 1.0);
+        let mut dw = vec![0.0f64; 8];
+        embedding_backward(&tokens, &dy, 0, 4, &mut dw);
+        assert_eq!(dw, vec![0., 0., 2., 2., 0., 0., 1., 1.]);
+        // Out-of-shard tokens contribute nothing.
+        let mut dw2 = vec![0.0f64; 4];
+        embedding_backward(&tokens, &dy, 2, 2, &mut dw2);
+        assert_eq!(dw2, vec![0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, dlogits) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 2.0 * (4.0f64).ln()).abs() < 1e-6);
+        // dlogits = softmax - onehot = 0.25 everywhere except target (−0.75).
+        assert!((dlogits.as_slice()[0] + 0.75).abs() < 1e-6);
+        assert!((dlogits.as_slice()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_difference() {
+        let rng = DetRng::new(5);
+        let logits = Tensor::randn([3, 5], 1.0, &rng.derive("l"));
+        let targets = [2u32, 0, 4];
+        let (_, d) = cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for idx in [0usize, 7, 14] {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let (loss_p, _) = cross_entropy(&lp, &targets);
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (loss_m, _) = cross_entropy(&lm, &targets);
+            fd_close(
+                f64::from(d.as_slice()[idx]),
+                (loss_p - loss_m) / f64::from(2.0 * eps),
+            );
+        }
+    }
+
+    use ucp_tensor::ops;
+}

@@ -1,0 +1,29 @@
+//! Decoder-only transformer family with hand-written autograd.
+//!
+//! This crate is the "Megatron-LM" stand-in of the UCP reproduction: it
+//! defines the model architectures of the paper's evaluation (GPT-3-style,
+//! LLaMA-style, BLOOM-style, and Mixtral-style MoE), their named-parameter
+//! inventories with tensor-parallel partition rules, and pipeline-stage
+//! execution with exact hand-derived backward passes.
+//!
+//! Determinism contract: given a run seed, parameter initialization, the
+//! forward pass, and all gradients are identical across any TP/PP/SP layout
+//! up to f64-accumulation rounding (≪ f32 epsilon). Parameter gradients
+//! accumulate in `f64` buffers so the data-parallel reduction order cannot
+//! perturb training (the property that lets the reproduction assert loss
+//! continuity far tighter than the paper's ±0.02 band).
+
+pub mod attention;
+pub mod config;
+pub mod ffn;
+pub mod group_ops;
+pub mod layers;
+pub mod spec;
+pub mod stage;
+pub mod store;
+
+pub use config::{MlpKind, ModelConfig, NormKind, PositionKind, SizePreset};
+pub use group_ops::{GroupOps, Solo};
+pub use spec::{find_spec, param_specs, Init, LayerRole, ParamSpec, Partition};
+pub use stage::{Stage, StageCache, StageIn, StageLayout, StageOut};
+pub use store::{GradStore, ParamStore};

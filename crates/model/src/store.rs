@@ -1,0 +1,249 @@
+//! Per-rank parameter and gradient storage.
+
+use std::collections::BTreeMap;
+
+use ucp_tensor::{DType, DetRng, Tensor};
+
+use crate::spec::{LayerRole, ParamSpec};
+
+/// A rank's named parameter shards.
+///
+/// Keys are canonical parameter names; iteration order (BTreeMap) is the
+/// deterministic flattening order used by the ZeRO partitioner.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: BTreeMap<String, Tensor>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> ParamStore {
+        ParamStore::default()
+    }
+
+    /// Materialize shards for every spec in `specs` whose role is within
+    /// this stage's ownership, at TP coordinate `(tp_rank / tp_size)`.
+    ///
+    /// `owns` decides stage ownership (pipeline assignment).
+    pub fn init<F>(
+        specs: &[ParamSpec],
+        seed_rng: &DetRng,
+        tp_size: usize,
+        tp_rank: usize,
+        owns: F,
+    ) -> ParamStore
+    where
+        F: Fn(&LayerRole) -> bool,
+    {
+        let mut params = BTreeMap::new();
+        for spec in specs {
+            if owns(&spec.role) {
+                params.insert(
+                    spec.name.clone(),
+                    spec.materialize_shard(seed_rng, tp_size, tp_rank),
+                );
+            }
+        }
+        ParamStore { params }
+    }
+
+    /// Insert or replace a parameter.
+    pub fn insert(&mut self, name: impl Into<String>, t: Tensor) {
+        self.params.insert(name.into(), t);
+    }
+
+    /// Fetch a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if absent — an absent required parameter is a wiring bug, not
+    /// a runtime condition.
+    pub fn get(&self, name: &str) -> &Tensor {
+        self.params
+            .get(name)
+            .unwrap_or_else(|| panic!("parameter {name} missing from store"))
+    }
+
+    /// Fetch a parameter if present.
+    pub fn get_opt(&self, name: &str) -> Option<&Tensor> {
+        self.params.get(name)
+    }
+
+    /// Whether the store holds `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.params.contains_key(name)
+    }
+
+    /// Iterate `(name, tensor)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tensor)> {
+        self.params.iter()
+    }
+
+    /// Names in deterministic order.
+    pub fn names(&self) -> Vec<String> {
+        self.params.keys().cloned().collect()
+    }
+
+    /// Number of parameters held.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are held.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total elements across all held shards.
+    pub fn num_elements(&self) -> usize {
+        self.params.values().map(Tensor::num_elements).sum()
+    }
+
+    /// Quantize every parameter to `dtype` in place (mixed-precision model
+    /// copy refresh after an fp32 master update).
+    pub fn cast_all(&mut self, dtype: DType) {
+        for t in self.params.values_mut() {
+            *t = t.cast(dtype);
+        }
+    }
+}
+
+/// f64 gradient accumulators, keyed like [`ParamStore`].
+#[derive(Debug, Default)]
+pub struct GradStore {
+    grads: BTreeMap<String, Vec<f64>>,
+}
+
+impl GradStore {
+    /// Zeroed accumulators matching the shapes held in `params`.
+    pub fn zeros_like(params: &ParamStore) -> GradStore {
+        let grads = params
+            .iter()
+            .map(|(name, t)| (name.clone(), vec![0.0f64; t.num_elements()]))
+            .collect();
+        GradStore { grads }
+    }
+
+    /// Temporarily remove a buffer (so several can be borrowed mutably at
+    /// once); pair with [`GradStore::put`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if absent.
+    pub fn take(&mut self, name: &str) -> Vec<f64> {
+        self.grads
+            .remove(name)
+            .unwrap_or_else(|| panic!("gradient buffer {name} missing"))
+    }
+
+    /// Return a buffer taken with [`GradStore::take`].
+    pub fn put(&mut self, name: impl Into<String>, buf: Vec<f64>) {
+        self.grads.insert(name.into(), buf);
+    }
+
+    /// Mutable access to a single buffer.
+    pub fn get_mut(&mut self, name: &str) -> &mut [f64] {
+        self.grads
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("gradient buffer {name} missing"))
+    }
+
+    /// Read access.
+    pub fn get(&self, name: &str) -> &[f64] {
+        self.grads
+            .get(name)
+            .unwrap_or_else(|| panic!("gradient buffer {name} missing"))
+    }
+
+    /// Whether a buffer exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.grads.contains_key(name)
+    }
+
+    /// Iterate `(name, buffer)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Vec<f64>)> {
+        self.grads.iter()
+    }
+
+    /// Reset all buffers to zero.
+    pub fn zero(&mut self) {
+        for buf in self.grads.values_mut() {
+            buf.fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::spec::param_specs;
+
+    #[test]
+    fn init_filters_by_role() {
+        let cfg = ModelConfig::gpt3_tiny();
+        let specs = param_specs(&cfg);
+        let rng = DetRng::new(1);
+        let store = ParamStore::init(
+            &specs,
+            &rng,
+            1,
+            0,
+            |role| matches!(role, LayerRole::Block(i) if *i < 2),
+        );
+        assert!(store.contains("layers.0.attention.query_key_value.weight"));
+        assert!(store.contains("layers.1.mlp.dense_4h_to_h.weight"));
+        assert!(!store.contains("layers.2.mlp.dense_4h_to_h.weight"));
+        assert!(!store.contains("embedding.word_embeddings.weight"));
+    }
+
+    #[test]
+    fn tp_shard_sizes() {
+        let cfg = ModelConfig::gpt3_tiny();
+        let specs = param_specs(&cfg);
+        let rng = DetRng::new(1);
+        let full = ParamStore::init(&specs, &rng, 1, 0, |_| true);
+        let half = ParamStore::init(&specs, &rng, 2, 0, |_| true);
+        let qkv = "layers.0.attention.query_key_value.weight";
+        assert_eq!(
+            half.get(qkv).num_elements() * 2,
+            full.get(qkv).num_elements()
+        );
+        // Replicated params stay full.
+        let ln = "layers.0.input_layernorm.weight";
+        assert_eq!(half.get(ln).num_elements(), full.get(ln).num_elements());
+    }
+
+    #[test]
+    fn grad_store_take_put_roundtrip() {
+        let cfg = ModelConfig::gpt3_tiny();
+        let specs = param_specs(&cfg);
+        let rng = DetRng::new(1);
+        let store = ParamStore::init(&specs, &rng, 1, 0, |r| *r == LayerRole::Head);
+        let mut grads = GradStore::zeros_like(&store);
+        let mut buf = grads.take("lm_head.weight");
+        buf[0] = 1.5;
+        grads.put("lm_head.weight", buf);
+        assert_eq!(grads.get("lm_head.weight")[0], 1.5);
+        grads.zero();
+        assert_eq!(grads.get("lm_head.weight")[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from store")]
+    fn missing_param_panics() {
+        ParamStore::new().get("nope");
+    }
+
+    #[test]
+    fn cast_all_quantizes() {
+        let mut store = ParamStore::new();
+        store.insert(
+            "w",
+            Tensor::from_vec(vec![1.0 + f32::EPSILON; 2], [2]).unwrap(),
+        );
+        store.cast_all(DType::BF16);
+        assert!(store.get("w").as_slice().iter().all(|v| *v == 1.0));
+        assert_eq!(store.get("w").dtype(), DType::BF16);
+    }
+}

@@ -1,0 +1,188 @@
+//! AdamW over flat fp32 buffers.
+
+use serde::{Deserialize, Serialize};
+
+/// AdamW hyperparameters (paper Table 4 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor inside the denominator.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> AdamConfig {
+        AdamConfig {
+            beta1: 0.9,
+            beta2: 0.95,
+            eps: 1e-8,
+            weight_decay: 0.1,
+        }
+    }
+}
+
+/// Flat AdamW state: first and second moments plus the shared step count.
+///
+/// One `AdamState` covers one contiguous region of the flattened parameter
+/// space (the whole space at ZeRO-0, this rank's partition at ZeRO-1/2/3).
+/// The three buffers a UCP atom checkpoint stores per parameter — `fp32`,
+/// `exp_avg`, `exp_avg_sq` — are slices of the master buffer and these two.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamState {
+    /// First moment (`exp_avg` in DeepSpeed naming).
+    pub exp_avg: Vec<f32>,
+    /// Second raw moment (`exp_avg_sq`).
+    pub exp_avg_sq: Vec<f32>,
+    /// Completed update steps (shared across the whole parameter space).
+    pub step: u64,
+}
+
+impl AdamState {
+    /// Fresh state for a region of `len` elements.
+    pub fn new(len: usize) -> AdamState {
+        AdamState {
+            exp_avg: vec![0.0; len],
+            exp_avg_sq: vec![0.0; len],
+            step: 0,
+        }
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.exp_avg.len()
+    }
+
+    /// True when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exp_avg.is_empty()
+    }
+
+    /// One AdamW update of `master` given `grad`, at learning rate `lr`.
+    ///
+    /// Elementwise and therefore partition-invariant: applying this to any
+    /// slicing of the flat space produces identical values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths disagree.
+    pub fn step(&mut self, cfg: &AdamConfig, master: &mut [f32], grad: &[f32], lr: f32) {
+        assert_eq!(master.len(), grad.len(), "master/grad length mismatch");
+        assert_eq!(master.len(), self.exp_avg.len(), "state length mismatch");
+        self.step += 1;
+        let bc1 = 1.0 - (f64::from(cfg.beta1)).powi(self.step as i32);
+        let bc2 = 1.0 - (f64::from(cfg.beta2)).powi(self.step as i32);
+        let lr64 = f64::from(lr);
+        for i in 0..master.len() {
+            let g = f64::from(grad[i]);
+            let m = f64::from(cfg.beta1) * f64::from(self.exp_avg[i])
+                + (1.0 - f64::from(cfg.beta1)) * g;
+            let v = f64::from(cfg.beta2) * f64::from(self.exp_avg_sq[i])
+                + (1.0 - f64::from(cfg.beta2)) * g * g;
+            self.exp_avg[i] = m as f32;
+            self.exp_avg_sq[i] = v as f32;
+            let m_hat = m / bc1;
+            let v_hat = v / bc2;
+            let mut p = f64::from(master[i]);
+            // Decoupled weight decay (AdamW).
+            p -= lr64 * f64::from(cfg.weight_decay) * p;
+            p -= lr64 * m_hat / (v_hat.sqrt() + f64::from(cfg.eps));
+            master[i] = p as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let cfg = AdamConfig {
+            weight_decay: 0.0,
+            ..AdamConfig::default()
+        };
+        let mut state = AdamState::new(2);
+        let mut master = vec![1.0f32, -1.0];
+        state.step(&cfg, &mut master, &[0.5, -0.5], 0.1);
+        assert!(master[0] < 1.0);
+        assert!(master[1] > -1.0);
+        assert_eq!(state.step, 1);
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // With bias correction, the first Adam step ≈ lr · sign(grad).
+        let cfg = AdamConfig {
+            weight_decay: 0.0,
+            eps: 1e-12,
+            ..AdamConfig::default()
+        };
+        let mut state = AdamState::new(1);
+        let mut master = vec![0.0f32];
+        state.step(&cfg, &mut master, &[3.7], 0.01);
+        assert!((master[0] + 0.01).abs() < 1e-6, "got {}", master[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_with_zero_grad() {
+        let cfg = AdamConfig::default();
+        let mut state = AdamState::new(1);
+        let mut master = vec![2.0f32];
+        state.step(&cfg, &mut master, &[0.0], 0.1);
+        assert!((master[0] - 2.0 * (1.0 - 0.1 * 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partitioned_update_equals_full_update() {
+        // The partition-invariance property ZeRO relies on.
+        let cfg = AdamConfig::default();
+        let grad: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.1).collect();
+        let mut full_master: Vec<f32> = (0..16).map(|i| i as f32 * 0.05).collect();
+        let mut full_state = AdamState::new(16);
+        for _ in 0..3 {
+            full_state.step(&cfg, &mut full_master, &grad, 0.01);
+        }
+
+        let mut sharded_master: Vec<f32> = (0..16).map(|i| i as f32 * 0.05).collect();
+        let mut s0 = AdamState::new(8);
+        let mut s1 = AdamState::new(8);
+        for _ in 0..3 {
+            let (lo, hi) = sharded_master.split_at_mut(8);
+            s0.step(&cfg, lo, &grad[..8], 0.01);
+            s1.step(&cfg, hi, &grad[8..], 0.01);
+        }
+        assert_eq!(full_master, sharded_master);
+        assert_eq!(&full_state.exp_avg[..8], &s0.exp_avg[..]);
+        assert_eq!(&full_state.exp_avg_sq[8..], &s1.exp_avg_sq[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let cfg = AdamConfig::default();
+        let mut state = AdamState::new(2);
+        let mut master = vec![0.0f32; 2];
+        state.step(&cfg, &mut master, &[0.0], 0.1);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize (x - 3)²; Adam should get close within a few hundred steps.
+        let cfg = AdamConfig {
+            weight_decay: 0.0,
+            ..AdamConfig::default()
+        };
+        let mut state = AdamState::new(1);
+        let mut x = vec![0.0f32];
+        for _ in 0..500 {
+            let g = 2.0 * (x[0] - 3.0);
+            state.step(&cfg, &mut x, &[g], 0.05);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+}

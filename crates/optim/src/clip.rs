@@ -1,0 +1,45 @@
+//! Global gradient-norm clipping.
+
+/// Scale factor for gradient clipping given the *global* squared gradient
+/// norm (already reduced across all model-parallel and data-parallel
+/// shards) and the clip threshold.
+///
+/// Returns 1.0 when the norm is within bounds. Computing the scale from a
+/// single globally-reduced scalar keeps clipping identical across parallel
+/// layouts.
+pub fn clip_scale(global_sq_norm: f64, max_norm: f64) -> f64 {
+    if max_norm <= 0.0 {
+        return 1.0;
+    }
+    let norm = global_sq_norm.sqrt();
+    if norm > max_norm {
+        max_norm / (norm + 1e-6)
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_bounds_is_identity() {
+        assert_eq!(clip_scale(0.25, 1.0), 1.0);
+        assert_eq!(clip_scale(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn oversized_norm_is_scaled_down() {
+        let s = clip_scale(100.0, 1.0);
+        assert!((s - 0.1).abs() < 1e-5);
+        // Scaled norm lands at the threshold.
+        assert!((10.0 * s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn non_positive_threshold_disables_clipping() {
+        assert_eq!(clip_scale(1e6, 0.0), 1.0);
+        assert_eq!(clip_scale(1e6, -1.0), 1.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Optimizer substrate: AdamW over flat fp32 master parameters, gradient
+//! clipping, and learning-rate schedules.
+//!
+//! Matches the training setup of the paper's Table 4 (Adam β₁=0.9, β₂=0.95,
+//! weight decay 0.1, gradient clip 1.0, warmup-cosine decay). The optimizer
+//! state layout is deliberately *flat*: ZeRO shards the flattened parameter
+//! space, so `exp_avg` / `exp_avg_sq` live as flat buffers that partition
+//! cleanly — exactly the state UCP's atom checkpoints are reassembled from.
+//!
+//! The update is elementwise, which is what makes it partition-invariant:
+//! updating a ZeRO shard of the flat space and all-gathering equals updating
+//! the whole flat space, so training losses cannot depend on the DP degree.
+
+pub mod adam;
+pub mod clip;
+pub mod schedule;
+
+pub use adam::{AdamConfig, AdamState};
+pub use clip::clip_scale;
+pub use schedule::LrSchedule;

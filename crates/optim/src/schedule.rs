@@ -1,0 +1,97 @@
+//! Learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// Warmup-then-cosine-decay schedule (the paper's training recipe).
+///
+/// The schedule is a pure function of the iteration number, so resuming a
+/// run from a checkpoint — under any parallelism — restores the exact
+/// learning-rate trajectory from the saved iteration alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    /// Peak learning rate reached at the end of warmup.
+    pub max_lr: f32,
+    /// Floor learning rate after full decay.
+    pub min_lr: f32,
+    /// Linear warmup iterations.
+    pub warmup_iters: u64,
+    /// Iteration at which decay reaches `min_lr`.
+    pub decay_iters: u64,
+}
+
+impl LrSchedule {
+    /// Constant learning rate (testing convenience).
+    pub fn constant(lr: f32) -> LrSchedule {
+        LrSchedule {
+            max_lr: lr,
+            min_lr: lr,
+            warmup_iters: 0,
+            decay_iters: 1,
+        }
+    }
+
+    /// Learning rate for (0-based) iteration `it`.
+    pub fn lr_at(&self, it: u64) -> f32 {
+        if self.warmup_iters > 0 && it < self.warmup_iters {
+            return self.max_lr * (it + 1) as f32 / self.warmup_iters as f32;
+        }
+        if it >= self.decay_iters {
+            return self.min_lr;
+        }
+        let progress =
+            (it - self.warmup_iters) as f64 / (self.decay_iters - self.warmup_iters).max(1) as f64;
+        let cos = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
+        self.min_lr + ((self.max_lr - self.min_lr) as f64 * cos) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> LrSchedule {
+        LrSchedule {
+            max_lr: 3e-4,
+            min_lr: 3e-6,
+            warmup_iters: 10,
+            decay_iters: 100,
+        }
+    }
+
+    #[test]
+    fn warmup_is_linear() {
+        let s = sched();
+        assert!((s.lr_at(0) - 3e-5).abs() < 1e-9);
+        assert!((s.lr_at(4) - 1.5e-4).abs() < 1e-9);
+        assert!((s.lr_at(9) - 3e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_is_monotonic_to_min() {
+        let s = sched();
+        let mut prev = s.lr_at(10);
+        for it in 11..100 {
+            let lr = s.lr_at(it);
+            assert!(lr <= prev + 1e-12, "non-monotonic at {it}");
+            prev = lr;
+        }
+        assert!((s.lr_at(100) - 3e-6).abs() < 1e-12);
+        assert!((s.lr_at(10_000) - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::constant(0.01);
+        for it in [0u64, 1, 50, 1000] {
+            assert_eq!(s.lr_at(it), 0.01);
+        }
+    }
+
+    #[test]
+    fn halfway_point_is_midpoint() {
+        let s = sched();
+        let mid = s.lr_at(55);
+        let expected = 3e-6 + (3e-4 - 3e-6) * 0.5;
+        assert!((mid - expected).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,304 @@
+//! DeepSpeed-style ZeRO flat partitioning of the fp32 master space.
+//!
+//! All parameters of a (tp, pp) model slice are concatenated in name order
+//! into one flat buffer. Each parameter is padded to an alignment quantum
+//! (hardware-efficiency padding in real DeepSpeed), and the total is padded
+//! so it divides evenly by the DP degree; DP rank `k` then owns the
+//! contiguous chunk `[k·chunk, (k+1)·chunk)`. Nothing aligns parameters to
+//! chunk boundaries, so one parameter's elements routinely live on several
+//! DP ranks — the flat `fragment_params` case that UCP's `Extract`/`Union`
+//! must stitch back together and whose padding `StripPadding` removes.
+
+use serde::{Deserialize, Serialize};
+use ucp_tensor::{Shape, Tensor};
+
+/// One parameter's placement inside the flat buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSlot {
+    /// Canonical parameter name.
+    pub name: String,
+    /// Shape of the (tp-sharded) tensor that lives here.
+    pub shape: Shape,
+    /// Start offset in the flat buffer (elements).
+    pub offset: usize,
+    /// Real element count (`shape.num_elements()`).
+    pub len: usize,
+    /// Occupied length including alignment padding.
+    pub padded_len: usize,
+}
+
+/// A piece of one parameter as seen by one DP rank's chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatFragment {
+    /// Owning DP rank.
+    pub dp_rank: usize,
+    /// Offset of the fragment within the parameter (elements).
+    pub param_offset: usize,
+    /// Offset within the owning rank's chunk (elements).
+    pub chunk_offset: usize,
+    /// Fragment length.
+    pub len: usize,
+}
+
+/// The full flat layout for one (tp, pp) model slice at a given DP degree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatLayout {
+    /// Parameter placements, in flattening (name) order.
+    pub slots: Vec<ParamSlot>,
+    /// Total flat length (multiple of `dp · 1` and of `alignment`).
+    pub total_len: usize,
+    /// Per-DP-rank chunk length (`total_len / dp`).
+    pub chunk: usize,
+    /// Alignment quantum each parameter is padded to.
+    pub alignment: usize,
+    /// DP degree the layout was built for.
+    pub dp: usize,
+}
+
+impl FlatLayout {
+    /// Build the layout from `(name, shape)` pairs in flattening order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` or `dp` is zero.
+    pub fn build(params: &[(String, Shape)], alignment: usize, dp: usize) -> FlatLayout {
+        assert!(alignment > 0, "alignment must be ≥ 1");
+        assert!(dp > 0, "dp must be ≥ 1");
+        let mut slots = Vec::with_capacity(params.len());
+        let mut offset = 0usize;
+        for (name, shape) in params {
+            let len = shape.num_elements();
+            let padded_len = len.div_ceil(alignment) * alignment;
+            slots.push(ParamSlot {
+                name: name.clone(),
+                shape: shape.clone(),
+                offset,
+                len,
+                padded_len,
+            });
+            offset += padded_len;
+        }
+        // Pad the total so each DP rank owns an equal contiguous chunk.
+        let total_len = offset.div_ceil(dp).max(1) * dp;
+        FlatLayout {
+            slots,
+            total_len,
+            chunk: total_len / dp,
+            alignment,
+            dp,
+        }
+    }
+
+    /// Find a slot by name.
+    pub fn slot(&self, name: &str) -> Option<&ParamSlot> {
+        self.slots.iter().find(|s| s.name == name)
+    }
+
+    /// The flat element range owned by DP rank `k`.
+    pub fn rank_range(&self, k: usize) -> std::ops::Range<usize> {
+        k * self.chunk..(k + 1) * self.chunk
+    }
+
+    /// Copy named tensors into a fresh flat buffer (padding zeroed).
+    ///
+    /// `lookup` resolves a name to its tensor; missing names panic (wiring
+    /// bug).
+    pub fn flatten<'a, F>(&self, lookup: F) -> Vec<f32>
+    where
+        F: Fn(&str) -> &'a Tensor,
+    {
+        let mut flat = vec![0.0f32; self.total_len];
+        for slot in &self.slots {
+            let t = lookup(&slot.name);
+            assert_eq!(
+                t.num_elements(),
+                slot.len,
+                "tensor size changed for {}",
+                slot.name
+            );
+            flat[slot.offset..slot.offset + slot.len].copy_from_slice(t.as_slice());
+        }
+        flat
+    }
+
+    /// Extract one parameter's values from the flat buffer as a tensor.
+    pub fn unflatten_one(&self, flat: &[f32], slot: &ParamSlot) -> Tensor {
+        Tensor::from_vec(
+            flat[slot.offset..slot.offset + slot.len].to_vec(),
+            slot.shape.clone(),
+        )
+        .expect("slot shape matches slot len")
+    }
+
+    /// The fragments of `slot` (real elements only, padding excluded) as
+    /// they land in DP-rank chunks, ascending rank order.
+    pub fn fragments_of(&self, slot: &ParamSlot) -> Vec<FlatFragment> {
+        let mut out = Vec::new();
+        let (start, end) = (slot.offset, slot.offset + slot.len);
+        let first = start / self.chunk;
+        let last = (end - 1) / self.chunk;
+        for k in first..=last {
+            let r = self.rank_range(k);
+            let lo = start.max(r.start);
+            let hi = end.min(r.end);
+            if lo < hi {
+                out.push(FlatFragment {
+                    dp_rank: k,
+                    param_offset: lo - start,
+                    chunk_offset: lo - r.start,
+                    len: hi - lo,
+                });
+            }
+        }
+        out
+    }
+
+    /// Total real (non-padding) elements.
+    pub fn real_len(&self) -> usize {
+        self.slots.iter().map(|s| s.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes(dims: &[&[usize]]) -> Vec<(String, Shape)> {
+        dims.iter()
+            .enumerate()
+            .map(|(i, d)| (format!("p{i}"), Shape::from(*d)))
+            .collect()
+    }
+
+    #[test]
+    fn offsets_respect_alignment() {
+        let layout = FlatLayout::build(&shapes(&[&[3], &[5], &[4]]), 4, 1);
+        assert_eq!(layout.slots[0].offset, 0);
+        assert_eq!(layout.slots[0].padded_len, 4);
+        assert_eq!(layout.slots[1].offset, 4);
+        assert_eq!(layout.slots[1].padded_len, 8);
+        assert_eq!(layout.slots[2].offset, 12);
+        assert_eq!(layout.total_len, 16);
+    }
+
+    #[test]
+    fn total_divides_by_dp() {
+        let layout = FlatLayout::build(&shapes(&[&[3], &[5]]), 1, 4);
+        assert_eq!(layout.total_len % 4, 0);
+        assert_eq!(layout.chunk * 4, layout.total_len);
+        // 8 real elements → 8 total at dp=4 (already divisible).
+        assert_eq!(layout.total_len, 8);
+        let layout = FlatLayout::build(&shapes(&[&[3], &[4]]), 1, 4);
+        assert_eq!(layout.total_len, 8, "7 rounds up to 8");
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let params = shapes(&[&[2, 3], &[5], &[3, 1]]);
+        let layout = FlatLayout::build(&params, 4, 2);
+        let tensors: Vec<Tensor> = params
+            .iter()
+            .enumerate()
+            .map(|(i, (_, s))| {
+                Tensor::from_vec(
+                    (0..s.num_elements())
+                        .map(|e| (i * 100 + e) as f32)
+                        .collect(),
+                    s.clone(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let flat = layout.flatten(|name| {
+            let idx: usize = name[1..].parse().unwrap();
+            &tensors[idx]
+        });
+        assert_eq!(flat.len(), layout.total_len);
+        for (i, slot) in layout.slots.iter().enumerate() {
+            let back = layout.unflatten_one(&flat, slot);
+            assert!(back.bitwise_eq(&tensors[i]), "roundtrip for {}", slot.name);
+        }
+        // Padding regions are zero.
+        assert_eq!(flat[layout.slots[0].offset + 6], 0.0);
+    }
+
+    #[test]
+    fn fragments_straddle_ranks() {
+        // 10 real elements, alignment 1, dp 4 → total 12, chunk 3.
+        // p0 = [0, 7), p1 = [7, 10).
+        let layout = FlatLayout::build(&shapes(&[&[7], &[3]]), 1, 4);
+        assert_eq!(layout.chunk, 3);
+        let f0 = layout.fragments_of(&layout.slots[0]);
+        assert_eq!(
+            f0,
+            vec![
+                FlatFragment {
+                    dp_rank: 0,
+                    param_offset: 0,
+                    chunk_offset: 0,
+                    len: 3
+                },
+                FlatFragment {
+                    dp_rank: 1,
+                    param_offset: 3,
+                    chunk_offset: 0,
+                    len: 3
+                },
+                FlatFragment {
+                    dp_rank: 2,
+                    param_offset: 6,
+                    chunk_offset: 0,
+                    len: 1
+                },
+            ]
+        );
+        let f1 = layout.fragments_of(&layout.slots[1]);
+        assert_eq!(
+            f1,
+            vec![
+                FlatFragment {
+                    dp_rank: 2,
+                    param_offset: 0,
+                    chunk_offset: 1,
+                    len: 2
+                },
+                FlatFragment {
+                    dp_rank: 3,
+                    param_offset: 2,
+                    chunk_offset: 0,
+                    len: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fragments_cover_every_real_element_exactly_once() {
+        let layout = FlatLayout::build(&shapes(&[&[13], &[1], &[9], &[2, 2]]), 8, 3);
+        for slot in &layout.slots {
+            let frags = layout.fragments_of(slot);
+            let covered: usize = frags.iter().map(|f| f.len).sum();
+            assert_eq!(covered, slot.len, "coverage for {}", slot.name);
+            // Fragments are contiguous and ordered.
+            let mut expect = 0;
+            for f in &frags {
+                assert_eq!(f.param_offset, expect);
+                expect += f.len;
+            }
+        }
+    }
+
+    #[test]
+    fn real_len_excludes_padding() {
+        let layout = FlatLayout::build(&shapes(&[&[3], &[5]]), 4, 2);
+        assert_eq!(layout.real_len(), 8);
+        assert!(layout.total_len > layout.real_len());
+    }
+
+    #[test]
+    fn slot_lookup() {
+        let layout = FlatLayout::build(&shapes(&[&[3]]), 1, 1);
+        assert!(layout.slot("p0").is_some());
+        assert!(layout.slot("nope").is_none());
+    }
+}

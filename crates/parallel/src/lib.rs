@@ -1,0 +1,20 @@
+//! Parallelism topology and partitioning rules.
+//!
+//! This crate answers two questions the rest of the system keeps asking:
+//!
+//! 1. **Who is where?** [`topology`] maps a flat rank id to its
+//!    (DP, PP, SP, TP) coordinate and builds the process groups each rank
+//!    communicates in, plus the pipeline layer assignment.
+//! 2. **Who owns which bytes?** [`flat`] implements DeepSpeed-style ZeRO
+//!    flattening: a (tp, pp) model slice's fp32 master parameters are
+//!    concatenated (name order) into one flat buffer with per-parameter
+//!    alignment padding, the total is padded to a multiple of the DP
+//!    degree, and DP rank *k* owns chunk *k*. Parameters freely straddle
+//!    chunk boundaries — the hard `fragment_params` case UCP's Union must
+//!    reassemble.
+
+pub mod flat;
+pub mod topology;
+
+pub use flat::{FlatFragment, FlatLayout, ParamSlot};
+pub use topology::{ParallelConfig, RankCoord, ZeroStage};

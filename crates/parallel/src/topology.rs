@@ -1,0 +1,292 @@
+//! Rank topology: the TP×SP×PP×DP grid and its process groups.
+
+use serde::{Deserialize, Serialize};
+
+/// ZeRO optimizer-sharding stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ZeroStage {
+    /// No sharding: every DP rank keeps full optimizer state (plain DDP).
+    Zero0,
+    /// Optimizer state partitioned across DP.
+    Zero1,
+    /// Optimizer state + gradients partitioned (reduce-scatter).
+    Zero2,
+    /// Optimizer state + gradients + parameters partitioned.
+    Zero3,
+}
+
+impl ZeroStage {
+    /// Numeric stage for reports and metadata.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ZeroStage::Zero0 => 0,
+            ZeroStage::Zero1 => 1,
+            ZeroStage::Zero2 => 2,
+            ZeroStage::Zero3 => 3,
+        }
+    }
+
+    /// Parse a numeric stage.
+    pub fn from_u8(v: u8) -> Option<ZeroStage> {
+        match v {
+            0 => Some(ZeroStage::Zero0),
+            1 => Some(ZeroStage::Zero1),
+            2 => Some(ZeroStage::Zero2),
+            3 => Some(ZeroStage::Zero3),
+            _ => None,
+        }
+    }
+}
+
+/// A complete parallelism strategy: degrees of each axis plus ZeRO stage.
+///
+/// The paper's configuration notation `TP/PP/DP/SP + ZeRO stage` (Table 3)
+/// maps directly onto this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Pipeline-parallel degree.
+    pub pp: usize,
+    /// Data-parallel degree.
+    pub dp: usize,
+    /// Sequence-parallel degree.
+    pub sp: usize,
+    /// ZeRO stage.
+    pub zero: ZeroStage,
+}
+
+impl ParallelConfig {
+    /// Construct with explicit degrees.
+    pub fn new(tp: usize, pp: usize, dp: usize, sp: usize, zero: ZeroStage) -> ParallelConfig {
+        ParallelConfig {
+            tp,
+            pp,
+            dp,
+            sp,
+            zero,
+        }
+    }
+
+    /// A single-rank configuration.
+    pub fn single() -> ParallelConfig {
+        ParallelConfig::new(1, 1, 1, 1, ZeroStage::Zero1)
+    }
+
+    /// Total ranks (`tp · sp · pp · dp`).
+    pub fn world_size(&self) -> usize {
+        self.tp * self.sp * self.pp * self.dp
+    }
+
+    /// Validate degrees against a model's divisibility constraints.
+    pub fn validate(&self, num_layers: usize, seq_len: usize) -> Result<(), String> {
+        if self.tp == 0 || self.pp == 0 || self.dp == 0 || self.sp == 0 {
+            return Err("all parallel degrees must be ≥ 1".into());
+        }
+        if !num_layers.is_multiple_of(self.pp) {
+            return Err(format!(
+                "{num_layers} layers not divisible by PP degree {}",
+                self.pp
+            ));
+        }
+        if !seq_len.is_multiple_of(self.sp) {
+            return Err(format!(
+                "sequence length {seq_len} not divisible by SP degree {}",
+                self.sp
+            ));
+        }
+        Ok(())
+    }
+
+    /// Short label like `tp2_pp2_dp2_sp1_z1` (used in file names and
+    /// reports).
+    pub fn label(&self) -> String {
+        format!(
+            "tp{}_pp{}_dp{}_sp{}_z{}",
+            self.tp,
+            self.pp,
+            self.dp,
+            self.sp,
+            self.zero.as_u8()
+        )
+    }
+
+    /// Coordinate of a flat rank. TP varies fastest, then SP, PP, DP —
+    /// the Megatron ordering (adjacent ranks share a TP group).
+    pub fn coord(&self, rank: usize) -> RankCoord {
+        debug_assert!(rank < self.world_size());
+        let tp = rank % self.tp;
+        let sp = (rank / self.tp) % self.sp;
+        let pp = (rank / (self.tp * self.sp)) % self.pp;
+        let dp = rank / (self.tp * self.sp * self.pp);
+        RankCoord { dp, pp, sp, tp }
+    }
+
+    /// Flat rank of a coordinate; inverse of [`ParallelConfig::coord`].
+    pub fn rank_of(&self, c: RankCoord) -> usize {
+        ((c.dp * self.pp + c.pp) * self.sp + c.sp) * self.tp + c.tp
+    }
+
+    /// Ranks of the TP group containing `rank`.
+    pub fn tp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coord(rank);
+        (0..self.tp)
+            .map(|tp| self.rank_of(RankCoord { tp, ..c }))
+            .collect()
+    }
+
+    /// Ranks of the SP group containing `rank`.
+    pub fn sp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coord(rank);
+        (0..self.sp)
+            .map(|sp| self.rank_of(RankCoord { sp, ..c }))
+            .collect()
+    }
+
+    /// Ranks of the PP group (all stages of this rank's pipeline).
+    pub fn pp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coord(rank);
+        (0..self.pp)
+            .map(|pp| self.rank_of(RankCoord { pp, ..c }))
+            .collect()
+    }
+
+    /// Ranks of the DP group containing `rank`.
+    pub fn dp_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coord(rank);
+        (0..self.dp)
+            .map(|dp| self.rank_of(RankCoord { dp, ..c }))
+            .collect()
+    }
+
+    /// Ranks of the gradient-reduction group: all (dp, sp) replicas of this
+    /// rank's (tp, pp) model shard. Loss gradients are token-sums, and DP
+    /// and SP both split tokens, so both axes reduce together.
+    pub fn grad_group(&self, rank: usize) -> Vec<usize> {
+        let c = self.coord(rank);
+        let mut out = Vec::with_capacity(self.dp * self.sp);
+        for dp in 0..self.dp {
+            for sp in 0..self.sp {
+                out.push(self.rank_of(RankCoord { dp, sp, ..c }));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The rank of the next pipeline stage, if any.
+    pub fn pp_next(&self, rank: usize) -> Option<usize> {
+        let c = self.coord(rank);
+        (c.pp + 1 < self.pp).then(|| self.rank_of(RankCoord { pp: c.pp + 1, ..c }))
+    }
+
+    /// The rank of the previous pipeline stage, if any.
+    pub fn pp_prev(&self, rank: usize) -> Option<usize> {
+        let c = self.coord(rank);
+        (c.pp > 0).then(|| self.rank_of(RankCoord { pp: c.pp - 1, ..c }))
+    }
+
+    /// Transformer blocks assigned to pipeline stage `pp` (contiguous even
+    /// split; `num_layers` must divide by `self.pp`).
+    pub fn stage_blocks(&self, pp: usize, num_layers: usize) -> std::ops::Range<usize> {
+        let per = num_layers / self.pp;
+        pp * per..(pp + 1) * per
+    }
+}
+
+/// A rank's coordinate in the parallelism grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RankCoord {
+    /// Data-parallel index.
+    pub dp: usize,
+    /// Pipeline stage index.
+    pub pp: usize,
+    /// Sequence-parallel index.
+    pub sp: usize,
+    /// Tensor-parallel index.
+    pub tp: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(tp: usize, pp: usize, dp: usize, sp: usize) -> ParallelConfig {
+        ParallelConfig::new(tp, pp, dp, sp, ZeroStage::Zero1)
+    }
+
+    #[test]
+    fn coord_rank_roundtrip() {
+        let c = cfg(2, 2, 2, 2);
+        assert_eq!(c.world_size(), 16);
+        for rank in 0..16 {
+            assert_eq!(c.rank_of(c.coord(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn tp_varies_fastest() {
+        let c = cfg(2, 2, 2, 1);
+        assert_eq!(c.coord(0).tp, 0);
+        assert_eq!(c.coord(1).tp, 1);
+        assert_eq!(c.coord(1).pp, 0);
+        assert_eq!(c.coord(2).pp, 1);
+    }
+
+    #[test]
+    fn groups_partition_the_world() {
+        let c = cfg(2, 2, 2, 1);
+        // Each rank appears in exactly one TP group instance; the union of
+        // distinct TP groups covers the world.
+        let mut covered = [false; 8];
+        for rank in 0..8 {
+            for m in c.tp_group(rank) {
+                covered[m] = true;
+            }
+            assert!(c.tp_group(rank).contains(&rank));
+            assert_eq!(c.tp_group(rank).len(), 2);
+        }
+        assert!(covered.iter().all(|v| *v));
+    }
+
+    #[test]
+    fn grad_group_spans_dp_and_sp() {
+        let c = cfg(2, 1, 2, 2);
+        let g = c.grad_group(0);
+        assert_eq!(g.len(), 4);
+        // All members share tp=0, pp=0.
+        for m in &g {
+            let coord = c.coord(*m);
+            assert_eq!(coord.tp, 0);
+            assert_eq!(coord.pp, 0);
+        }
+    }
+
+    #[test]
+    fn pipeline_neighbours() {
+        let c = cfg(1, 4, 1, 1);
+        assert_eq!(c.pp_prev(0), None);
+        assert_eq!(c.pp_next(0), Some(1));
+        assert_eq!(c.pp_next(3), None);
+        assert_eq!(c.pp_prev(2), Some(1));
+    }
+
+    #[test]
+    fn stage_blocks_even_split() {
+        let c = cfg(1, 4, 1, 1);
+        assert_eq!(c.stage_blocks(0, 8), 0..2);
+        assert_eq!(c.stage_blocks(3, 8), 6..8);
+    }
+
+    #[test]
+    fn validate_catches_indivisibility() {
+        assert!(cfg(1, 3, 1, 1).validate(8, 32).is_err());
+        assert!(cfg(1, 2, 1, 3).validate(8, 32).is_err());
+        assert!(cfg(2, 2, 2, 2).validate(8, 32).is_ok());
+    }
+
+    #[test]
+    fn label_format() {
+        assert_eq!(cfg(2, 1, 4, 1).label(), "tp2_pp1_dp4_sp1_z1");
+    }
+}

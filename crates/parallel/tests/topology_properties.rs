@@ -1,0 +1,140 @@
+//! Property tests for the parallelism topology and the ZeRO flat layout.
+
+use proptest::prelude::*;
+use ucp_parallel::{FlatLayout, ParallelConfig, RankCoord, ZeroStage};
+use ucp_tensor::Shape;
+
+fn degrees() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    (1usize..4, 1usize..4, 1usize..4, 1usize..3)
+}
+
+proptest! {
+    #[test]
+    fn coord_rank_bijection((tp, pp, dp, sp) in degrees()) {
+        let c = ParallelConfig::new(tp, pp, dp, sp, ZeroStage::Zero1);
+        let mut seen = vec![false; c.world_size()];
+        for dp_i in 0..dp {
+            for pp_i in 0..pp {
+                for sp_i in 0..sp {
+                    for tp_i in 0..tp {
+                        let rank = c.rank_of(RankCoord {
+                            dp: dp_i,
+                            pp: pp_i,
+                            sp: sp_i,
+                            tp: tp_i,
+                        });
+                        prop_assert!(rank < c.world_size());
+                        prop_assert!(!seen[rank], "rank collision");
+                        seen[rank] = true;
+                        prop_assert_eq!(
+                            c.coord(rank),
+                            RankCoord { dp: dp_i, pp: pp_i, sp: sp_i, tp: tp_i }
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|v| *v));
+    }
+
+    #[test]
+    fn every_group_kind_partitions_the_world((tp, pp, dp, sp) in degrees()) {
+        let c = ParallelConfig::new(tp, pp, dp, sp, ZeroStage::Zero1);
+        for kind in 0..5usize {
+            let group_of = |rank: usize| -> Vec<usize> {
+                match kind {
+                    0 => c.tp_group(rank),
+                    1 => c.sp_group(rank),
+                    2 => c.pp_group(rank),
+                    3 => c.dp_group(rank),
+                    _ => c.grad_group(rank),
+                }
+            };
+            let mut covered = vec![0usize; c.world_size()];
+            for rank in 0..c.world_size() {
+                let g = group_of(rank);
+                prop_assert!(g.contains(&rank), "rank not in its own group");
+                // Every member of my group has the identical group.
+                for &m in &g {
+                    prop_assert_eq!(group_of(m), g.clone(), "group not closed");
+                }
+                for &m in &g {
+                    covered[m] += 1;
+                }
+            }
+            // Each rank is counted once per member of its group.
+            for (rank, count) in covered.iter().enumerate() {
+                prop_assert_eq!(*count, group_of(rank).len());
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_neighbours_chain((tp, pp, dp, sp) in degrees()) {
+        let c = ParallelConfig::new(tp, pp, dp, sp, ZeroStage::Zero1);
+        for rank in 0..c.world_size() {
+            let coord = c.coord(rank);
+            match c.pp_next(rank) {
+                Some(next) => {
+                    let nc = c.coord(next);
+                    prop_assert_eq!(nc.pp, coord.pp + 1);
+                    prop_assert_eq!((nc.tp, nc.dp, nc.sp), (coord.tp, coord.dp, coord.sp));
+                    prop_assert_eq!(c.pp_prev(next), Some(rank));
+                }
+                None => prop_assert_eq!(coord.pp, pp - 1),
+            }
+        }
+    }
+
+    #[test]
+    fn stage_blocks_tile_layers(pp in 1usize..6, per in 1usize..5) {
+        let layers = pp * per;
+        let c = ParallelConfig::new(1, pp, 1, 1, ZeroStage::Zero1);
+        let mut covered = vec![false; layers];
+        for stage in 0..pp {
+            for layer in c.stage_blocks(stage, layers) {
+                assert!(!covered[layer]);
+                covered[layer] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|v| *v));
+    }
+
+    #[test]
+    fn flat_layout_invariants(
+        sizes in prop::collection::vec(1usize..50, 1..10),
+        alignment in 1usize..17,
+        dp in 1usize..7,
+    ) {
+        let params: Vec<(String, Shape)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("p{i}"), Shape::new([*s])))
+            .collect();
+        let layout = FlatLayout::build(&params, alignment, dp);
+        // Chunks tile the buffer.
+        prop_assert_eq!(layout.chunk * dp, layout.total_len);
+        // Slots are disjoint, ordered, aligned, and inside the buffer.
+        let mut prev_end = 0;
+        for slot in &layout.slots {
+            prop_assert_eq!(slot.offset % alignment, 0);
+            prop_assert!(slot.offset >= prev_end);
+            prop_assert!(slot.len <= slot.padded_len);
+            prop_assert!(slot.padded_len - slot.len < alignment);
+            prev_end = slot.offset + slot.padded_len;
+        }
+        prop_assert!(prev_end <= layout.total_len);
+        // Fragment coverage: per slot, fragments tile [0, len).
+        for slot in &layout.slots {
+            let frags = layout.fragments_of(slot);
+            let mut covered = 0;
+            for f in &frags {
+                prop_assert_eq!(f.param_offset, covered);
+                prop_assert!(f.dp_rank < dp);
+                prop_assert!(f.chunk_offset + f.len <= layout.chunk);
+                covered += f.len;
+            }
+            prop_assert_eq!(covered, slot.len);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! The `UCPT` container: a self-describing checkpoint file.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "UCPT" | version u32
+//! header_len u32 | header JSON bytes | header crc32c u32
+//! section_count u32
+//! per section:
+//!   name_len u16 | name bytes
+//!   dtype u8 | rank u8 | dims u64 × rank
+//!   payload_len u64 | payload bytes (dtype-encoded) | crc32c u32
+//! ```
+//!
+//! The JSON header carries structured metadata (model config, parallel
+//! strategy, iteration, flat layout, ...) and stays human-inspectable —
+//! the role the pickled dictionary plays in a `.pt` checkpoint. Tensor
+//! payloads are stored in their logical dtype, so a bf16 model copy costs
+//! two bytes per element while the fp32 master costs four.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use ucp_tensor::{DType, Shape, Tensor};
+
+use crate::crc::{crc32c, Crc32c};
+use crate::{Result, StorageError};
+
+const MAGIC: &[u8; 4] = b"UCPT";
+const VERSION: u32 = 1;
+
+/// A named tensor inside a container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section name (parameter name or state key).
+    pub name: String,
+    /// The tensor payload.
+    pub tensor: Tensor,
+}
+
+/// An in-memory checkpoint container.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Container {
+    /// JSON metadata header.
+    pub header: String,
+    /// Tensor sections, in insertion order.
+    pub sections: Vec<Section>,
+}
+
+impl Container {
+    /// Empty container with a header.
+    pub fn new(header: impl Into<String>) -> Container {
+        Container {
+            header: header.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append a tensor section.
+    pub fn push(&mut self, name: impl Into<String>, tensor: Tensor) {
+        self.sections.push(Section {
+            name: name.into(),
+            tensor,
+        });
+    }
+
+    /// Find a section by name.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.sections
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.tensor)
+    }
+
+    /// Serialized size in bytes (what will be written).
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 4 + 4 + 4 + self.header.len() + 4 + 4;
+        for s in &self.sections {
+            n += 2 + s.name.len() + 1 + 1 + 8 * s.tensor.shape().rank() + 8;
+            n += s.tensor.num_elements() * s.tensor.dtype().size_bytes() + 4;
+        }
+        n
+    }
+
+    /// Serialize into a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        let header = self.header.as_bytes();
+        w.write_all(&(header.len() as u32).to_le_bytes())?;
+        w.write_all(header)?;
+        w.write_all(&crc32c(header).to_le_bytes())?;
+        w.write_all(&(self.sections.len() as u32).to_le_bytes())?;
+        for s in &self.sections {
+            let name = s.name.as_bytes();
+            w.write_all(&(name.len() as u16).to_le_bytes())?;
+            w.write_all(name)?;
+            w.write_all(&[s.tensor.dtype().tag()])?;
+            let dims = s.tensor.shape().dims();
+            w.write_all(&[dims.len() as u8])?;
+            for d in dims {
+                w.write_all(&(*d as u64).to_le_bytes())?;
+            }
+            let mut payload =
+                Vec::with_capacity(s.tensor.num_elements() * s.tensor.dtype().size_bytes());
+            s.tensor.dtype().encode(s.tensor.as_slice(), &mut payload);
+            w.write_all(&(payload.len() as u64).to_le_bytes())?;
+            w.write_all(&payload)?;
+            w.write_all(&crc32c(&payload).to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader, verifying all checksums.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Container> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(StorageError::BadVersion(version));
+        }
+        let header_len = read_u32(r)? as usize;
+        let mut header = vec![0u8; header_len];
+        r.read_exact(&mut header)?;
+        let header_crc = read_u32(r)?;
+        if crc32c(&header) != header_crc {
+            return Err(StorageError::ChecksumMismatch {
+                what: "header".into(),
+            });
+        }
+        let header = String::from_utf8(header)
+            .map_err(|_| StorageError::Malformed("header is not UTF-8".into()))?;
+        let count = read_u32(r)? as usize;
+        let mut sections = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = read_u16(r)? as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| StorageError::Malformed("section name is not UTF-8".into()))?;
+            let mut tag = [0u8; 2];
+            r.read_exact(&mut tag)?;
+            let dtype = DType::from_tag(tag[0])
+                .ok_or_else(|| StorageError::Malformed(format!("bad dtype tag {}", tag[0])))?;
+            let rank = tag[1] as usize;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(read_u64(r)? as usize);
+            }
+            let payload_len = read_u64(r)? as usize;
+            let shape = Shape::new(dims);
+            let expected = shape.num_elements() * dtype.size_bytes();
+            if payload_len != expected {
+                return Err(StorageError::Malformed(format!(
+                    "section {name}: payload {payload_len} bytes, shape {shape} implies {expected}"
+                )));
+            }
+            // Stream the payload through the hasher in blocks so huge
+            // sections do not require a second pass.
+            let mut payload = vec![0u8; payload_len];
+            r.read_exact(&mut payload)?;
+            let mut h = Crc32c::new();
+            h.update(&payload);
+            let crc = read_u32(r)?;
+            if h.finish() != crc {
+                return Err(StorageError::ChecksumMismatch { what: name });
+            }
+            let values = dtype
+                .decode(&payload, shape.num_elements())
+                .ok_or_else(|| StorageError::Malformed(format!("section {name}: short payload")))?;
+            let tensor = Tensor::from_vec(values, shape)
+                .map_err(|e| StorageError::Malformed(e.to_string()))?
+                .cast(dtype);
+            sections.push(Section { name, tensor });
+        }
+        Ok(Container { header, sections })
+    }
+
+    /// Write to a file path (creating parent directories).
+    pub fn write_file(&self, path: &Path) -> Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Read from a file path.
+    pub fn read_file(path: &Path) -> Result<Container> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        Container::read_from(&mut r)
+    }
+}
+
+/// Metadata of one section, read without its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section name.
+    pub name: String,
+    /// Logical dtype.
+    pub dtype: DType,
+    /// Tensor shape.
+    pub shape: Shape,
+    /// Payload bytes on disk.
+    pub payload_len: u64,
+}
+
+/// A container's header and section index, read by *skipping* payloads —
+/// O(header) instead of O(file). Backs fast inspection and metadata-only
+/// planning over large checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerIndex {
+    /// JSON metadata header (checksum verified).
+    pub header: String,
+    /// Per-section metadata, in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl ContainerIndex {
+    /// Read the index from a seekable reader.
+    pub fn read_from<R: Read + std::io::Seek>(r: &mut R) -> Result<ContainerIndex> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(StorageError::BadVersion(version));
+        }
+        let header_len = read_u32(r)? as usize;
+        let mut header = vec![0u8; header_len];
+        r.read_exact(&mut header)?;
+        let header_crc = read_u32(r)?;
+        if crc32c(&header) != header_crc {
+            return Err(StorageError::ChecksumMismatch {
+                what: "header".into(),
+            });
+        }
+        let header = String::from_utf8(header)
+            .map_err(|_| StorageError::Malformed("header is not UTF-8".into()))?;
+        let count = read_u32(r)? as usize;
+        let mut sections = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = read_u16(r)? as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| StorageError::Malformed("section name is not UTF-8".into()))?;
+            let mut tag = [0u8; 2];
+            r.read_exact(&mut tag)?;
+            let dtype = DType::from_tag(tag[0])
+                .ok_or_else(|| StorageError::Malformed(format!("bad dtype tag {}", tag[0])))?;
+            let rank = tag[1] as usize;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(read_u64(r)? as usize);
+            }
+            let payload_len = read_u64(r)?;
+            // Skip the payload and its checksum.
+            r.seek(std::io::SeekFrom::Current(payload_len as i64 + 4))?;
+            sections.push(SectionInfo {
+                name,
+                dtype,
+                shape: Shape::new(dims),
+                payload_len,
+            });
+        }
+        Ok(ContainerIndex { header, sections })
+    }
+
+    /// Read the index from a file.
+    pub fn read_file(path: &Path) -> Result<ContainerIndex> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        ContainerIndex::read_from(&mut r)
+    }
+
+    /// Find a section by name.
+    pub fn get(&self, name: &str) -> Option<&SectionInfo> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
+fn read_u16<R: Read>(r: &mut R) -> Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucp_tensor::DetRng;
+
+    fn sample() -> Container {
+        let rng = DetRng::new(1);
+        let mut c = Container::new(r#"{"iteration": 42, "strategy": "tp2_pp1_dp2"}"#);
+        c.push("a.weight", Tensor::randn([4, 3], 1.0, &rng.derive("a")));
+        c.push(
+            "b.bias",
+            Tensor::randn([7], 1.0, &rng.derive("b")).cast(DType::BF16),
+        );
+        c.push("scalar", Tensor::scalar(3.5));
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), c.encoded_len());
+        let back = Container::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.header, c.header);
+        assert_eq!(back.sections.len(), 3);
+        for (orig, read) in c.sections.iter().zip(&back.sections) {
+            assert_eq!(orig.name, read.name);
+            assert_eq!(orig.tensor.dtype(), read.tensor.dtype());
+            assert!(orig.tensor.bitwise_eq(&read.tensor), "{}", orig.name);
+        }
+    }
+
+    #[test]
+    fn bf16_sections_are_half_size() {
+        let rng = DetRng::new(2);
+        let t = Tensor::randn([1000], 1.0, &rng.derive("t"));
+        let mut c32 = Container::new("{}");
+        c32.push("w", t.clone());
+        let mut c16 = Container::new("{}");
+        c16.push("w", t.cast(DType::BF16));
+        let diff = c32.encoded_len() - c16.encoded_len();
+        assert_eq!(diff, 2000, "bf16 payload halves 4000 → 2000 bytes");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        // Flip one payload byte somewhere after the header.
+        let idx = buf.len() - 10;
+        buf[idx] ^= 0x01;
+        match Container::read_from(&mut buf.as_slice()) {
+            Err(StorageError::ChecksumMismatch { .. }) | Err(StorageError::Malformed(_)) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Container::read_from(&mut &b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, StorageError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Container::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ucpt_container_test");
+        let path = dir.join("nested/dir/test.ucpt");
+        let c = sample();
+        c.write_file(&path).unwrap();
+        let back = Container::read_file(&path).unwrap();
+        assert_eq!(back, c.clone());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_by_name() {
+        let c = sample();
+        assert!(c.get("a.weight").is_some());
+        assert!(c.get("missing").is_none());
+    }
+
+    #[test]
+    fn index_matches_full_read() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(index.header, c.header);
+        assert_eq!(index.sections.len(), c.sections.len());
+        for (info, full) in index.sections.iter().zip(&c.sections) {
+            assert_eq!(info.name, full.name);
+            assert_eq!(info.dtype, full.tensor.dtype());
+            assert_eq!(&info.shape, full.tensor.shape());
+            assert_eq!(
+                info.payload_len as usize,
+                full.tensor.num_elements() * full.tensor.dtype().size_bytes()
+            );
+        }
+        assert!(index.get("a.weight").is_some());
+        assert!(index.get("nope").is_none());
+    }
+
+    #[test]
+    fn index_skips_corrupt_payloads_but_catches_bad_header() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        // Corrupt a payload byte: the index never reads it, so indexing
+        // succeeds (payload verification belongs to the full read).
+        let idx = buf.len() - 10;
+        buf[idx] ^= 1;
+        assert!(ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).is_ok());
+        // Corrupt the header: the index must fail.
+        buf[12] ^= 1;
+        assert!(ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! CRC-32C (Castagnoli) checksums for checkpoint integrity.
+
+/// The Castagnoli polynomial (reflected form).
+const POLY: u32 = 0x82F6_3B78;
+
+/// Lazily-built lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *e = crc;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32C hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Default for Crc32c {
+    fn default() -> Crc32c {
+        Crc32c::new()
+    }
+}
+
+impl Crc32c {
+    /// Fresh hasher.
+    pub fn new() -> Crc32c {
+        Crc32c { state: !0 }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ t[((self.state ^ u32::from(b)) & 0xFF) as usize];
+        }
+    }
+
+    /// Final checksum.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot checksum.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut h = Crc32c::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 test vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut h = Crc32c::new();
+        h.update(&data[..100]);
+        h.update(&data[100..]);
+        assert_eq!(h.finish(), crc32c(&data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![7u8; 64];
+        let base = crc32c(&data);
+        data[33] ^= 0x10;
+        assert_ne!(crc32c(&data), base);
+    }
+}

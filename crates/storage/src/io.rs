@@ -1,0 +1,160 @@
+//! Storage-device simulation: bandwidth-limited sequential I/O.
+//!
+//! The paper's `Load` operation uses DeepNVMe to reach near-peak sequential
+//! NVMe bandwidth. On a development machine the page cache hides most I/O
+//! cost, so the efficiency benches (Fig. 11/12) optionally run through a
+//! [`Device`] that meters bytes and sleeps to emulate a fixed-bandwidth
+//! device. With no bandwidth set the device is a transparent pass-through.
+
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// A simulated storage device with optional read/write bandwidth caps
+/// (bytes per second).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Device {
+    /// Sequential read bandwidth in bytes/s (`None` = unlimited).
+    pub read_bps: Option<u64>,
+    /// Sequential write bandwidth in bytes/s (`None` = unlimited).
+    pub write_bps: Option<u64>,
+}
+
+impl Device {
+    /// Unlimited pass-through device.
+    pub fn unlimited() -> Device {
+        Device::default()
+    }
+
+    /// Device with symmetric bandwidth in MiB/s.
+    pub fn with_mibps(mibps: u64) -> Device {
+        let bps = mibps * 1024 * 1024;
+        Device {
+            read_bps: Some(bps),
+            write_bps: Some(bps),
+        }
+    }
+
+    /// Wrap a writer with this device's write throttle.
+    pub fn writer<W: Write>(&self, inner: W) -> Throttled<W> {
+        Throttled::new(inner, self.write_bps)
+    }
+
+    /// Wrap a reader with this device's read throttle.
+    pub fn reader<R: Read>(&self, inner: R) -> Throttled<R> {
+        Throttled::new(inner, self.read_bps)
+    }
+}
+
+/// A bandwidth-throttled stream wrapper.
+///
+/// Accounts bytes against an ideal schedule from the first operation and
+/// sleeps whenever actual progress runs ahead of the simulated device.
+#[derive(Debug)]
+pub struct Throttled<T> {
+    inner: T,
+    bps: Option<u64>,
+    started: Option<Instant>,
+    bytes: u64,
+}
+
+impl<T> Throttled<T> {
+    fn new(inner: T, bps: Option<u64>) -> Throttled<T> {
+        Throttled {
+            inner,
+            bps,
+            started: None,
+            bytes: 0,
+        }
+    }
+
+    /// Unwrap the inner stream.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Bytes transferred so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes
+    }
+
+    fn account(&mut self, n: usize) {
+        let Some(bps) = self.bps else { return };
+        let start = *self.started.get_or_insert_with(Instant::now);
+        self.bytes += n as u64;
+        let ideal = Duration::from_secs_f64(self.bytes as f64 / bps as f64);
+        let elapsed = start.elapsed();
+        if ideal > elapsed {
+            std::thread::sleep(ideal - elapsed);
+        }
+    }
+}
+
+impl<W: Write> Write for Throttled<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.account(n);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<R: Read> Read for Throttled<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.account(n);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_is_transparent() {
+        let dev = Device::unlimited();
+        let mut out = Vec::new();
+        {
+            let mut w = dev.writer(&mut out);
+            w.write_all(b"hello").unwrap();
+            w.flush().unwrap();
+        }
+        assert_eq!(out, b"hello");
+        let mut r = dev.reader(&out[..]);
+        let mut buf = String::new();
+        r.read_to_string(&mut buf).unwrap();
+        assert_eq!(buf, "hello");
+    }
+
+    #[test]
+    fn throttled_write_takes_proportional_time() {
+        // 1 MiB/s device, 64 KiB payload → ≥ ~60 ms.
+        let dev = Device::with_mibps(1);
+        let payload = vec![0u8; 64 * 1024];
+        let start = Instant::now();
+        let mut w = dev.writer(std::io::sink());
+        w.write_all(&payload).unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(50),
+            "only {elapsed:?} for 64 KiB at 1 MiB/s"
+        );
+        assert_eq!(w.bytes_transferred(), 64 * 1024);
+    }
+
+    #[test]
+    fn read_throttle_counts_bytes() {
+        let dev = Device {
+            read_bps: Some(u64::MAX),
+            write_bps: None,
+        };
+        let data = vec![1u8; 1000];
+        let mut r = dev.reader(&data[..]);
+        let mut sink = Vec::new();
+        r.read_to_end(&mut sink).unwrap();
+        assert_eq!(r.bytes_transferred(), 1000);
+    }
+}

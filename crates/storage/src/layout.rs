@@ -1,0 +1,209 @@
+//! On-disk directory layouts for native distributed checkpoints and for
+//! universal (atom) checkpoints, mirroring DeepSpeed's conventions.
+//!
+//! Native distributed checkpoint (what training writes every interval):
+//!
+//! ```text
+//! <base>/global_step<N>/
+//!   mp_rank_<tp>_<pp>/model_states.ucpt          one per (tp, pp)
+//!   zero/dp<dp>_mp<tp>_<pp>/optim_states.ucpt    one per (dp, tp, pp)
+//! <base>/latest                                  text file: "global_step<N>"
+//! ```
+//!
+//! Universal checkpoint (what UCP conversion produces):
+//!
+//! ```text
+//! <base>/global_step<N>_universal/
+//!   manifest.ucpt                                training state + param index
+//!   zero/<param_name>/fp32.ucpt
+//!   zero/<param_name>/exp_avg.ucpt
+//!   zero/<param_name>/exp_avg_sq.ucpt
+//! <base>/latest_universal                        text file
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use crate::Result;
+
+/// Native checkpoint directory for a step.
+pub fn step_dir(base: &Path, step: u64) -> PathBuf {
+    base.join(format!("global_step{step}"))
+}
+
+/// Universal checkpoint directory for a step.
+pub fn universal_dir(base: &Path, step: u64) -> PathBuf {
+    base.join(format!("global_step{step}_universal"))
+}
+
+/// Model-states file for a (tp, pp) model slice.
+pub fn model_states_path(step_dir: &Path, tp: usize, pp: usize) -> PathBuf {
+    step_dir.join(format!("mp_rank_{tp:02}_{pp:03}/model_states.ucpt"))
+}
+
+/// Optimizer-states file for a (dp, tp, pp) rank.
+pub fn optim_states_path(step_dir: &Path, dp: usize, tp: usize, pp: usize) -> PathBuf {
+    step_dir.join(format!(
+        "zero/dp{dp:02}_mp{tp:02}_{pp:03}/optim_states.ucpt"
+    ))
+}
+
+/// Directory holding one parameter's atom checkpoint.
+pub fn atom_dir(universal_dir: &Path, param: &str) -> PathBuf {
+    universal_dir.join("zero").join(param)
+}
+
+/// The three files of an atom checkpoint (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomFile {
+    /// fp32 master weights.
+    Fp32,
+    /// Adam first moment.
+    ExpAvg,
+    /// Adam second moment.
+    ExpAvgSq,
+}
+
+impl AtomFile {
+    /// All three atom files.
+    pub const ALL: [AtomFile; 3] = [AtomFile::Fp32, AtomFile::ExpAvg, AtomFile::ExpAvgSq];
+
+    /// File name inside the atom directory.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            AtomFile::Fp32 => "fp32.ucpt",
+            AtomFile::ExpAvg => "exp_avg.ucpt",
+            AtomFile::ExpAvgSq => "exp_avg_sq.ucpt",
+        }
+    }
+
+    /// DeepSpeed state key this file corresponds to.
+    pub fn state_key(self) -> &'static str {
+        match self {
+            AtomFile::Fp32 => "fp32",
+            AtomFile::ExpAvg => "exp_avg",
+            AtomFile::ExpAvgSq => "exp_avg_sq",
+        }
+    }
+}
+
+/// Path of one atom file.
+pub fn atom_path(universal_dir: &Path, param: &str, file: AtomFile) -> PathBuf {
+    atom_dir(universal_dir, param).join(file.file_name())
+}
+
+/// Manifest path of a universal checkpoint.
+pub fn manifest_path(universal_dir: &Path) -> PathBuf {
+    universal_dir.join("manifest.ucpt")
+}
+
+/// Record the latest native checkpoint step.
+pub fn write_latest(base: &Path, step: u64) -> Result<()> {
+    std::fs::create_dir_all(base)?;
+    std::fs::write(base.join("latest"), format!("global_step{step}"))?;
+    Ok(())
+}
+
+/// Read the latest native checkpoint step, if any.
+pub fn read_latest(base: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(base.join("latest")).ok()?;
+    text.trim().strip_prefix("global_step")?.parse().ok()
+}
+
+/// Record the latest universal checkpoint step.
+pub fn write_latest_universal(base: &Path, step: u64) -> Result<()> {
+    std::fs::create_dir_all(base)?;
+    std::fs::write(
+        base.join("latest_universal"),
+        format!("global_step{step}_universal"),
+    )?;
+    Ok(())
+}
+
+/// Read the latest universal checkpoint step, if any.
+pub fn read_latest_universal(base: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(base.join("latest_universal")).ok()?;
+    text.trim()
+        .strip_prefix("global_step")?
+        .strip_suffix("_universal")?
+        .parse()
+        .ok()
+}
+
+/// Total size in bytes of all regular files under `dir` (recursive).
+pub fn dir_size_bytes(dir: &Path) -> u64 {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += dir_size_bytes(&path);
+        } else if let Ok(meta) = entry.metadata() {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shapes_match_deepspeed_conventions() {
+        let base = Path::new("/ckpt");
+        let sd = step_dir(base, 100);
+        assert_eq!(sd, Path::new("/ckpt/global_step100"));
+        assert_eq!(
+            model_states_path(&sd, 1, 2),
+            Path::new("/ckpt/global_step100/mp_rank_01_002/model_states.ucpt")
+        );
+        assert_eq!(
+            optim_states_path(&sd, 3, 1, 0),
+            Path::new("/ckpt/global_step100/zero/dp03_mp01_000/optim_states.ucpt")
+        );
+        let ud = universal_dir(base, 100);
+        assert_eq!(
+            atom_path(&ud, "layers.0.mlp.weight", AtomFile::ExpAvg),
+            Path::new("/ckpt/global_step100_universal/zero/layers.0.mlp.weight/exp_avg.ucpt")
+        );
+    }
+
+    #[test]
+    fn latest_roundtrip() {
+        let dir = std::env::temp_dir().join("ucpt_layout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_latest(&dir, 123).unwrap();
+        assert_eq!(read_latest(&dir), Some(123));
+        write_latest_universal(&dir, 456).unwrap();
+        assert_eq!(read_latest_universal(&dir), Some(456));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_latest_is_none() {
+        let dir = std::env::temp_dir().join("ucpt_layout_missing");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(read_latest(&dir), None);
+        assert_eq!(read_latest_universal(&dir), None);
+    }
+
+    #[test]
+    fn atom_files_enumerate() {
+        assert_eq!(AtomFile::ALL.len(), 3);
+        assert_eq!(AtomFile::Fp32.file_name(), "fp32.ucpt");
+        assert_eq!(AtomFile::ExpAvgSq.state_key(), "exp_avg_sq");
+    }
+
+    #[test]
+    fn dir_size_counts_recursively() {
+        let dir = std::env::temp_dir().join("ucpt_layout_size");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("a"), [0u8; 10]).unwrap();
+        std::fs::write(dir.join("sub/b"), [0u8; 20]).unwrap();
+        assert_eq!(dir_size_bytes(&dir), 30);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,187 @@
+//! Checkpoint retention: bounded-disk pruning of old checkpoint steps.
+//!
+//! Long training runs checkpoint every few minutes and would otherwise
+//! exhaust storage. The policy keeps the most recent `keep_last` steps,
+//! plus every `keep_every`-th step as long-term anchors, and never removes
+//! the step the `latest` / `latest_universal` markers point to. A step's
+//! native and universal trees are pruned together.
+
+use std::path::Path;
+
+use crate::{layout, Result};
+
+/// What to keep when pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Keep this many of the most recent steps (≥ 1).
+    pub keep_last: usize,
+    /// Additionally keep steps divisible by this interval (`None`
+    /// disables anchors).
+    pub keep_every: Option<u64>,
+}
+
+impl RetentionPolicy {
+    /// Keep only the most recent `n` steps.
+    pub fn last(n: usize) -> RetentionPolicy {
+        RetentionPolicy {
+            keep_last: n.max(1),
+            keep_every: None,
+        }
+    }
+
+    /// Whether `step` survives, given the full sorted step list.
+    fn keeps(&self, step: u64, sorted_steps: &[u64]) -> bool {
+        let recent_cut = sorted_steps.len().saturating_sub(self.keep_last);
+        if sorted_steps[recent_cut..].contains(&step) {
+            return true;
+        }
+        matches!(self.keep_every, Some(every) if every > 0 && step.is_multiple_of(every))
+    }
+}
+
+/// List the checkpoint steps present under `base` (native step
+/// directories), ascending.
+pub fn list_steps(base: &Path) -> Vec<u64> {
+    let mut steps = Vec::new();
+    let Ok(entries) = std::fs::read_dir(base) else {
+        return steps;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name
+            .strip_prefix("global_step")
+            .filter(|rest| !rest.contains('_'))
+        {
+            if let Ok(step) = num.parse() {
+                steps.push(step);
+            }
+        }
+    }
+    steps.sort_unstable();
+    steps
+}
+
+/// Outcome of a prune pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Steps removed (native tree, and universal tree if present).
+    pub removed: Vec<u64>,
+    /// Steps kept.
+    pub kept: Vec<u64>,
+    /// Bytes reclaimed.
+    pub bytes_reclaimed: u64,
+}
+
+/// Apply a retention policy under `base`. The steps referenced by the
+/// `latest` and `latest_universal` markers are always kept.
+pub fn prune(base: &Path, policy: &RetentionPolicy) -> Result<PruneReport> {
+    let steps = list_steps(base);
+    let pinned_native = layout::read_latest(base);
+    let pinned_universal = layout::read_latest_universal(base);
+    let mut report = PruneReport::default();
+    for &step in &steps {
+        let pinned = Some(step) == pinned_native || Some(step) == pinned_universal;
+        if pinned || policy.keeps(step, &steps) {
+            report.kept.push(step);
+            continue;
+        }
+        for dir in [
+            layout::step_dir(base, step),
+            layout::universal_dir(base, step),
+        ] {
+            if dir.is_dir() {
+                report.bytes_reclaimed += layout::dir_size_bytes(&dir);
+                std::fs::remove_dir_all(&dir)?;
+            }
+        }
+        report.removed.push(step);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabricate(name: &str, steps: &[u64]) -> std::path::PathBuf {
+        let base = std::env::temp_dir().join(format!("ucp_retention_{name}"));
+        std::fs::remove_dir_all(&base).ok();
+        for &s in steps {
+            let dir = layout::step_dir(&base, s);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("payload"), vec![0u8; 100]).unwrap();
+        }
+        base
+    }
+
+    #[test]
+    fn keeps_most_recent() {
+        let base = fabricate("recent", &[10, 20, 30, 40, 50]);
+        layout::write_latest(&base, 50).unwrap();
+        let report = prune(&base, &RetentionPolicy::last(2)).unwrap();
+        assert_eq!(report.removed, vec![10, 20, 30]);
+        assert_eq!(report.kept, vec![40, 50]);
+        assert_eq!(report.bytes_reclaimed, 300);
+        assert_eq!(list_steps(&base), vec![40, 50]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn anchors_survive() {
+        let base = fabricate("anchors", &[100, 150, 200, 250, 300]);
+        layout::write_latest(&base, 300).unwrap();
+        let policy = RetentionPolicy {
+            keep_last: 1,
+            keep_every: Some(100),
+        };
+        let report = prune(&base, &policy).unwrap();
+        assert_eq!(report.removed, vec![150, 250]);
+        assert_eq!(list_steps(&base), vec![100, 200, 300]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn latest_markers_are_pinned() {
+        let base = fabricate("pinned", &[1, 2, 3]);
+        layout::write_latest(&base, 3).unwrap();
+        // The universal marker pins an old step even under keep_last(1).
+        layout::write_latest_universal(&base, 1).unwrap();
+        let report = prune(&base, &RetentionPolicy::last(1)).unwrap();
+        assert_eq!(report.removed, vec![2]);
+        assert_eq!(list_steps(&base), vec![1, 3]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn universal_tree_pruned_with_native() {
+        let base = fabricate("universal", &[5, 6]);
+        let u5 = layout::universal_dir(&base, 5);
+        std::fs::create_dir_all(&u5).unwrap();
+        std::fs::write(u5.join("manifest"), vec![0u8; 50]).unwrap();
+        layout::write_latest(&base, 6).unwrap();
+        let report = prune(&base, &RetentionPolicy::last(1)).unwrap();
+        assert_eq!(report.removed, vec![5]);
+        assert!(!u5.exists());
+        assert_eq!(report.bytes_reclaimed, 150);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn list_ignores_universal_dirs_and_noise() {
+        let base = fabricate("noise", &[7]);
+        std::fs::create_dir_all(layout::universal_dir(&base, 7)).unwrap();
+        std::fs::create_dir_all(base.join("unrelated")).unwrap();
+        assert_eq!(list_steps(&base), vec![7]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn empty_base_is_fine() {
+        let base = std::env::temp_dir().join("ucp_retention_missing");
+        std::fs::remove_dir_all(&base).ok();
+        assert!(list_steps(&base).is_empty());
+        let report = prune(&base, &RetentionPolicy::last(3)).unwrap();
+        assert_eq!(report, PruneReport::default());
+    }
+}

@@ -1,0 +1,184 @@
+//! Logical element types and their byte codecs.
+//!
+//! Tensors always hold `f32` values in memory; the [`DType`] tag records the
+//! precision the tensor *represents*. Serialization writes the native bit
+//! pattern for the tag (2 bytes for `F16`/`BF16`, 4 for `F32`), so a
+//! checkpoint of a bf16 model copy is genuinely half the size of its fp32
+//! master — matching the storage behaviour of mixed-precision training that
+//! §3.1 of the paper builds on.
+
+use half::{bf16, f16};
+use serde::{Deserialize, Serialize};
+
+/// Logical element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 half precision.
+    F16,
+    /// bfloat16 (truncated single precision).
+    BF16,
+}
+
+impl DType {
+    /// Size in bytes of one serialized element.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 | DType::BF16 => 2,
+        }
+    }
+
+    /// Round an `f32` value to the nearest value representable in this type.
+    pub fn quantize(self, v: f32) -> f32 {
+        match self {
+            DType::F32 => v,
+            DType::F16 => f16::from_f32(v).to_f32(),
+            DType::BF16 => bf16::from_f32(v).to_f32(),
+        }
+    }
+
+    /// Serialize a slice of (already quantized) values into `out`.
+    pub fn encode(self, values: &[f32], out: &mut Vec<u8>) {
+        match self {
+            DType::F32 => {
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            DType::F16 => {
+                for v in values {
+                    out.extend_from_slice(&f16::from_f32(*v).to_le_bytes());
+                }
+            }
+            DType::BF16 => {
+                for v in values {
+                    out.extend_from_slice(&bf16::from_f32(*v).to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Deserialize `count` elements from `bytes`.
+    ///
+    /// Returns `None` if `bytes` is shorter than `count * size_bytes`.
+    pub fn decode(self, bytes: &[u8], count: usize) -> Option<Vec<f32>> {
+        let need = count * self.size_bytes();
+        if bytes.len() < need {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count);
+        match self {
+            DType::F32 => {
+                for c in bytes[..need].chunks_exact(4) {
+                    out.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+                }
+            }
+            DType::F16 => {
+                for c in bytes[..need].chunks_exact(2) {
+                    out.push(f16::from_le_bytes([c[0], c[1]]).to_f32());
+                }
+            }
+            DType::BF16 => {
+                for c in bytes[..need].chunks_exact(2) {
+                    out.push(bf16::from_le_bytes([c[0], c[1]]).to_f32());
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Stable on-disk identifier.
+    pub fn tag(self) -> u8 {
+        match self {
+            DType::F32 => 0,
+            DType::F16 => 1,
+            DType::BF16 => 2,
+        }
+    }
+
+    /// Inverse of [`DType::tag`].
+    pub fn from_tag(tag: u8) -> Option<DType> {
+        match tag {
+            0 => Some(DType::F32),
+            1 => Some(DType::F16),
+            2 => Some(DType::BF16),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DType::F32 => write!(f, "fp32"),
+            DType::F16 => write!(f, "fp16"),
+            DType::BF16 => write!(f, "bf16"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_f32_is_identity() {
+        for v in [0.0f32, -1.5, 3.25e7, f32::MIN_POSITIVE] {
+            assert_eq!(DType::F32.quantize(v), v);
+        }
+    }
+
+    #[test]
+    fn quantize_bf16_truncates_mantissa() {
+        let v = 1.0f32 + f32::EPSILON;
+        let q = DType::BF16.quantize(v);
+        assert_eq!(q, 1.0, "bf16 has 8 mantissa bits, eps is dropped");
+    }
+
+    #[test]
+    fn quantize_f16_saturates_range() {
+        let q = DType::F16.quantize(1e6);
+        assert!(q.is_infinite(), "1e6 overflows fp16 to inf, got {q}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_f32() {
+        let vals = vec![0.0f32, 1.5, -2.25, 1e-30, f32::MAX];
+        let mut buf = Vec::new();
+        DType::F32.encode(&vals, &mut buf);
+        assert_eq!(buf.len(), vals.len() * 4);
+        let back = DType::F32.decode(&buf, vals.len()).unwrap();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_half_types() {
+        for dt in [DType::F16, DType::BF16] {
+            let vals: Vec<f32> = [0.0f32, 1.5, -2.25, 100.0]
+                .iter()
+                .map(|v| dt.quantize(*v))
+                .collect();
+            let mut buf = Vec::new();
+            dt.encode(&vals, &mut buf);
+            assert_eq!(buf.len(), vals.len() * 2);
+            let back = dt.decode(&buf, vals.len()).unwrap();
+            assert_eq!(back, vals, "{dt} roundtrip");
+        }
+    }
+
+    #[test]
+    fn decode_short_buffer_is_none() {
+        assert!(DType::F32.decode(&[0u8; 7], 2).is_none());
+        assert!(DType::BF16.decode(&[0u8; 3], 2).is_none());
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for dt in [DType::F32, DType::F16, DType::BF16] {
+            assert_eq!(DType::from_tag(dt.tag()), Some(dt));
+        }
+        assert_eq!(DType::from_tag(9), None);
+    }
+}

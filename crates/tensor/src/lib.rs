@@ -1,0 +1,97 @@
+//! Dense CPU tensors with deterministic math.
+//!
+//! This crate is the numeric substrate for the Universal Checkpointing
+//! reproduction. It provides a small owned-tensor type with the operations
+//! the training simulator and the checkpoint transformation engine need:
+//! shape manipulation, slicing/concatenation along arbitrary dimensions,
+//! padding (and padding removal, which UCP's `StripPadding` relies on),
+//! matrix multiplication with f64 accumulation (so results are independent
+//! of blocking/partitioning to well below f32 epsilon), and a deterministic
+//! counter-based RNG so parameter initialization is identical across any
+//! parallel layout.
+//!
+//! Values are always held as `f32` in memory; the logical [`DType`] tag
+//! records the precision a tensor represents. Tensors tagged `F16`/`BF16`
+//! hold values that are exactly representable in that format (enforced by
+//! [`Tensor::cast`]), which mirrors how mixed-precision training keeps
+//! low-precision copies of fp32 master weights.
+
+pub mod dtype;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use dtype::DType;
+pub use rng::DetRng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must match did not.
+    ShapeMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// A dimension index was out of range for the tensor's rank.
+    DimOutOfRange {
+        /// The offending dimension.
+        dim: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// A slice range fell outside the tensor.
+    RangeOutOfBounds {
+        /// Requested start.
+        start: usize,
+        /// Requested length.
+        len: usize,
+        /// Size of the sliced dimension.
+        dim_size: usize,
+    },
+    /// Element count does not match the requested shape.
+    ElementCountMismatch {
+        /// Elements provided.
+        got: usize,
+        /// Elements the shape requires.
+        expected: usize,
+    },
+    /// Concatenation input list was empty or inconsistent.
+    InvalidConcat(String),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch {lhs:?} vs {rhs:?}")
+            }
+            TensorError::DimOutOfRange { dim, rank } => {
+                write!(f, "dimension {dim} out of range for rank {rank}")
+            }
+            TensorError::RangeOutOfBounds {
+                start,
+                len,
+                dim_size,
+            } => write!(
+                f,
+                "range [{start}, {start}+{len}) out of bounds for dimension of size {dim_size}"
+            ),
+            TensorError::ElementCountMismatch { got, expected } => {
+                write!(f, "element count mismatch: got {got}, expected {expected}")
+            }
+            TensorError::InvalidConcat(msg) => write!(f, "invalid concat: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,336 @@
+//! Numeric operations.
+//!
+//! All reductions (dot products, matmul inner loops, row sums) accumulate in
+//! `f64`. This makes results insensitive to how a reduction is *partitioned*:
+//! summing two f64 partial sums of halves of a row and rounding once to f32
+//! agrees with the sequential f64 sum to well below f32 epsilon. That is what
+//! lets tensor-parallel runs reproduce single-rank losses to ~1e-6 instead of
+//! the paper's ±0.02 GPU-nondeterminism band.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+fn check_same_shape(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// `a += b`, elementwise.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    check_same_shape("add_assign", a, b)?;
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+    Ok(())
+}
+
+/// `a += alpha * b`, elementwise.
+pub fn axpy(a: &mut Tensor, alpha: f32, b: &Tensor) -> Result<()> {
+    check_same_shape("axpy", a, b)?;
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += alpha * y;
+    }
+    Ok(())
+}
+
+/// Elementwise sum of two tensors.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = a.clone();
+    add_assign(&mut out, b)?;
+    Ok(out)
+}
+
+/// Elementwise difference `a - b`.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape("sub", a, b)?;
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x - y)
+        .collect();
+    Tensor::from_vec(data, a.shape().clone())
+}
+
+/// Elementwise product.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape("mul", a, b)?;
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .collect();
+    Tensor::from_vec(data, a.shape().clone())
+}
+
+/// Scale in place.
+pub fn scale(a: &mut Tensor, alpha: f32) {
+    for x in a.as_mut_slice() {
+        *x *= alpha;
+    }
+}
+
+/// Dot product with f64 accumulation.
+pub fn dot64(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc += f64::from(*x) * f64::from(*y);
+    }
+    acc
+}
+
+/// Sum of all elements with f64 accumulation.
+pub fn sum64(a: &Tensor) -> f64 {
+    a.as_slice().iter().map(|v| f64::from(*v)).sum()
+}
+
+/// Sum of squares with f64 accumulation (for gradient-norm clipping).
+pub fn sumsq64(a: &Tensor) -> f64 {
+    a.as_slice()
+        .iter()
+        .map(|v| f64::from(*v) * f64::from(*v))
+        .sum()
+}
+
+fn matmul_dims(op: &'static str, a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    Ok((
+        a.shape().dims()[0],
+        a.shape().dims()[1],
+        b.shape().dims()[0],
+        b.shape().dims()[1],
+    ))
+}
+
+/// `[m,k] × [k,n] → [m,n]` with f64 accumulation.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, bk, n) = matmul_dims("matmul", a, b)?;
+    if k != bk {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut acc = vec![0.0f64; n];
+        for (p, &aval) in arow.iter().enumerate() {
+            let brow = &bv[p * n..(p + 1) * n];
+            let a64 = f64::from(aval);
+            for (j, &bval) in brow.iter().enumerate() {
+                acc[j] += a64 * f64::from(bval);
+            }
+        }
+        for (o, v) in orow.iter_mut().zip(acc) {
+            *o = v as f32;
+        }
+    }
+    Tensor::from_vec(out, Shape::new([m, n]))
+}
+
+/// `Aᵀ × B`: `[k,m]ᵀ × [k,n] → [m,n]` without materializing the transpose.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m, bk, n) = matmul_dims("matmul_at_b", a, b)?;
+    if k != bk {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut acc = vec![0.0f64; m * n];
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            let a64 = f64::from(aval);
+            let arow_acc = &mut acc[i * n..(i + 1) * n];
+            for (j, &bval) in brow.iter().enumerate() {
+                arow_acc[j] += a64 * f64::from(bval);
+            }
+        }
+    }
+    Tensor::from_vec(
+        acc.into_iter().map(|v| v as f32).collect(),
+        Shape::new([m, n]),
+    )
+}
+
+/// `A × Bᵀ`: `[m,k] × [n,k]ᵀ → [m,n]` without materializing the transpose.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n, bk) = matmul_dims("matmul_a_bt", a, b)?;
+    if k != bk {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            out[i * n + j] = dot64(arow, brow) as f32;
+        }
+    }
+    Tensor::from_vec(out, Shape::new([m, n]))
+}
+
+/// In-place numerically-stable softmax over the last dimension of a rank-2
+/// tensor.
+pub fn softmax_rows(t: &mut Tensor) -> Result<()> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::DimOutOfRange {
+            dim: 1,
+            rank: t.shape().rank(),
+        });
+    }
+    let cols = t.shape().dims()[1];
+    for row in t.as_mut_slice().chunks_exact_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            denom += f64::from(*v);
+        }
+        let inv = (1.0 / denom) as f32;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetRng;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5., 6., 7., 8.], [2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        let rng = DetRng::new(1);
+        let a = Tensor::randn([5, 3], 1.0, &rng.derive("a"));
+        let b = Tensor::randn([5, 4], 1.0, &rng.derive("b"));
+        let expected = matmul(&a.transpose2().unwrap(), &b).unwrap();
+        let got = matmul_at_b(&a, &b).unwrap();
+        assert!(got.max_abs_diff(&expected).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        let rng = DetRng::new(2);
+        let a = Tensor::randn([4, 6], 1.0, &rng.derive("a"));
+        let b = Tensor::randn([3, 6], 1.0, &rng.derive("b"));
+        let expected = matmul(&a, &b.transpose2().unwrap()).unwrap();
+        let got = matmul_a_bt(&a, &b).unwrap();
+        assert!(got.max_abs_diff(&expected).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn column_partitioned_matmul_matches_full() {
+        // The key determinism property: TP column-parallel results, when
+        // concatenated, equal the unpartitioned result bitwise (the inner
+        // reduction is untouched by output-dim partitioning).
+        let rng = DetRng::new(3);
+        let x = Tensor::randn([4, 8], 1.0, &rng.derive("x"));
+        let w = Tensor::randn([8, 6], 1.0, &rng.derive("w"));
+        let full = matmul(&x, &w).unwrap();
+        let shards = w.chunk(1, 2).unwrap();
+        let y0 = matmul(&x, &shards[0]).unwrap();
+        let y1 = matmul(&x, &shards[1]).unwrap();
+        let cat = Tensor::concat(&[&y0, &y1], 1).unwrap();
+        assert!(cat.bitwise_eq(&full));
+    }
+
+    #[test]
+    fn row_partitioned_matmul_close_to_full() {
+        // Row-parallel splits the inner reduction; f64 accumulation keeps the
+        // re-summed result within 1 ulp of f32.
+        let rng = DetRng::new(4);
+        let x = Tensor::randn([4, 8], 1.0, &rng.derive("x"));
+        let w = Tensor::randn([8, 6], 1.0, &rng.derive("w"));
+        let full = matmul(&x, &w).unwrap();
+        let xs = x.chunk(1, 2).unwrap();
+        let ws = w.chunk(0, 2).unwrap();
+        let p0 = matmul(&xs[0], &ws[0]).unwrap();
+        let p1 = matmul(&xs[1], &ws[1]).unwrap();
+        let summed = add(&p0, &p1).unwrap();
+        assert!(summed.max_abs_diff(&full).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut t = Tensor::from_vec(vec![1., 2., 3., 1000., 1001., 1002.], [2, 3]).unwrap();
+        softmax_rows(&mut t).unwrap();
+        for row in t.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn grad_norm_helpers() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], [2]).unwrap();
+        assert_eq!(sumsq64(&t), 25.0);
+        assert_eq!(sum64(&t), 7.0);
+        assert_eq!(dot64(t.as_slice(), t.as_slice()), 25.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1., 2.], [2]).unwrap();
+        let b = Tensor::from_vec(vec![3., 5.], [2]).unwrap();
+        assert_eq!(add(&a, &b).unwrap().as_slice(), &[4., 7.]);
+        assert_eq!(sub(&b, &a).unwrap().as_slice(), &[2., 3.]);
+        assert_eq!(mul(&a, &b).unwrap().as_slice(), &[3., 10.]);
+        let mut c = a.clone();
+        axpy(&mut c, 2.0, &b).unwrap();
+        assert_eq!(c.as_slice(), &[7., 12.]);
+        scale(&mut c, 0.5);
+        assert_eq!(c.as_slice(), &[3.5, 6.]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_errors() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        assert!(add(&a, &b).is_err());
+        assert!(mul(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Tensor shapes and contiguous (row-major) stride arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TensorError;
+
+/// A tensor shape: the extent of each dimension, row-major.
+///
+/// Rank-0 (scalar) shapes are represented by an empty dimension list and
+/// have one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Shape {
+        Shape(dims.into())
+    }
+
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Shape {
+        Shape(Vec::new())
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The extent of dimension `dim`.
+    pub fn dim(&self, dim: usize) -> Result<usize, TensorError> {
+        self.0.get(dim).copied().ok_or(TensorError::DimOutOfRange {
+            dim,
+            rank: self.rank(),
+        })
+    }
+
+    /// Row-major strides (in elements) for a contiguous layout.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Product of extents *before* `dim` (the "outer" loop count when
+    /// iterating blocks along `dim`).
+    pub fn outer_size(&self, dim: usize) -> usize {
+        self.0[..dim].iter().product()
+    }
+
+    /// Product of extents *after* `dim` (the contiguous "inner" block size).
+    pub fn inner_size(&self, dim: usize) -> usize {
+        self.0[dim + 1..].iter().product()
+    }
+
+    /// Shape with dimension `dim` replaced by `extent`.
+    pub fn with_dim(&self, dim: usize, extent: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims[dim] = extent;
+        Shape(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Shape {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Shape {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Shape {
+        Shape(v.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.num_elements(), 24);
+    }
+
+    #[test]
+    fn outer_inner_sizes() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.outer_size(0), 1);
+        assert_eq!(s.inner_size(0), 12);
+        assert_eq!(s.outer_size(1), 2);
+        assert_eq!(s.inner_size(1), 4);
+        assert_eq!(s.outer_size(2), 6);
+        assert_eq!(s.inner_size(2), 1);
+    }
+
+    #[test]
+    fn dim_out_of_range_errors() {
+        let s = Shape::new([2]);
+        assert!(matches!(
+            s.dim(1),
+            Err(TensorError::DimOutOfRange { dim: 1, rank: 1 })
+        ));
+    }
+
+    #[test]
+    fn with_dim_replaces_extent() {
+        let s = Shape::new([2, 3]);
+        assert_eq!(s.with_dim(1, 7).dims(), &[2, 7]);
+    }
+
+    #[test]
+    fn display_formats_like_a_list() {
+        assert_eq!(Shape::new([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

@@ -1,0 +1,461 @@
+//! The owned dense tensor type and its structural operations.
+//!
+//! Structural operations (narrow / concat / pad / strip) are the data
+//! movements UCP's `Extract`, `Union`, and `StripPadding` are built from,
+//! so they are exact: they copy bits, never recompute values.
+
+use crate::{DType, DetRng, Result, Shape, TensorError};
+
+/// An owned, contiguous, row-major tensor of `f32` values with a logical
+/// [`DType`] tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+    dtype: DType,
+}
+
+impl Tensor {
+    /// Create a tensor from raw values. Fails if the element count does not
+    /// match the shape.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if data.len() != shape.num_elements() {
+            return Err(TensorError::ElementCountMismatch {
+                got: data.len(),
+                expected: shape.num_elements(),
+            });
+        }
+        Ok(Tensor {
+            data,
+            shape,
+            dtype: DType::F32,
+        })
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.num_elements()],
+            shape,
+            dtype: DType::F32,
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.num_elements()],
+            shape,
+            dtype: DType::F32,
+        }
+    }
+
+    /// A scalar tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+            dtype: DType::F32,
+        }
+    }
+
+    /// Normal-initialized tensor drawn from a named stream, so any shard of
+    /// it can be reproduced independently (see [`DetRng::fill_normal_range`]).
+    pub fn randn(shape: impl Into<Shape>, std: f32, stream: &DetRng) -> Tensor {
+        let shape = shape.into();
+        let mut data = vec![0.0f32; shape.num_elements()];
+        stream.fill_normal_range(0, std, &mut data);
+        Tensor {
+            data,
+            shape,
+            dtype: DType::F32,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's logical dtype.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Total element count.
+    pub fn num_elements(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrow the underlying values.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying values.
+    ///
+    /// Mutating a non-`F32` tensor may produce values not representable in
+    /// its logical dtype; callers that care must re-[`cast`](Tensor::cast).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its values.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Cast to a logical dtype, quantizing every element so all values are
+    /// exactly representable in the target format.
+    pub fn cast(&self, dtype: DType) -> Tensor {
+        if dtype == self.dtype && dtype == DType::F32 {
+            return self.clone();
+        }
+        Tensor {
+            data: self.data.iter().map(|v| dtype.quantize(*v)).collect(),
+            shape: self.shape.clone(),
+            dtype,
+        }
+    }
+
+    /// Reinterpret with a new shape of the same element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.num_elements() != self.data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                got: self.data.len(),
+                expected: shape.num_elements(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+            dtype: self.dtype,
+        })
+    }
+
+    /// Slice `len` indices starting at `start` along dimension `dim`.
+    pub fn narrow(&self, dim: usize, start: usize, len: usize) -> Result<Tensor> {
+        let dim_size = self.shape.dim(dim)?;
+        if start + len > dim_size {
+            return Err(TensorError::RangeOutOfBounds {
+                start,
+                len,
+                dim_size,
+            });
+        }
+        let outer = self.shape.outer_size(dim);
+        let inner = self.shape.inner_size(dim);
+        let mut data = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = o * dim_size * inner + start * inner;
+            data.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        Ok(Tensor {
+            data,
+            shape: self.shape.with_dim(dim, len),
+            dtype: self.dtype,
+        })
+    }
+
+    /// Split into `parts.len()` tensors along `dim` with the given extents.
+    pub fn split(&self, dim: usize, parts: &[usize]) -> Result<Vec<Tensor>> {
+        let dim_size = self.shape.dim(dim)?;
+        let total: usize = parts.iter().sum();
+        if total != dim_size {
+            return Err(TensorError::RangeOutOfBounds {
+                start: 0,
+                len: total,
+                dim_size,
+            });
+        }
+        let mut out = Vec::with_capacity(parts.len());
+        let mut start = 0;
+        for len in parts {
+            out.push(self.narrow(dim, start, *len)?);
+            start += len;
+        }
+        Ok(out)
+    }
+
+    /// Split into `n` equal chunks along `dim`. The extent must divide evenly.
+    pub fn chunk(&self, dim: usize, n: usize) -> Result<Vec<Tensor>> {
+        let dim_size = self.shape.dim(dim)?;
+        if n == 0 || dim_size % n != 0 {
+            return Err(TensorError::InvalidConcat(format!(
+                "cannot chunk dimension of size {dim_size} into {n} equal parts"
+            )));
+        }
+        self.split(dim, &vec![dim_size / n; n])
+    }
+
+    /// Concatenate tensors along `dim`. All other dimensions must agree.
+    pub fn concat(tensors: &[&Tensor], dim: usize) -> Result<Tensor> {
+        let first = tensors
+            .first()
+            .ok_or_else(|| TensorError::InvalidConcat("empty input".into()))?;
+        let rank = first.shape.rank();
+        if dim >= rank {
+            return Err(TensorError::DimOutOfRange { dim, rank });
+        }
+        let mut cat_extent = 0;
+        for t in tensors {
+            if t.shape.rank() != rank {
+                return Err(TensorError::InvalidConcat(format!(
+                    "rank mismatch: {} vs {}",
+                    t.shape, first.shape
+                )));
+            }
+            for d in 0..rank {
+                if d != dim && t.shape.dims()[d] != first.shape.dims()[d] {
+                    return Err(TensorError::InvalidConcat(format!(
+                        "non-concat dimension {d} mismatch: {} vs {}",
+                        t.shape, first.shape
+                    )));
+                }
+            }
+            cat_extent += t.shape.dims()[dim];
+        }
+        let out_shape = first.shape.with_dim(dim, cat_extent);
+        let outer = first.shape.outer_size(dim);
+        let inner = first.shape.inner_size(dim);
+        let mut data = Vec::with_capacity(out_shape.num_elements());
+        for o in 0..outer {
+            for t in tensors {
+                let td = t.shape.dims()[dim];
+                let base = o * td * inner;
+                data.extend_from_slice(&t.data[base..base + td * inner]);
+            }
+        }
+        Ok(Tensor {
+            data,
+            shape: out_shape,
+            dtype: first.dtype,
+        })
+    }
+
+    /// Pad dimension `dim` at the end with zeros up to extent `target`.
+    ///
+    /// This is the hardware-alignment padding UCP's `StripPadding` removes.
+    pub fn pad_dim(&self, dim: usize, target: usize) -> Result<Tensor> {
+        let dim_size = self.shape.dim(dim)?;
+        if target < dim_size {
+            return Err(TensorError::RangeOutOfBounds {
+                start: 0,
+                len: target,
+                dim_size,
+            });
+        }
+        if target == dim_size {
+            return Ok(self.clone());
+        }
+        let pad = Tensor {
+            data: vec![
+                0.0;
+                self.shape.outer_size(dim) * (target - dim_size) * self.shape.inner_size(dim)
+            ],
+            shape: self.shape.with_dim(dim, target - dim_size),
+            dtype: self.dtype,
+        };
+        Tensor::concat(&[self, &pad], dim)
+    }
+
+    /// Remove end-padding along `dim`, keeping the first `target` indices:
+    /// the inverse of [`Tensor::pad_dim`].
+    pub fn strip_dim(&self, dim: usize, target: usize) -> Result<Tensor> {
+        self.narrow(dim, 0, target)
+    }
+
+    /// Transpose a rank-2 tensor.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::DimOutOfRange {
+                dim: 2,
+                rank: self.shape.rank(),
+            });
+        }
+        let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let mut data = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(Tensor {
+            data,
+            shape: Shape::new([c, r]),
+            dtype: self.dtype,
+        })
+    }
+
+    /// Flatten to rank-1 preserving element order.
+    pub fn flatten(&self) -> Tensor {
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::new([self.data.len()]),
+            dtype: self.dtype,
+        }
+    }
+
+    /// True if every element is bitwise equal to the corresponding element
+    /// of `other` (NaN-aware: NaN == NaN).
+    pub fn bitwise_eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Maximum absolute elementwise difference; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Option<f32> {
+        if self.shape != other.shape {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn from_vec_checks_count() {
+        assert!(Tensor::from_vec(seq(6), [2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(seq(5), [2, 3]),
+            Err(TensorError::ElementCountMismatch {
+                got: 5,
+                expected: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn narrow_middle_dim() {
+        let t = Tensor::from_vec(seq(24), [2, 3, 4]).unwrap();
+        let n = t.narrow(1, 1, 2).unwrap();
+        assert_eq!(n.shape().dims(), &[2, 2, 4]);
+        assert_eq!(
+            n.as_slice(),
+            &[4., 5., 6., 7., 8., 9., 10., 11., 16., 17., 18., 19., 20., 21., 22., 23.]
+        );
+    }
+
+    #[test]
+    fn narrow_out_of_bounds() {
+        let t = Tensor::zeros([2, 3]);
+        assert!(t.narrow(1, 2, 2).is_err());
+        assert!(t.narrow(2, 0, 1).is_err());
+    }
+
+    #[test]
+    fn split_concat_roundtrip_dim0() {
+        let t = Tensor::from_vec(seq(12), [4, 3]).unwrap();
+        let parts = t.split(0, &[1, 2, 1]).unwrap();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = Tensor::concat(&refs, 0).unwrap();
+        assert!(back.bitwise_eq(&t));
+    }
+
+    #[test]
+    fn split_concat_roundtrip_dim1() {
+        let t = Tensor::from_vec(seq(12), [3, 4]).unwrap();
+        let parts = t.split(1, &[3, 1]).unwrap();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = Tensor::concat(&refs, 1).unwrap();
+        assert!(back.bitwise_eq(&t));
+    }
+
+    #[test]
+    fn chunk_requires_divisibility() {
+        let t = Tensor::zeros([5, 2]);
+        assert!(t.chunk(0, 2).is_err());
+        assert_eq!(t.chunk(0, 5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_other_dims() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 4]);
+        assert!(Tensor::concat(&[&a, &b], 0).is_err());
+        assert!(Tensor::concat(&[&a, &b], 1).is_ok());
+    }
+
+    #[test]
+    fn concat_empty_is_error() {
+        assert!(Tensor::concat(&[], 0).is_err());
+    }
+
+    #[test]
+    fn pad_strip_roundtrip() {
+        let t = Tensor::from_vec(seq(6), [2, 3]).unwrap();
+        let padded = t.pad_dim(1, 5).unwrap();
+        assert_eq!(padded.shape().dims(), &[2, 5]);
+        assert_eq!(padded.as_slice()[3], 0.0);
+        assert_eq!(padded.as_slice()[4], 0.0);
+        let back = padded.strip_dim(1, 3).unwrap();
+        assert!(back.bitwise_eq(&t));
+    }
+
+    #[test]
+    fn pad_noop_when_already_at_target() {
+        let t = Tensor::from_vec(seq(6), [2, 3]).unwrap();
+        assert!(t.pad_dim(1, 3).unwrap().bitwise_eq(&t));
+        assert!(t.pad_dim(1, 2).is_err());
+    }
+
+    #[test]
+    fn transpose2_involution() {
+        let t = Tensor::from_vec(seq(6), [2, 3]).unwrap();
+        let tt = t.transpose2().unwrap();
+        assert_eq!(tt.shape().dims(), &[3, 2]);
+        assert_eq!(tt.as_slice(), &[0., 3., 1., 4., 2., 5.]);
+        assert!(tt.transpose2().unwrap().bitwise_eq(&t));
+    }
+
+    #[test]
+    fn cast_bf16_quantizes_payload() {
+        let t = Tensor::from_vec(vec![1.0 + f32::EPSILON; 4], [4]).unwrap();
+        let c = t.cast(DType::BF16);
+        assert_eq!(c.dtype(), DType::BF16);
+        assert!(c.as_slice().iter().all(|v| *v == 1.0));
+    }
+
+    #[test]
+    fn randn_sharding_matches_full() {
+        let stream = DetRng::new(123).derive("layer.0.weight");
+        let full = Tensor::randn([8, 4], 0.02, &stream);
+        // Reconstruct row-shards [0..4) and [4..8) independently.
+        let mut top = vec![0.0f32; 16];
+        let mut bottom = vec![0.0f32; 16];
+        stream.fill_normal_range(0, 0.02, &mut top);
+        stream.fill_normal_range(16, 0.02, &mut bottom);
+        assert_eq!(&full.as_slice()[..16], &top[..]);
+        assert_eq!(&full.as_slice()[16..], &bottom[..]);
+    }
+
+    #[test]
+    fn bitwise_eq_detects_single_bit() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let mut b = a.clone();
+        b.as_mut_slice()[1] = f32::from_bits(2.0f32.to_bits() ^ 1);
+        assert!(!a.bitwise_eq(&b));
+        assert!(a.max_abs_diff(&b).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for tensor structural operations — the data
+//! movements UCP's transformations are built from must be exact inverses.
+
+use proptest::prelude::*;
+use ucp_tensor::{ops, DType, DetRng, Shape, Tensor};
+
+/// Strategy: a random-rank (1..=3) shape with small extents and a seed.
+fn shape_and_seed() -> impl Strategy<Value = (Vec<usize>, u64)> {
+    (prop::collection::vec(1usize..6, 1..4), 0u64..10_000)
+}
+
+fn tensor_of(dims: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(Shape::from(dims), 1.0, &DetRng::new(seed))
+}
+
+proptest! {
+    #[test]
+    fn split_concat_identity((dims, seed) in shape_and_seed(), dim_sel in 0usize..3) {
+        let t = tensor_of(&dims, seed);
+        let dim = dim_sel % dims.len();
+        // Split into single-index slices and reassemble.
+        let parts = t.split(dim, &vec![1; dims[dim]]).unwrap();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = Tensor::concat(&refs, dim).unwrap();
+        prop_assert!(back.bitwise_eq(&t));
+    }
+
+    #[test]
+    fn narrow_composes((dims, seed) in shape_and_seed(), dim_sel in 0usize..3) {
+        // narrow(a..b) then narrow(c..d) equals narrow(a+c..a+d).
+        let t = tensor_of(&dims, seed);
+        let dim = dim_sel % dims.len();
+        let n = dims[dim];
+        if n >= 2 {
+            let outer = t.narrow(dim, 0, n - 1).unwrap();
+            let inner = outer.narrow(dim, 1, n - 2).unwrap_or_else(|_| outer.clone());
+            if n >= 3 {
+                let direct = t.narrow(dim, 1, n - 2).unwrap();
+                prop_assert!(inner.bitwise_eq(&direct));
+            }
+        }
+    }
+
+    #[test]
+    fn pad_then_strip_identity((dims, seed) in shape_and_seed(), pad in 0usize..5, dim_sel in 0usize..3) {
+        let t = tensor_of(&dims, seed);
+        let dim = dim_sel % dims.len();
+        let padded = t.pad_dim(dim, dims[dim] + pad).unwrap();
+        let back = padded.strip_dim(dim, dims[dim]).unwrap();
+        prop_assert!(back.bitwise_eq(&t));
+        // Pad region is exactly zero.
+        if pad > 0 {
+            let pad_part = padded.narrow(dim, dims[dim], pad).unwrap();
+            prop_assert!(pad_part.as_slice().iter().all(|v| *v == 0.0));
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_order((dims, seed) in shape_and_seed()) {
+        let t = tensor_of(&dims, seed);
+        let flat = t.reshape([t.num_elements()]).unwrap();
+        prop_assert_eq!(flat.as_slice(), t.as_slice());
+        let back = flat.reshape(Shape::from(&dims[..])).unwrap();
+        prop_assert!(back.bitwise_eq(&t));
+    }
+
+    #[test]
+    fn cast_is_idempotent((dims, seed) in shape_and_seed()) {
+        let t = tensor_of(&dims, seed);
+        for dt in [DType::F32, DType::BF16, DType::F16] {
+            let once = t.cast(dt);
+            let twice = once.cast(dt);
+            prop_assert!(once.bitwise_eq(&twice), "{dt} cast not idempotent");
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_error_bounded((dims, seed) in shape_and_seed()) {
+        let t = tensor_of(&dims, seed);
+        let q = t.cast(DType::BF16);
+        // bf16 has 8 mantissa bits → relative error ≤ 2^-8.
+        for (a, b) in t.as_slice().iter().zip(q.as_slice()) {
+            let tol = a.abs() * (1.0 / 256.0) + 1e-30;
+            prop_assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dtype_codec_roundtrip(values in prop::collection::vec(-1e4f32..1e4, 0..64)) {
+        for dt in [DType::F32, DType::F16, DType::BF16] {
+            let quantized: Vec<f32> = values.iter().map(|v| dt.quantize(*v)).collect();
+            let mut buf = Vec::new();
+            dt.encode(&quantized, &mut buf);
+            let back = dt.decode(&buf, quantized.len()).unwrap();
+            prop_assert_eq!(&back, &quantized, "{} codec", dt);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(r in 1usize..8, c in 1usize..8, seed in 0u64..1000) {
+        let t = tensor_of(&[r, c], seed);
+        let tt = t.transpose2().unwrap().transpose2().unwrap();
+        prop_assert!(tt.bitwise_eq(&t));
+    }
+
+    #[test]
+    fn matmul_distributes_over_output_partition(
+        m in 1usize..5, k in 1usize..6, n in 2usize..7, seed in 0u64..1000,
+    ) {
+        // Column-parallel invariance: concatenating partitioned outputs is
+        // bitwise the unpartitioned output (the TP=TP' loss-equality core).
+        let rng = DetRng::new(seed);
+        let a = Tensor::randn([m, k], 1.0, &rng.derive("a"));
+        let b = Tensor::randn([k, n], 1.0, &rng.derive("b"));
+        let full = ops::matmul(&a, &b).unwrap();
+        let split = n / 2;
+        let b0 = b.narrow(1, 0, split).unwrap();
+        let b1 = b.narrow(1, split, n - split).unwrap();
+        let y0 = ops::matmul(&a, &b0).unwrap();
+        let y1 = ops::matmul(&a, &b1).unwrap();
+        let cat = Tensor::concat(&[&y0, &y1], 1).unwrap();
+        prop_assert!(cat.bitwise_eq(&full));
+    }
+
+    #[test]
+    fn matmul_inner_partition_error_tiny(
+        m in 1usize..4, k in 2usize..8, n in 1usize..4, seed in 0u64..1000,
+    ) {
+        // Row-parallel: splitting the reduction and re-summing stays within
+        // a few ulps thanks to f64 accumulation.
+        let rng = DetRng::new(seed);
+        let a = Tensor::randn([m, k], 1.0, &rng.derive("a"));
+        let b = Tensor::randn([k, n], 1.0, &rng.derive("b"));
+        let full = ops::matmul(&a, &b).unwrap();
+        let split = k / 2;
+        let p0 = ops::matmul(&a.narrow(1, 0, split).unwrap(), &b.narrow(0, 0, split).unwrap()).unwrap();
+        let p1 = ops::matmul(&a.narrow(1, split, k - split).unwrap(), &b.narrow(0, split, k - split).unwrap()).unwrap();
+        let summed = ops::add(&p0, &p1).unwrap();
+        prop_assert!(summed.max_abs_diff(&full).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn rng_shard_consistency(len in 1usize..64, split in 1usize..64, seed in 0u64..1000) {
+        // Generating [0, len) in one go equals generating [0, s) and [s, len).
+        let split = split % len.max(1);
+        let stream = DetRng::new(seed).derive("param");
+        let mut full = vec![0.0f32; len];
+        stream.fill_normal_range(0, 1.0, &mut full);
+        let mut a = vec![0.0f32; split];
+        let mut b = vec![0.0f32; len - split];
+        stream.fill_normal_range(0, 1.0, &mut a);
+        stream.fill_normal_range(split as u64, 1.0, &mut b);
+        a.extend(b);
+        prop_assert_eq!(a, full);
+    }
+}

@@ -1,0 +1,596 @@
+//! Run drivers: complete train → checkpoint → reconfigure → resume flows.
+//!
+//! These wrap [`crate::RankEngine`] in [`ucp_collectives::Cluster`] runs
+//! and are the entry points used by the figure harness, integration tests,
+//! and examples.
+
+use std::path::{Path, PathBuf};
+
+use ucp_collectives::Cluster;
+use ucp_core::convert::{convert_to_universal, ConvertOptions, ConvertStats};
+use ucp_core::manifest::UcpManifest;
+
+use crate::engine::{RankEngine, TrainConfig};
+use crate::TrainError;
+
+/// How a run obtains its initial state.
+#[derive(Debug, Clone)]
+pub enum ResumeMode {
+    /// Fresh initialization from the run seed.
+    Fresh,
+    /// Resume a native distributed checkpoint (same strategy only).
+    Native {
+        /// Checkpoint base directory.
+        dir: PathBuf,
+        /// Step to resume from.
+        step: u64,
+    },
+    /// Resume a universal checkpoint (any strategy).
+    Universal {
+        /// Checkpoint base directory.
+        dir: PathBuf,
+        /// Step to resume from.
+        step: u64,
+    },
+}
+
+/// A complete run description.
+#[derive(Debug, Clone)]
+pub struct TrainPlan {
+    /// Run configuration.
+    pub config: TrainConfig,
+    /// Iterations to run (resume runs continue from the checkpoint's
+    /// iteration up to `until_iteration`).
+    pub until_iteration: u64,
+    /// Initial-state source.
+    pub resume: ResumeMode,
+    /// Save a native distributed checkpoint every N iterations (`None`
+    /// disables periodic saving).
+    pub checkpoint_every: Option<u64>,
+    /// Checkpoint base directory (required if `checkpoint_every` is set).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl TrainPlan {
+    /// A plain run with no checkpointing.
+    pub fn simple(config: TrainConfig, iterations: u64) -> TrainPlan {
+        TrainPlan {
+            config,
+            until_iteration: iterations,
+            resume: ResumeMode::Fresh,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// The outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Mean LM loss per iteration, indexed by absolute iteration number
+    /// (the first entry is `(start_iteration, loss)`).
+    pub losses: Vec<(u64, f64)>,
+    /// Iteration the run started at (0 for fresh runs).
+    pub start_iteration: u64,
+    /// Wall-clock seconds spent saving checkpoints (across the run, max
+    /// over ranks).
+    pub save_secs: f64,
+    /// Wall-clock seconds spent loading/initializing state (max over
+    /// ranks).
+    pub load_secs: f64,
+    /// Per-iteration observability records (rank 0's view).
+    pub metrics: Vec<crate::engine::IterStats>,
+}
+
+/// Execute a training plan on an in-process cluster. Returns the per-rank
+/// agreed result (losses are identical on every rank; rank 0's copy is
+/// returned).
+pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
+    plan.config.validate().map_err(TrainError::Config)?;
+    let world = plan.config.parallel.world_size();
+    let results = Cluster::run(world, |comm| -> Result<RunResult, String> {
+        let t_load = std::time::Instant::now();
+        let mut engine = match &plan.resume {
+            ResumeMode::Fresh => RankEngine::fresh(plan.config.clone(), comm),
+            ResumeMode::Native { dir, step } => {
+                RankEngine::resume_native(plan.config.clone(), comm, dir, *step)
+            }
+            ResumeMode::Universal { dir, step } => {
+                RankEngine::resume_universal(plan.config.clone(), comm, dir, *step)
+            }
+        }
+        .map_err(|e| e.to_string())?;
+        let load_secs = t_load.elapsed().as_secs_f64();
+
+        let start_iteration = engine.iteration;
+        let mut losses = Vec::new();
+        let mut metrics = Vec::new();
+        let mut save_secs = 0.0f64;
+        while engine.iteration < plan.until_iteration {
+            let it = engine.iteration;
+            let loss = engine.train_iteration().map_err(|e| e.to_string())?;
+            losses.push((it + 1, loss));
+            metrics.extend(engine.last_stats);
+            if let (Some(every), Some(dir)) = (plan.checkpoint_every, &plan.checkpoint_dir) {
+                if engine.iteration % every == 0 {
+                    let t0 = std::time::Instant::now();
+                    engine.save_checkpoint(dir).map_err(|e| e.to_string())?;
+                    save_secs += t0.elapsed().as_secs_f64();
+                }
+            }
+        }
+        Ok(RunResult {
+            losses,
+            start_iteration,
+            save_secs,
+            load_secs,
+            metrics,
+        })
+    });
+
+    collect_results(results)
+}
+
+/// Like [`train_run`], but checkpoint persistence overlaps training
+/// (CheckFreq/Gemini-style): at each checkpoint boundary the rank takes an
+/// in-memory snapshot — the only blocking cost — and a background thread
+/// writes the files while training continues. The `latest` marker is
+/// published once at the end, after every rank's last writer completes.
+/// The on-disk checkpoints are byte-identical to the synchronous path.
+pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
+    plan.config.validate().map_err(TrainError::Config)?;
+    let world = plan.config.parallel.world_size();
+    let results = Cluster::run(world, |comm| -> Result<RunResult, String> {
+        let t_load = std::time::Instant::now();
+        let mut engine = match &plan.resume {
+            ResumeMode::Fresh => RankEngine::fresh(plan.config.clone(), comm),
+            ResumeMode::Native { dir, step } => {
+                RankEngine::resume_native(plan.config.clone(), comm, dir, *step)
+            }
+            ResumeMode::Universal { dir, step } => {
+                RankEngine::resume_universal(plan.config.clone(), comm, dir, *step)
+            }
+        }
+        .map_err(|e| e.to_string())?;
+        let load_secs = t_load.elapsed().as_secs_f64();
+
+        let start_iteration = engine.iteration;
+        let mut losses = Vec::new();
+        let mut metrics = Vec::new();
+        let mut save_secs = 0.0f64;
+        let mut pending: Option<crate::snapshot::PendingSave> = None;
+        let mut last_saved: Option<u64> = None;
+        while engine.iteration < plan.until_iteration {
+            let it = engine.iteration;
+            let loss = engine.train_iteration().map_err(|e| e.to_string())?;
+            losses.push((it + 1, loss));
+            metrics.extend(engine.last_stats);
+            if let (Some(every), Some(dir)) = (plan.checkpoint_every, &plan.checkpoint_dir) {
+                if engine.iteration % every == 0 {
+                    let t0 = std::time::Instant::now();
+                    // Only the drain of the previous writer and the
+                    // snapshot block training.
+                    if let Some(prev) = pending.take() {
+                        prev.wait().map_err(|e| e.to_string())?;
+                    }
+                    let snapshot = engine.snapshot();
+                    save_secs += t0.elapsed().as_secs_f64();
+                    last_saved = Some(engine.iteration);
+                    pending = Some(crate::snapshot::PendingSave::spawn(snapshot, dir.clone()));
+                }
+            }
+        }
+        if let Some(prev) = pending.take() {
+            prev.wait().map_err(|e| e.to_string())?;
+        }
+        if let (Some(step), Some(dir)) = (last_saved, &plan.checkpoint_dir) {
+            engine
+                .publish_latest(dir, step)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(RunResult {
+            losses,
+            start_iteration,
+            save_secs,
+            load_secs,
+            metrics,
+        })
+    });
+
+    collect_results(results)
+}
+
+/// Merge per-rank results, surfacing the most informative error.
+fn collect_results(
+    results: Vec<std::result::Result<RunResult, String>>,
+) -> Result<RunResult, TrainError> {
+    let mut out: Option<RunResult> = None;
+    let mut errors: Vec<(usize, String)> = Vec::new();
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(res) => {
+                if let Some(first) = &mut out {
+                    first.save_secs = first.save_secs.max(res.save_secs);
+                    first.load_secs = first.load_secs.max(res.load_secs);
+                } else {
+                    out = Some(res);
+                }
+            }
+            Err(msg) => errors.push((rank, msg)),
+        }
+    }
+    if !errors.is_empty() {
+        // When one rank fails, its peers observe secondary "disconnected"
+        // errors; surface the root cause, not the symptom.
+        let (rank, msg) = errors
+            .iter()
+            .find(|(_, m)| !m.contains("disconnected"))
+            .unwrap_or(&errors[0]);
+        return Err(TrainError::Config(format!("rank {rank}: {msg}")));
+    }
+    Ok(out.expect("world_size >= 1"))
+}
+
+/// Convert a native checkpoint under `dir` at `step` into a universal
+/// checkpoint (the lazy, on-demand conversion of §3.1).
+pub fn convert_checkpoint(
+    dir: &Path,
+    step: u64,
+    opts: &ConvertOptions,
+) -> Result<(UcpManifest, ConvertStats), TrainError> {
+    convert_to_universal(dir, step, opts).map_err(TrainError::Ucp)
+}
+
+/// Train under `source`, checkpoint at `ckpt_step`, convert to UCP, and
+/// resume under `target` up to `until`: the paper's single-source →
+/// single-target experiment unit. Returns `(source run, target run)`.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_run(
+    source: TrainConfig,
+    target: TrainConfig,
+    dir: &Path,
+    ckpt_step: u64,
+    until: u64,
+) -> Result<(RunResult, RunResult), TrainError> {
+    let src_plan = TrainPlan {
+        config: source,
+        until_iteration: ckpt_step,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(ckpt_step),
+        checkpoint_dir: Some(dir.to_path_buf()),
+    };
+    let src_result = train_run(&src_plan)?;
+    convert_checkpoint(dir, ckpt_step, &ConvertOptions::default())?;
+    let tgt_plan = TrainPlan {
+        config: target,
+        until_iteration: until,
+        resume: ResumeMode::Universal {
+            dir: dir.to_path_buf(),
+            step: ckpt_step,
+        },
+        checkpoint_every: None,
+        checkpoint_dir: None,
+    };
+    let tgt_result = train_run(&tgt_plan)?;
+    Ok((src_result, tgt_result))
+}
+
+/// One phase of an elastic schedule: a parallelism strategy held until a
+/// target iteration.
+#[derive(Debug, Clone)]
+pub struct ElasticPhase {
+    /// Strategy for this phase (rank count may differ per phase).
+    pub parallel: ucp_parallel::ParallelConfig,
+    /// Train until this absolute iteration, then checkpoint and hand over.
+    pub until_iteration: u64,
+}
+
+/// Run an elastic schedule: train each phase under its strategy,
+/// checkpointing at the phase boundary and converting to a universal
+/// checkpoint so the next phase can resume under a different strategy —
+/// the paper's failure-resilience / elastic-capacity scenario as a single
+/// driver call. Returns the per-phase results.
+pub fn run_elastic(
+    base: TrainConfig,
+    phases: &[ElasticPhase],
+    dir: &Path,
+) -> Result<Vec<RunResult>, TrainError> {
+    if phases.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut results = Vec::with_capacity(phases.len());
+    let mut prev_boundary: Option<u64> = None;
+    for phase in phases {
+        let mut config = base.clone();
+        config.parallel = phase.parallel;
+        let resume = match prev_boundary {
+            None => ResumeMode::Fresh,
+            Some(step) => {
+                convert_checkpoint(dir, step, &ConvertOptions::default())?;
+                ResumeMode::Universal {
+                    dir: dir.to_path_buf(),
+                    step,
+                }
+            }
+        };
+        let result = train_run(&TrainPlan {
+            config,
+            until_iteration: phase.until_iteration,
+            resume,
+            checkpoint_every: Some(phase.until_iteration),
+            checkpoint_dir: Some(dir.to_path_buf()),
+        })?;
+        prev_boundary = Some(phase.until_iteration);
+        results.push(result);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucp_model::ModelConfig;
+    use ucp_parallel::{ParallelConfig, ZeroStage};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ucp_driver_test_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fresh_single_rank_loss_decreases() {
+        let cfg = TrainConfig::quick(ModelConfig::gpt3_tiny(), ParallelConfig::single(), 42);
+        let result = train_run(&TrainPlan::simple(cfg, 10)).unwrap();
+        assert_eq!(result.losses.len(), 10);
+        let first = result.losses[0].1;
+        let last = result.losses.last().unwrap().1;
+        assert!(
+            last < first,
+            "loss should decrease over 10 iterations: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn dp2_matches_single_rank_losses() {
+        let single = TrainConfig::quick(ModelConfig::gpt3_tiny(), ParallelConfig::single(), 7);
+        let dp2 = TrainConfig::quick(
+            ModelConfig::gpt3_tiny(),
+            ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+            7,
+        );
+        let a = train_run(&TrainPlan::simple(single, 5)).unwrap();
+        let b = train_run(&TrainPlan::simple(dp2, 5)).unwrap();
+        for ((ia, la), (ib, lb)) in a.losses.iter().zip(&b.losses) {
+            assert_eq!(ia, ib);
+            assert!(
+                (la - lb).abs() < 5e-3,
+                "iteration {ia}: DP1 {la} vs DP2 {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn native_resume_same_strategy_continues_exactly() {
+        let dir = tmp("native_resume");
+        let cfg = TrainConfig::quick(ModelConfig::gpt3_tiny(), ParallelConfig::single(), 3);
+        // Uninterrupted baseline.
+        let full = train_run(&TrainPlan::simple(cfg.clone(), 8)).unwrap();
+        // Interrupted at 4, resumed natively.
+        let part1 = train_run(&TrainPlan {
+            config: cfg.clone(),
+            until_iteration: 4,
+            resume: ResumeMode::Fresh,
+            checkpoint_every: Some(4),
+            checkpoint_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let part2 = train_run(&TrainPlan {
+            config: cfg,
+            until_iteration: 8,
+            resume: ResumeMode::Native {
+                dir: dir.clone(),
+                step: 4,
+            },
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        })
+        .unwrap();
+        assert_eq!(part2.start_iteration, 4);
+        let stitched: Vec<(u64, f64)> = part1.losses.iter().chain(&part2.losses).cloned().collect();
+        for ((ia, la), (ib, lb)) in full.losses.iter().zip(&stitched) {
+            assert_eq!(ia, ib);
+            assert!(
+                (la - lb).abs() < 1e-9,
+                "iteration {ia}: uninterrupted {la} vs resumed {lb}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn native_resume_rejects_strategy_change() {
+        let dir = tmp("native_reject");
+        let src = TrainConfig::quick(ModelConfig::gpt3_tiny(), ParallelConfig::single(), 5);
+        train_run(&TrainPlan {
+            config: src,
+            until_iteration: 2,
+            resume: ResumeMode::Fresh,
+            checkpoint_every: Some(2),
+            checkpoint_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let target = TrainConfig::quick(
+            ModelConfig::gpt3_tiny(),
+            ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+            5,
+        );
+        let err = train_run(&TrainPlan {
+            config: target,
+            until_iteration: 4,
+            resume: ResumeMode::Native {
+                dir: dir.clone(),
+                step: 2,
+            },
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("convert it to a universal checkpoint"),
+            "{msg}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn universal_resume_across_strategies_continues_loss_curve() {
+        let dir = tmp("universal_resume");
+        let src = TrainConfig::quick(
+            ModelConfig::gpt3_tiny(),
+            ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1),
+            11,
+        );
+        let tgt = TrainConfig::quick(
+            ModelConfig::gpt3_tiny(),
+            ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+            11,
+        );
+        // Uninterrupted source baseline for comparison.
+        let baseline = train_run(&TrainPlan::simple(src.clone(), 8)).unwrap();
+        let (src_run, tgt_run) = resume_run(src, tgt, &dir, 4, 8).unwrap();
+        assert_eq!(src_run.losses.len(), 4);
+        assert_eq!(tgt_run.start_iteration, 4);
+        // The resumed curve must continue the baseline.
+        for ((ia, la), (ib, lb)) in baseline.losses[4..].iter().zip(&tgt_run.losses) {
+            assert_eq!(ia, ib);
+            assert!(
+                (la - lb).abs() < 5e-3,
+                "iteration {ia}: baseline {la} vs UCP-resumed {lb}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn elastic_schedule_crosses_three_strategies() {
+        let dir = tmp("elastic");
+        let base = TrainConfig::quick(ModelConfig::gpt3_tiny(), ParallelConfig::single(), 13);
+        let phases = [
+            ElasticPhase {
+                parallel: ParallelConfig::new(1, 1, 4, 1, ZeroStage::Zero1),
+                until_iteration: 3,
+            },
+            ElasticPhase {
+                parallel: ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero2),
+                until_iteration: 6,
+            },
+            ElasticPhase {
+                parallel: ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1),
+                until_iteration: 9,
+            },
+        ];
+        let results = run_elastic(base.clone(), &phases, &dir).unwrap();
+        assert_eq!(results.len(), 3);
+        // The stitched curve equals one uninterrupted run.
+        let mut baseline_cfg = base;
+        baseline_cfg.parallel = ParallelConfig::new(1, 1, 4, 1, ZeroStage::Zero1);
+        let baseline = train_run(&TrainPlan::simple(baseline_cfg, 9)).unwrap();
+        let stitched: Vec<(u64, f64)> = results.iter().flat_map(|r| r.losses.clone()).collect();
+        assert_eq!(stitched.len(), baseline.losses.len());
+        for ((ia, la), (ib, lb)) in baseline.losses.iter().zip(&stitched) {
+            assert_eq!(ia, ib);
+            assert!(
+                (la - lb).abs() < 2e-3,
+                "elastic run diverges at iteration {ia}: {la} vs {lb}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_record_every_iteration() {
+        let cfg = TrainConfig::quick(ModelConfig::gpt3_tiny(), ParallelConfig::single(), 99);
+        let clip = cfg.grad_clip;
+        let run = train_run(&TrainPlan::simple(cfg, 4)).unwrap();
+        assert_eq!(run.metrics.len(), 4);
+        for (m, (it, loss)) in run.metrics.iter().zip(&run.losses) {
+            assert_eq!(m.iteration, *it);
+            assert_eq!(m.loss, *loss);
+            assert!(m.grad_norm.is_finite() && m.grad_norm > 0.0);
+            assert!(m.lr > 0.0);
+            assert!(m.tokens_per_sec > 0.0);
+            let _ = clip;
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_matches_sequential() {
+        use crate::engine::PipelineSchedule;
+        // Same run under both schedules: losses must agree to f64-reorder
+        // precision, across deep-pipeline and PP×DP layouts.
+        for (parallel, seed) in [
+            (ParallelConfig::new(1, 4, 1, 1, ZeroStage::Zero1), 101u64),
+            (ParallelConfig::new(1, 2, 2, 1, ZeroStage::Zero1), 102),
+            (ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1), 103),
+        ] {
+            let mut sequential = TrainConfig::quick(ModelConfig::gpt3_tiny(), parallel, seed);
+            sequential.global_batch = 8;
+            sequential.micro_batch = 1; // 8 microbatches: real overlap depth
+            let mut one_f_one_b = sequential.clone();
+            one_f_one_b.schedule = PipelineSchedule::OneFOneB;
+            let a = train_run(&TrainPlan::simple(sequential, 3)).unwrap();
+            let b = train_run(&TrainPlan::simple(one_f_one_b, 3)).unwrap();
+            for ((ia, la), (ib, lb)) in a.losses.iter().zip(&b.losses) {
+                assert_eq!(ia, ib);
+                assert!(
+                    (la - lb).abs() < 1e-9,
+                    "{} iteration {ia}: sequential {la} vs 1F1B {lb}",
+                    parallel.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_checkpoints_resume_under_sequential() {
+        use crate::engine::PipelineSchedule;
+        let dir = tmp("schedule_resume");
+        let mut cfg = TrainConfig::quick(
+            ModelConfig::gpt3_tiny(),
+            ParallelConfig::new(1, 2, 1, 1, ZeroStage::Zero1),
+            104,
+        );
+        cfg.schedule = PipelineSchedule::OneFOneB;
+        train_run(&TrainPlan {
+            config: cfg.clone(),
+            until_iteration: 2,
+            resume: ResumeMode::Fresh,
+            checkpoint_every: Some(2),
+            checkpoint_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        convert_checkpoint(&dir, 2, &ucp_core::convert::ConvertOptions::default()).unwrap();
+        let mut tgt = TrainConfig::quick(
+            ModelConfig::gpt3_tiny(),
+            ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1),
+            104,
+        );
+        tgt.schedule = PipelineSchedule::Sequential;
+        let run = train_run(&TrainPlan {
+            config: tgt,
+            until_iteration: 4,
+            resume: ResumeMode::Universal {
+                dir: dir.clone(),
+                step: 2,
+            },
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        })
+        .unwrap();
+        assert!(run.losses.iter().all(|(_, l)| l.is_finite()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,127 @@
+//! Overlapped checkpointing: snapshot-then-persist in the background.
+//!
+//! The related work the paper builds on (CheckFreq, Gemini) hides
+//! checkpoint I/O behind training compute: the blocking cost drops to an
+//! in-memory snapshot, and persistence runs on a background thread. UCP is
+//! orthogonal to this optimization — the background writer emits the exact
+//! same native distributed checkpoint — so the two compose: this module
+//! provides the snapshot/writer machinery behind
+//! [`crate::driver::train_run_overlapped`].
+
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+use ucp_core::checkpoint::{save_model_states, save_optim_states, CommonState, OptimShard};
+use ucp_model::ParamStore;
+use ucp_storage::layout as disk;
+
+use crate::TrainError;
+
+/// An owned, immutable copy of everything one rank persists at a step.
+#[derive(Debug, Clone)]
+pub struct CheckpointSnapshot {
+    /// Common training state.
+    pub common: CommonState,
+    /// (tp, pp) coordinate of the slice.
+    pub tp: usize,
+    /// Pipeline coordinate.
+    pub pp: usize,
+    /// Model shards to write (only the zi=0 replica carries them).
+    pub model: Option<ParamStore>,
+    /// This rank's optimizer chunk.
+    pub shard: OptimShard,
+}
+
+impl CheckpointSnapshot {
+    /// Persist the snapshot under `base/global_step<iteration>`.
+    pub fn persist(&self, base: &Path) -> Result<(), TrainError> {
+        let step_dir = disk::step_dir(base, self.common.iteration);
+        if let Some(model) = &self.model {
+            save_model_states(&step_dir, &self.common, self.tp, self.pp, model)
+                .map_err(TrainError::Ucp)?;
+        }
+        save_optim_states(&step_dir, &self.common, self.tp, self.pp, &self.shard)
+            .map_err(TrainError::Ucp)?;
+        Ok(())
+    }
+}
+
+/// Handle to an in-flight background persist.
+pub struct PendingSave {
+    /// The step being persisted.
+    pub step: u64,
+    handle: JoinHandle<Result<(), TrainError>>,
+}
+
+impl PendingSave {
+    /// Spawn the background writer for a snapshot.
+    pub fn spawn(snapshot: CheckpointSnapshot, base: PathBuf) -> PendingSave {
+        let step = snapshot.common.iteration;
+        let handle = std::thread::spawn(move || snapshot.persist(&base));
+        PendingSave { step, handle }
+    }
+
+    /// Block until the writer finishes, surfacing its result.
+    pub fn wait(self) -> Result<(), TrainError> {
+        self.handle
+            .join()
+            .map_err(|_| TrainError::Config("background checkpoint writer panicked".into()))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucp_model::ModelConfig;
+    use ucp_parallel::{FlatLayout, ParallelConfig, ZeroStage};
+    use ucp_tensor::{Shape, Tensor};
+
+    fn snapshot(iteration: u64) -> CheckpointSnapshot {
+        let layout = FlatLayout::build(&[("p".to_string(), Shape::new([6]))], 2, 1);
+        let mut model = ParamStore::new();
+        model.insert("p", Tensor::full([6], 1.5));
+        CheckpointSnapshot {
+            common: CommonState {
+                iteration,
+                seed: 1,
+                data_cursor: 0,
+                adam_step: iteration,
+                model: ModelConfig::gpt3_tiny(),
+                parallel: ParallelConfig::new(1, 1, 1, 1, ZeroStage::Zero1),
+                params_to_average: vec![],
+            },
+            tp: 0,
+            pp: 0,
+            model: Some(model),
+            shard: OptimShard {
+                dp: 0,
+                layout: layout.clone(),
+                fp32: vec![0.5; layout.chunk],
+                exp_avg: vec![0.0; layout.chunk],
+                exp_avg_sq: vec![0.0; layout.chunk],
+            },
+        }
+    }
+
+    #[test]
+    fn background_persist_writes_both_files() {
+        let base = std::env::temp_dir().join("ucp_snapshot_test");
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::create_dir_all(&base).unwrap();
+        let pending = PendingSave::spawn(snapshot(7), base.clone());
+        assert_eq!(pending.step, 7);
+        pending.wait().unwrap();
+        let step_dir = disk::step_dir(&base, 7);
+        assert!(disk::model_states_path(&step_dir, 0, 0).is_file());
+        assert!(disk::optim_states_path(&step_dir, 0, 0, 0).is_file());
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn writer_error_surfaces_at_wait() {
+        // An unwritable base propagates the I/O error to wait().
+        let base = PathBuf::from("/proc/definitely/not/writable");
+        let pending = PendingSave::spawn(snapshot(1), base);
+        assert!(pending.wait().is_err());
+    }
+}

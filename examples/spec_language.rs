@@ -1,0 +1,95 @@
+//! The UCP specification language: derive, inspect, author, serialize, and
+//! plug a pattern spec into conversion.
+//!
+//! ```sh
+//! cargo run --release --example spec_language
+//! ```
+
+use ucp_repro::core::convert::{convert_to_universal, ConvertOptions};
+use ucp_repro::core::language::{UcpSpec, UcpSpecBuilder};
+use ucp_repro::core::pattern::{FragmentSpec, ParamPattern};
+use ucp_repro::model::ModelConfig;
+use ucp_repro::parallel::{ParallelConfig, ZeroStage};
+use ucp_repro::trainer::{train_run, ResumeMode, TrainConfig, TrainPlan};
+
+fn main() {
+    // 1. Derive a spec from a model's parameter inventory: every parameter
+    //    gets the pattern its TP partitioning implies.
+    let model = ModelConfig::llama_tiny();
+    let derived = UcpSpec::from_model(&model, 2, &[]);
+    println!(
+        "derived spec for {} at TP=2 ({} rules):",
+        model.family,
+        derived.rules().len()
+    );
+    for rule in derived.rules().iter().take(4) {
+        println!("  {:<45} -> {}", rule.glob, rule.pattern);
+    }
+    println!("  ...");
+
+    // 2. Author rules by hand with globs — `*` stays within a dotted
+    //    segment, `**` crosses segments.
+    let custom = UcpSpecBuilder::new()
+        .rule("layers.*.input_layernorm.weight", ParamPattern::ToAverage)
+        .rule(
+            "layers.*.attention.query_key_value.weight",
+            ParamPattern::Fragment(FragmentSpec::Grouped {
+                dim: 0,
+                sections: vec![32, 16, 16],
+            }),
+        )
+        .build();
+
+    // 3. The textual form of the language: JSON you can keep in a file.
+    let json = custom.to_json().unwrap();
+    println!("\ncustom spec as JSON ({} bytes):", json.len());
+    println!("{}", json.lines().take(12).collect::<Vec<_>>().join("\n"));
+    println!("  ...");
+    let reloaded = UcpSpec::from_json(&json).unwrap();
+    assert_eq!(reloaded, custom);
+
+    // 4. Plug the custom rules into a real conversion: user rules override
+    //    the derived ones; everything else falls back.
+    let dir = std::env::temp_dir().join("ucp_spec_language");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = TrainConfig::quick(
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1),
+        8,
+    );
+    train_run(&TrainPlan {
+        config: cfg,
+        until_iteration: 2,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(2),
+        checkpoint_dir: Some(dir.clone()),
+    })
+    .unwrap();
+    let override_spec = UcpSpecBuilder::new()
+        .rule("layers.*.input_layernorm.weight", ParamPattern::ToAverage)
+        .build();
+    let (manifest, _) = convert_to_universal(
+        &dir,
+        2,
+        &ConvertOptions {
+            spec_override: Some(override_spec),
+            ..ConvertOptions::default()
+        },
+    )
+    .unwrap();
+    println!(
+        "\nafter conversion with the override:\n  {:<45} -> {}\n  {:<45} -> {}",
+        "layers.0.input_layernorm.weight",
+        manifest
+            .atom("layers.0.input_layernorm.weight")
+            .unwrap()
+            .pattern,
+        "layers.0.post_attention_layernorm.weight",
+        manifest
+            .atom("layers.0.post_attention_layernorm.weight")
+            .unwrap()
+            .pattern,
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

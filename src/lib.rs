@@ -1,0 +1,52 @@
+//! # Universal Checkpointing (UCP) — Rust reproduction
+//!
+//! A from-scratch reproduction of *"Universal Checkpointing: Efficient and
+//! Flexible Checkpointing for Large Scale Distributed Training"* (Lian et
+//! al.), including the entire substrate the paper builds on: a
+//! deterministic in-process distributed-training simulator with
+//! tensor/pipeline/data/sequence parallelism and ZeRO-partitioned AdamW
+//! over a transformer model family.
+//!
+//! This facade crate re-exports the workspace's public surface and hosts
+//! the integration tests and runnable examples. Start with
+//! [`trainer::TrainConfig`] and [`trainer::train_run`] to train, and
+//! [`core::convert_to_universal`] / [`trainer::ResumeMode::Universal`] to
+//! reshard a checkpoint onto a new parallelism strategy.
+//!
+//! ```no_run
+//! use ucp_repro::model::ModelConfig;
+//! use ucp_repro::parallel::{ParallelConfig, ZeroStage};
+//! use ucp_repro::trainer::{train_run, TrainConfig, TrainPlan};
+//!
+//! let cfg = TrainConfig::quick(
+//!     ModelConfig::gpt3_tiny(),
+//!     ParallelConfig::new(2, 2, 2, 1, ZeroStage::Zero1),
+//!     42,
+//! );
+//! let run = train_run(&TrainPlan::simple(cfg, 10)).unwrap();
+//! println!("final loss: {:?}", run.losses.last());
+//! ```
+
+/// Dense tensors and deterministic RNG.
+pub use ucp_tensor as tensor;
+
+/// In-process SPMD cluster and collectives.
+pub use ucp_collectives as collectives;
+
+/// Transformer model family with hand-written autograd.
+pub use ucp_model as model;
+
+/// Parallelism topology and ZeRO flat partitioning.
+pub use ucp_parallel as parallel;
+
+/// AdamW, gradient clipping, LR schedules.
+pub use ucp_optim as optim;
+
+/// UCPT container format and checkpoint I/O.
+pub use ucp_storage as storage;
+
+/// Universal Checkpointing: patterns, language, operations.
+pub use ucp_core as core;
+
+/// Distributed training simulator and run drivers.
+pub use ucp_trainer as trainer;

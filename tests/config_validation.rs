@@ -1,0 +1,82 @@
+//! Configuration-validation edge cases: every invalid combination must be
+//! rejected with an actionable message before any rank spawns.
+
+use ucp_repro::model::ModelConfig;
+use ucp_repro::parallel::{ParallelConfig, ZeroStage};
+use ucp_repro::trainer::{train_run, TrainConfig, TrainPlan};
+
+fn expect_config_error(mut mutate: impl FnMut(&mut TrainConfig), needle: &str) {
+    let mut cfg = TrainConfig::quick(
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+        1,
+    );
+    mutate(&mut cfg);
+    let err = train_run(&TrainPlan::simple(cfg, 1)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains(needle), "expected '{needle}' in: {msg}");
+}
+
+#[test]
+fn batch_must_divide_by_dp() {
+    expect_config_error(|c| c.global_batch = 7, "not divisible by DP");
+}
+
+#[test]
+fn replica_batch_must_divide_by_microbatch() {
+    expect_config_error(
+        |c| {
+            c.global_batch = 12;
+            c.micro_batch = 4;
+        },
+        "not divisible by microbatch",
+    );
+}
+
+#[test]
+fn layers_must_divide_by_pp() {
+    expect_config_error(
+        |c| c.parallel = ParallelConfig::new(1, 3, 1, 1, ZeroStage::Zero1),
+        "not divisible by PP",
+    );
+}
+
+#[test]
+fn seq_must_divide_by_sp() {
+    expect_config_error(
+        |c| c.parallel = ParallelConfig::new(1, 1, 1, 3, ZeroStage::Zero1),
+        "not divisible by SP",
+    );
+}
+
+#[test]
+fn heads_must_divide_by_tp() {
+    expect_config_error(
+        |c| c.parallel = ParallelConfig::new(8, 1, 1, 1, ZeroStage::Zero1),
+        "num_heads",
+    );
+}
+
+#[test]
+fn unpadded_vocab_must_divide_by_tp() {
+    expect_config_error(
+        |c| {
+            c.model.vocab_size = 255;
+            c.parallel = ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1);
+        },
+        "vocab",
+    );
+}
+
+#[test]
+fn zero_degrees_rejected() {
+    expect_config_error(
+        |c| c.parallel = ParallelConfig::new(0, 1, 1, 1, ZeroStage::Zero1),
+        "degrees",
+    );
+}
+
+#[test]
+fn gqa_head_ratio_must_divide() {
+    expect_config_error(|c| c.model.num_kv_heads = 3, "num_kv_heads");
+}

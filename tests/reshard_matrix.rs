@@ -1,0 +1,175 @@
+//! Source → Target resharding matrix with loss-continuity assertions —
+//! a compressed integration version of Fig. 6/7 (the full experiment runs
+//! in the `figures` binary).
+//!
+//! Every resumed run must continue the uninterrupted baseline within a
+//! tolerance far tighter than the paper's ±0.02 band.
+
+use ucp_repro::core::convert::ConvertOptions;
+use ucp_repro::model::ModelConfig;
+use ucp_repro::parallel::{ParallelConfig, ZeroStage};
+use ucp_repro::trainer::{convert_checkpoint, train_run, ResumeMode, TrainConfig, TrainPlan};
+
+const TOL: f64 = 2e-3;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ucp_it_matrix_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn continuity_case(
+    name: &str,
+    model: ModelConfig,
+    source: ParallelConfig,
+    target: ParallelConfig,
+    seed: u64,
+) {
+    let dir = scratch(name);
+    let (ckpt, until) = (4u64, 8u64);
+    let src_cfg = TrainConfig::quick(model.clone(), source, seed);
+    let tgt_cfg = TrainConfig::quick(model, target, seed);
+
+    let baseline = train_run(&TrainPlan::simple(src_cfg.clone(), until)).unwrap();
+    train_run(&TrainPlan {
+        config: src_cfg,
+        until_iteration: ckpt,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(ckpt),
+        checkpoint_dir: Some(dir.clone()),
+    })
+    .unwrap();
+    convert_checkpoint(&dir, ckpt, &ConvertOptions::default()).unwrap();
+    let resumed = train_run(&TrainPlan {
+        config: tgt_cfg,
+        until_iteration: until,
+        resume: ResumeMode::Universal {
+            dir: dir.clone(),
+            step: ckpt,
+        },
+        checkpoint_every: None,
+        checkpoint_dir: None,
+    })
+    .unwrap();
+
+    assert_eq!(resumed.start_iteration, ckpt);
+    for ((ia, la), (ib, lb)) in baseline.losses[ckpt as usize..].iter().zip(&resumed.losses) {
+        assert_eq!(ia, ib);
+        assert!(
+            (la - lb).abs() < TOL,
+            "{name}: iteration {ia}, baseline {la} vs resumed {lb}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gpt_3d_to_pure_dp() {
+    continuity_case(
+        "3d_to_dp",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(2, 2, 2, 1, ZeroStage::Zero1),
+        ParallelConfig::new(1, 1, 4, 1, ZeroStage::Zero2),
+        1,
+    );
+}
+
+#[test]
+fn gpt_pure_dp_to_3d() {
+    continuity_case(
+        "dp_to_3d",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(1, 1, 4, 1, ZeroStage::Zero2),
+        ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1),
+        2,
+    );
+}
+
+#[test]
+fn gpt_single_gpu_to_eight() {
+    continuity_case(
+        "one_to_eight",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::single(),
+        ParallelConfig::new(2, 2, 2, 1, ZeroStage::Zero1),
+        3,
+    );
+}
+
+#[test]
+fn gpt_eight_to_single_gpu() {
+    continuity_case(
+        "eight_to_one",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(2, 2, 2, 1, ZeroStage::Zero1),
+        ParallelConfig::single(),
+        4,
+    );
+}
+
+#[test]
+fn gpt_zero3_to_zero1_tp() {
+    continuity_case(
+        "z3_to_z1",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(1, 1, 4, 1, ZeroStage::Zero3),
+        ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1),
+        5,
+    );
+}
+
+#[test]
+fn gpt_into_sequence_parallel() {
+    continuity_case(
+        "into_sp",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1),
+        ParallelConfig::new(1, 1, 2, 2, ZeroStage::Zero1),
+        6,
+    );
+}
+
+#[test]
+fn gpt_out_of_sequence_parallel() {
+    continuity_case(
+        "out_of_sp",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(1, 1, 2, 2, ZeroStage::Zero1),
+        ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1),
+        7,
+    );
+}
+
+#[test]
+fn llama_tp_pp_swap() {
+    continuity_case(
+        "llama_swap",
+        ModelConfig::llama_tiny(),
+        ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1),
+        ParallelConfig::new(1, 2, 2, 1, ZeroStage::Zero1),
+        8,
+    );
+}
+
+#[test]
+fn moe_expands_tensor_parallelism() {
+    continuity_case(
+        "moe_tp",
+        ModelConfig::moe_tiny(),
+        ParallelConfig::new(1, 2, 2, 1, ZeroStage::Zero1),
+        ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1),
+        9,
+    );
+}
+
+#[test]
+fn bloom_pipeline_depth_change() {
+    continuity_case(
+        "bloom_pp",
+        ModelConfig::bloom_tiny(),
+        ParallelConfig::new(1, 4, 1, 1, ZeroStage::Zero1),
+        ParallelConfig::new(1, 2, 2, 1, ZeroStage::Zero1),
+        10,
+    );
+}
