@@ -88,6 +88,24 @@ fn bench_container(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_disabled(c: &mut Criterion) {
+    // The hot paths call these unconditionally; with the global recorder
+    // disabled (the default) they must cost no more than a relaxed atomic
+    // load. Any regression here slows every convert/load/save inner loop.
+    let mut group = c.benchmark_group("telemetry_disabled");
+    group.bench_function("enabled_check", |b| b.iter(ucp_telemetry::enabled));
+    group.bench_function("count", |b| {
+        b.iter(|| ucp_telemetry::count("bench/noop", 1))
+    });
+    group.bench_function("observe", |b| {
+        b.iter(|| ucp_telemetry::observe("bench/noop_ns", 1234))
+    });
+    group.bench_function("span_guard", |b| {
+        b.iter(|| ucp_telemetry::span("bench/noop_span"))
+    });
+    group.finish();
+}
+
 fn bench_glob(c: &mut Criterion) {
     let cases = [
         (
@@ -107,6 +125,7 @@ criterion_group!(
     bench_union,
     bench_extract,
     bench_container,
+    bench_telemetry_disabled,
     bench_glob
 );
 criterion_main!(benches);

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Text renderings go to stdout; machine-readable CSV/TXT artifacts are
-//! written under `results/` (override with `UCP_RESULTS_DIR`).
+//! written under `results/` (override with `UCP_RESULTS_DIR`). The
+//! efficiency figures additionally land as `BENCH_fig*.json` in the
+//! `ucp-metrics-v1` schema shared with `ucp --metrics-out`.
 
 use ucp_bench::correctness::{
     elastic_demo, fig10, fig6, fig7, fig8, fig9, CurveSet, Schedule, Table3,
@@ -54,12 +56,18 @@ fn run(which: &str, fast: bool) {
             if let Err(e) = write_artifact("fig11.txt", &r.render()) {
                 eprintln!("  could not write fig11.txt: {e}");
             }
+            if let Err(e) = write_artifact("BENCH_fig11.json", &r.to_report().to_json()) {
+                eprintln!("  could not write BENCH_fig11.json: {e}");
+            }
         }
         "fig12" => {
             let r = fig12();
             println!("{}", r.render());
             if let Err(e) = write_artifact("fig12.txt", &r.render()) {
                 eprintln!("  could not write fig12.txt: {e}");
+            }
+            if let Err(e) = write_artifact("BENCH_fig12.json", &r.to_report().to_json()) {
+                eprintln!("  could not write BENCH_fig12.json: {e}");
             }
         }
         "all" => {

@@ -5,9 +5,21 @@ use ucp_core::convert::ConvertOptions;
 use ucp_model::{ModelConfig, SizePreset};
 use ucp_parallel::{ParallelConfig, ZeroStage};
 use ucp_storage::layout as disk;
+use ucp_telemetry::{CounterStat, Report, SpanStat};
 use ucp_trainer::{convert_checkpoint, train_run, ResumeMode, TrainConfig, TrainPlan};
 
 use crate::report::scratch_dir;
+
+/// A one-shot timing rendered as a span row of the shared metrics schema.
+fn single_span(path: String, secs: f64) -> SpanStat {
+    SpanStat {
+        path,
+        count: 1,
+        total_secs: secs,
+        min_secs: secs,
+        max_secs: secs,
+    }
+}
 
 /// Warm-up iterations before the measured checkpoint.
 const WARM_ITERS: u64 = 2;
@@ -72,6 +84,40 @@ impl Fig11Result {
             "(UCP adds zero save-side cost: conversion is lazy, the save path is unchanged)\n",
         );
         out
+    }
+
+    /// Re-express the table in the `ucp-metrics-v1` schema shared with
+    /// `ucp --metrics-out`, so CI consumes one artifact format.
+    pub fn to_report(&self) -> Report {
+        let mut report = Report {
+            label: "fig11".into(),
+            ..Report::default()
+        };
+        for r in &self.rows {
+            report.spans.push(single_span(
+                format!("fig11/{}/save_standard", r.size),
+                r.standard_secs,
+            ));
+            report.spans.push(single_span(
+                format!("fig11/{}/save_ucp", r.size),
+                r.ucp_secs,
+            ));
+            report.counters.push(CounterStat {
+                name: format!("fig11/{}/params", r.size),
+                value: r.params as u64,
+            });
+            report.counters.push(CounterStat {
+                name: format!("fig11/{}/ckpt_bytes", r.size),
+                value: r.bytes,
+            });
+            report.counters.push(CounterStat {
+                name: format!("fig11/{}/identical", r.size),
+                value: u64::from(r.identical),
+            });
+        }
+        report.spans.sort_by(|a, b| a.path.cmp(&b.path));
+        report.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        report
     }
 }
 
@@ -222,6 +268,44 @@ impl Fig12Result {
         out.push_str("(paper reports 1.14x-1.37x on NVMe-bound loads)\n");
         out
     }
+
+    /// Re-express the table in the `ucp-metrics-v1` schema shared with
+    /// `ucp --metrics-out`, so CI consumes one artifact format.
+    pub fn to_report(&self) -> Report {
+        let mut report = Report {
+            label: "fig12".into(),
+            ..Report::default()
+        };
+        for r in &self.rows {
+            report.spans.push(single_span(
+                format!("fig12/{}/native_load", r.size),
+                r.native_load_secs,
+            ));
+            report.spans.push(single_span(
+                format!("fig12/{}/convert", r.size),
+                r.convert_secs,
+            ));
+            report.spans.push(single_span(
+                format!("fig12/{}/ucp_load", r.size),
+                r.ucp_load_secs,
+            ));
+            report.counters.push(CounterStat {
+                name: format!("fig12/{}/params", r.size),
+                value: r.params as u64,
+            });
+            report.counters.push(CounterStat {
+                name: format!("fig12/{}/native_bytes", r.size),
+                value: r.native_bytes,
+            });
+            report.counters.push(CounterStat {
+                name: format!("fig12/{}/universal_bytes", r.size),
+                value: r.universal_bytes,
+            });
+        }
+        report.spans.sort_by(|a, b| a.path.cmp(&b.path));
+        report.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        report
+    }
 }
 
 /// Fig. 12: compare native resume time against conversion + universal
@@ -287,4 +371,55 @@ pub fn fig12() -> Fig12Result {
         });
     }
     Fig12Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_report_round_trips_through_the_shared_schema() {
+        let result = Fig11Result {
+            rows: vec![SaveRow {
+                size: "small",
+                params: 1000,
+                bytes: 4096,
+                standard_secs: 0.25,
+                ucp_secs: 0.5,
+                identical: true,
+            }],
+        };
+        let report = result.to_report();
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.label, "fig11");
+        assert_eq!(parsed.counter("fig11/small/ckpt_bytes"), Some(4096));
+        assert_eq!(parsed.counter("fig11/small/identical"), Some(1));
+        let span = parsed.span("fig11/small/save_ucp").unwrap();
+        assert_eq!(span.count, 1);
+        assert!((span.total_secs - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig12_report_exposes_every_phase_span() {
+        let result = Fig12Result {
+            rows: vec![LoadRow {
+                size: "medium",
+                params: 2000,
+                native_load_secs: 1.0,
+                convert_secs: 0.5,
+                ucp_load_secs: 1.25,
+                native_bytes: 100,
+                universal_bytes: 60,
+            }],
+        };
+        let report = result.to_report();
+        for path in [
+            "fig12/medium/native_load",
+            "fig12/medium/convert",
+            "fig12/medium/ucp_load",
+        ] {
+            assert!(report.span(path).is_some(), "missing span {path}");
+        }
+        assert_eq!(report.counter("fig12/medium/universal_bytes"), Some(60));
+    }
 }

@@ -9,6 +9,13 @@ ucp — universal checkpoint tools
 USAGE:
   ucp convert --dir <ckpt-base> [--step N] [--workers W] [--spill] [--no-verify]
       Convert a native distributed checkpoint into a universal checkpoint.
+  ucp load --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--rank R]
+      [--workers W] [--mibps M]
+      Execute the universal load for one rank (or all ranks when --rank is
+      omitted), optionally through a simulated fixed-bandwidth device.
+  ucp train --dir <ckpt-base> --model <preset> --tp T --pp P --dp D [--sp S]
+      [--iters I] [--save-every K] [--seed S]
+      Run the training simulator with periodic native checkpointing.
   ucp inspect --dir <ckpt-base> [--step N]
       Summarize a checkpoint: strategy, flat layout, atoms and patterns.
   ucp plan --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--zero Z] --rank R
@@ -22,7 +29,11 @@ USAGE:
   ucp diff --dir <universal-dir-A> --other <universal-dir-B> [--tolerance T]
       Compare two universal checkpoints atom by atom.
   ucp help
-      Show this message.";
+      Show this message.
+
+  Any of convert / load / train also accept --metrics-out <path>: enable
+  telemetry and write a ucp-metrics-v1 JSON report of the run's phase
+  timings, counters, and histograms to <path>.";
 
 /// Parsed flags (a flat bag; each command reads what it needs).
 #[derive(Debug, Default)]
@@ -59,6 +70,16 @@ pub struct Parsed {
     pub other: Option<std::path::PathBuf>,
     /// `--tolerance` (diff): max elementwise |Δ| treated as equal.
     pub tolerance: Option<f64>,
+    /// `--metrics-out`: enable telemetry and write the JSON report here.
+    pub metrics_out: Option<PathBuf>,
+    /// `--iters` (train): iterations to run.
+    pub iters: Option<u64>,
+    /// `--save-every` (train): checkpoint every K iterations.
+    pub save_every: Option<u64>,
+    /// `--seed` (train).
+    pub seed: Option<u64>,
+    /// `--mibps` (load): simulated device bandwidth in MiB/s.
+    pub mibps: Option<u64>,
 }
 
 /// Parse a flag list.
@@ -92,6 +113,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
                 let v = value(&mut i)?;
                 p.tolerance = Some(v.parse().map_err(|_| format!("'{v}' is not a number"))?);
             }
+            "--metrics-out" => p.metrics_out = Some(PathBuf::from(value(&mut i)?)),
+            "--iters" => p.iters = Some(parse_num(&value(&mut i)?)?),
+            "--save-every" => p.save_every = Some(parse_num(&value(&mut i)?)?),
+            "--seed" => p.seed = Some(parse_num(&value(&mut i)?)?),
+            "--mibps" => p.mibps = Some(parse_num(&value(&mut i)?)?),
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -140,6 +166,28 @@ mod tests {
         assert_eq!((p.tp, p.pp, p.dp, p.sp), (Some(2), Some(2), Some(1), None));
         assert_eq!(p.zero, Some(3));
         assert_eq!(p.rank, Some(3));
+    }
+
+    #[test]
+    fn parses_telemetry_and_train_flags() {
+        let p = parse(&sv(&[
+            "--metrics-out",
+            "/tmp/m.json",
+            "--iters",
+            "4",
+            "--save-every",
+            "2",
+            "--seed",
+            "7",
+            "--mibps",
+            "800",
+        ]))
+        .unwrap();
+        assert_eq!(p.metrics_out.unwrap(), PathBuf::from("/tmp/m.json"));
+        assert_eq!(p.iters, Some(4));
+        assert_eq!(p.save_every, Some(2));
+        assert_eq!(p.seed, Some(7));
+        assert_eq!(p.mibps, Some(800));
     }
 
     #[test]

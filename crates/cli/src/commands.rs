@@ -3,17 +3,66 @@
 use ucp_core::checkpoint::{load_model_states, load_optim_states};
 use ucp_core::convert::{convert_to_universal, ConvertOptions};
 use ucp_core::language::UcpSpec;
-use ucp_core::load::{gen_ucp_metadata, DEFAULT_ALIGNMENT};
+use ucp_core::load::{gen_ucp_metadata, load_with_plan_device, DEFAULT_ALIGNMENT};
 use ucp_core::manifest::UcpManifest;
 use ucp_model::ModelConfig;
 use ucp_parallel::{ParallelConfig, ZeroStage};
-use ucp_storage::{layout, retention, Container};
+use ucp_storage::{layout, retention, Container, Device};
+use ucp_trainer::{train_run, ResumeMode, TrainConfig, TrainPlan};
 
 use crate::args::Parsed;
 use crate::resolve_step;
 
 fn require_dir(p: &Parsed) -> Result<std::path::PathBuf, String> {
     p.dir.clone().ok_or_else(|| "--dir is required".into())
+}
+
+/// When `--metrics-out` is set, wipe and enable the global recorder so the
+/// command's hot paths are measured from a clean slate.
+fn metrics_begin(p: &Parsed) {
+    if p.metrics_out.is_some() {
+        let rec = ucp_telemetry::global();
+        rec.reset();
+        rec.set_enabled(true);
+    }
+}
+
+/// When `--metrics-out` is set, snapshot the recorder into a
+/// `ucp-metrics-v1` JSON report at the requested path and disable it again.
+fn metrics_end(p: &Parsed, label: &str) -> Result<(), String> {
+    let Some(path) = &p.metrics_out else {
+        return Ok(());
+    };
+    let rec = ucp_telemetry::global();
+    let report = rec.report(label);
+    rec.set_enabled(false);
+    report
+        .write_json_file(path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("metrics report written to {}", path.display());
+    Ok(())
+}
+
+fn target_parallel(p: &Parsed) -> Result<ParallelConfig, String> {
+    Ok(ParallelConfig::new(
+        p.tp.ok_or("--tp is required")?,
+        p.pp.ok_or("--pp is required")?,
+        p.dp.ok_or("--dp is required")?,
+        p.sp.unwrap_or(1),
+        ZeroStage::from_u8(p.zero.unwrap_or(1)).ok_or("--zero must be 0..=3")?,
+    ))
+}
+
+fn model_preset(name: Option<&str>) -> Result<ModelConfig, String> {
+    match name {
+        Some("gpt3-tiny") => Ok(ModelConfig::gpt3_tiny()),
+        Some("gpt3-tiny-padded") => Ok(ModelConfig::gpt3_tiny_padded_vocab()),
+        Some("llama-tiny") => Ok(ModelConfig::llama_tiny()),
+        Some("bloom-tiny") => Ok(ModelConfig::bloom_tiny()),
+        Some("moe-tiny") => Ok(ModelConfig::moe_tiny()),
+        Some(other) => Err(format!("unknown model preset '{other}'")),
+        None => Err("--model is required".into()),
+    }
 }
 
 /// `ucp convert`: native distributed checkpoint → universal checkpoint.
@@ -33,6 +82,7 @@ pub fn convert(p: &Parsed) -> Result<(), String> {
         opts.spill_fragments,
         opts.verify_replicas
     );
+    metrics_begin(p);
     let (manifest, stats) = convert_to_universal(&dir, step, &opts).map_err(|e| e.to_string())?;
     println!(
         "done: {} atoms, {} bytes written, extract {:.3}s, union {:.3}s",
@@ -43,7 +93,83 @@ pub fn convert(p: &Parsed) -> Result<(), String> {
         layout::universal_dir(&dir, step).display(),
         manifest.source_label
     );
-    Ok(())
+    metrics_end(p, "convert")
+}
+
+/// `ucp load`: execute the universal load for one rank (or every rank of
+/// the target strategy) against the on-disk atoms, optionally through a
+/// simulated fixed-bandwidth device (`--mibps`).
+pub fn load(p: &Parsed) -> Result<(), String> {
+    let dir = require_dir(p)?;
+    let step = resolve_step(&dir, p.step)?;
+    let target = target_parallel(p)?;
+    let universal = layout::universal_dir(&dir, step);
+    let manifest = UcpManifest::load(&universal).map_err(|e| e.to_string())?;
+    let device = match p.mibps {
+        Some(m) => Device::with_mibps(m),
+        None => Device::unlimited(),
+    };
+    let workers = p.workers.unwrap_or(4);
+    let ranks: Vec<usize> = match p.rank {
+        Some(r) if r >= target.world_size() => {
+            return Err(format!(
+                "rank {r} out of range for world size {}",
+                target.world_size()
+            ));
+        }
+        Some(r) => vec![r],
+        None => (0..target.world_size()).collect(),
+    };
+    metrics_begin(p);
+    let mut total_elems = 0usize;
+    for &rank in &ranks {
+        let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT)
+            .map_err(|e| e.to_string())?;
+        let state = load_with_plan_device(&universal, &plan, workers, &device)
+            .map_err(|e| e.to_string())?;
+        total_elems += state.fp32.len();
+        println!(
+            "rank {rank}: {} optimizer elements, {} model params",
+            state.fp32.len(),
+            state.model_params.len()
+        );
+    }
+    println!(
+        "loaded {} rank(s) of {} — {total_elems} flat elements total",
+        ranks.len(),
+        target.label()
+    );
+    metrics_end(p, "load")
+}
+
+/// `ucp train`: run the training simulator with periodic native
+/// checkpointing — the quickest way to produce a native tree for
+/// `convert` / `load` to chew on.
+pub fn train(p: &Parsed) -> Result<(), String> {
+    let dir = require_dir(p)?;
+    let target = target_parallel(p)?;
+    let model = model_preset(p.model.as_deref())?;
+    model.validate(target.tp)?;
+    let config = TrainConfig::quick(model, target, p.seed.unwrap_or(42));
+    let iters = p.iters.unwrap_or(4);
+    let plan = TrainPlan {
+        config,
+        until_iteration: iters,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(p.save_every.unwrap_or(iters).max(1)),
+        checkpoint_dir: Some(dir.clone()),
+    };
+    metrics_begin(p);
+    let result = train_run(&plan).map_err(|e| format!("{e:?}"))?;
+    for (iter, loss) in &result.losses {
+        println!("iter {iter}: loss {loss:.6}");
+    }
+    println!(
+        "trained {iters} iteration(s); checkpoint save {:.3}s; tree at {}",
+        result.save_secs,
+        dir.display()
+    );
+    metrics_end(p, "train")
 }
 
 /// `ucp inspect`: summarize a checkpoint tree.

@@ -4,9 +4,14 @@
 //!
 //! ```text
 //! ucp convert --dir <ckpt-base> [--step N] [--workers W] [--spill] [--no-verify]
+//! ucp load    --dir <ckpt-base> --step N --tp T --pp P --dp D [--rank R] [--mibps M]
+//! ucp train   --dir <ckpt-base> --model <preset> --tp T --pp P --dp D [--iters I]
 //! ucp inspect --dir <ckpt-base> [--step N]
 //! ucp plan    --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--zero Z] --rank R
 //! ```
+//!
+//! `convert`, `load`, and `train` accept `--metrics-out <path>` to dump a
+//! `ucp-metrics-v1` telemetry report of the run.
 
 use std::process::ExitCode;
 
@@ -27,6 +32,8 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "convert" => commands::convert(&parsed),
+        "load" => commands::load(&parsed),
+        "train" => commands::train(&parsed),
         "inspect" => commands::inspect(&parsed),
         "plan" => commands::plan(&parsed),
         "verify" => commands::verify(&parsed),

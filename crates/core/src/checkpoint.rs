@@ -91,6 +91,29 @@ pub fn save_model_states(
     pp: usize,
     params: &ParamStore,
 ) -> Result<()> {
+    save_model_states_impl(step_dir, common, tp, pp, params, false)
+}
+
+/// [`save_model_states`] with an `fsync` before returning, so telemetry
+/// splits serialization (`storage/write`) from durability (`storage/fsync`).
+pub fn save_model_states_durable(
+    step_dir: &Path,
+    common: &CommonState,
+    tp: usize,
+    pp: usize,
+    params: &ParamStore,
+) -> Result<()> {
+    save_model_states_impl(step_dir, common, tp, pp, params, true)
+}
+
+fn save_model_states_impl(
+    step_dir: &Path,
+    common: &CommonState,
+    tp: usize,
+    pp: usize,
+    params: &ParamStore,
+    durable: bool,
+) -> Result<()> {
     let header = serde_json::to_string(&ModelStatesHeader {
         common: common.clone(),
         tp,
@@ -100,7 +123,12 @@ pub fn save_model_states(
     for (name, t) in params.iter() {
         c.push(name.clone(), t.clone());
     }
-    c.write_file(&layout::model_states_path(step_dir, tp, pp))?;
+    let path = layout::model_states_path(step_dir, tp, pp);
+    if durable {
+        c.write_file_durable(&path)?;
+    } else {
+        c.write_file(&path)?;
+    }
     Ok(())
 }
 
@@ -132,6 +160,29 @@ pub fn save_optim_states(
     pp: usize,
     shard: &OptimShard,
 ) -> Result<()> {
+    save_optim_states_impl(step_dir, common, tp, pp, shard, false)
+}
+
+/// [`save_optim_states`] with an `fsync` before returning, so telemetry
+/// splits serialization (`storage/write`) from durability (`storage/fsync`).
+pub fn save_optim_states_durable(
+    step_dir: &Path,
+    common: &CommonState,
+    tp: usize,
+    pp: usize,
+    shard: &OptimShard,
+) -> Result<()> {
+    save_optim_states_impl(step_dir, common, tp, pp, shard, true)
+}
+
+fn save_optim_states_impl(
+    step_dir: &Path,
+    common: &CommonState,
+    tp: usize,
+    pp: usize,
+    shard: &OptimShard,
+    durable: bool,
+) -> Result<()> {
     let header = serde_json::to_string(&OptimStatesHeader {
         common: common.clone(),
         dp: shard.dp,
@@ -151,7 +202,12 @@ pub fn save_optim_states(
             Tensor::from_vec(data.clone(), [chunk]).map_err(UcpError::Tensor)?,
         );
     }
-    c.write_file(&layout::optim_states_path(step_dir, shard.dp, tp, pp))?;
+    let path = layout::optim_states_path(step_dir, shard.dp, tp, pp);
+    if durable {
+        c.write_file_durable(&path)?;
+    } else {
+        c.write_file(&path)?;
+    }
     Ok(())
 }
 

@@ -92,7 +92,10 @@ fn assemble_slice(
     opts: &ConvertOptions,
     spill_dir: Option<&Path>,
 ) -> Result<SliceStates> {
-    // Extract phase: parallel over the dp checkpoint files.
+    // Extract phase: parallel over the dp checkpoint files. Telemetry
+    // spans use absolute paths ("convert/...") because this runs on
+    // par_map worker threads, which have no parent span on their stack.
+    let t_extract = ucp_telemetry::enabled().then(Instant::now);
     let extracted = par_map(dp_degree, opts.workers, |dp| {
         let (_, shard) = load_optim_states(step_dir, dp, tp, pp)?;
         let keys: [(&str, &[f32]); 3] = [
@@ -118,6 +121,7 @@ fn assemble_slice(
                     "frag",
                     Tensor::from_vec(frag.data, [len]).map_err(UcpError::Tensor)?,
                 );
+                ucp_telemetry::count("convert/spill_bytes", c.encoded_len() as u64);
                 c.write_file(&path)?;
                 // Keep only the identity; union reads the payload back.
                 spilled.push((
@@ -133,10 +137,16 @@ fn assemble_slice(
         }
         Ok(out)
     })?;
+    if let Some(t) = t_extract {
+        ucp_telemetry::global().record_span("convert/extract", t.elapsed());
+        let fragments: usize = extracted.iter().map(Vec::len).sum();
+        ucp_telemetry::count("convert/fragments", fragments as u64);
+    }
 
     // Reload one header for the flat layout (headers are tiny).
     let flat_layout = load_optim_states(step_dir, 0, tp, pp)?.1.layout;
 
+    let t_union = ucp_telemetry::enabled().then(Instant::now);
     let mut grouped: BTreeMap<(String, usize), Vec<Fragment>> = BTreeMap::new();
     for (dp, per_file) in extracted.into_iter().enumerate() {
         for (name, ki, frag) in per_file {
@@ -174,6 +184,9 @@ fn assemble_slice(
         let [a, b, c]: [Tensor; 3] = tensors.try_into().expect("three keys");
         states.insert(slot.name.clone(), [a, b, c]);
     }
+    if let Some(t) = t_union {
+        ucp_telemetry::global().record_span("convert/union_flat", t.elapsed());
+    }
     Ok(states)
 }
 
@@ -186,6 +199,7 @@ pub fn convert_to_universal(
     step: u64,
     opts: &ConvertOptions,
 ) -> Result<(UcpManifest, ConvertStats)> {
+    let t_total = Instant::now();
     let step_dir = layout::step_dir(base, step);
     let universal = layout::universal_dir(base, step);
     std::fs::create_dir_all(&universal)?;
@@ -241,6 +255,7 @@ pub fn convert_to_universal(
             let mut metas = Vec::with_capacity(3);
             let mut bytes = 0u64;
             for (ki, file) in AtomFile::ALL.iter().enumerate() {
+                let t_tp = ucp_telemetry::enabled().then(Instant::now);
                 let shards: Vec<Tensor> = slices
                     .iter()
                     .map(|s| {
@@ -271,11 +286,18 @@ pub fn convert_to_universal(
                     shape: atom.shape().clone(),
                     pattern: pattern.clone(),
                 })?;
+                if let Some(t) = t_tp {
+                    ucp_telemetry::global().record_span("convert/union_tp", t.elapsed());
+                }
                 let mut c = Container::new(header);
                 c.push(file.state_key(), atom);
                 let path = layout::atom_path(&universal, name, *file);
                 bytes += c.encoded_len() as u64;
+                let t_w = ucp_telemetry::enabled().then(Instant::now);
                 c.write_file(&path)?;
+                if let Some(t) = t_w {
+                    ucp_telemetry::global().record_span("convert/atom_write", t.elapsed());
+                }
                 if ki == 0 {
                     metas.push(AtomMeta {
                         name: name.clone(),
@@ -314,6 +336,11 @@ pub fn convert_to_universal(
     };
     manifest.save(&universal)?;
     layout::write_latest_universal(base, step)?;
+    if ucp_telemetry::enabled() {
+        ucp_telemetry::count("convert/atoms_written", stats.atoms_written as u64);
+        ucp_telemetry::count("convert/bytes_written", stats.bytes_written);
+        ucp_telemetry::global().record_span("convert/total", t_total.elapsed());
+    }
     Ok((manifest, stats))
 }
 

@@ -42,7 +42,10 @@ pub mod util;
 pub use checkpoint::{CommonState, OptimShard};
 pub use convert::{convert_to_universal, ConvertOptions, ConvertStats};
 pub use language::{UcpSpec, UcpSpecBuilder};
-pub use load::{gen_ucp_metadata, load_universal, load_with_plan, LoadPlan, RankState};
+pub use load::{
+    gen_ucp_metadata, load_universal, load_with_plan, load_with_plan_device,
+    load_with_plan_workers, LoadPlan, RankState,
+};
 pub use manifest::{AtomMeta, UcpManifest};
 pub use pattern::{FragmentSpec, ParamPattern};
 

@@ -13,7 +13,7 @@ use std::path::Path;
 use ucp_model::{param_specs, ModelConfig, Partition};
 use ucp_parallel::{FlatFragment, FlatLayout, ParallelConfig, RankCoord};
 use ucp_storage::layout::{self, AtomFile};
-use ucp_storage::Container;
+use ucp_storage::{Container, Device};
 use ucp_tensor::{Shape, Tensor};
 
 use crate::manifest::UcpManifest;
@@ -155,8 +155,21 @@ fn validate_target(model: &ModelConfig, target: &ParallelConfig) -> Result<()> {
     Ok(())
 }
 
-fn read_atom(universal_dir: &Path, name: &str, file: AtomFile) -> Result<Tensor> {
-    let c = Container::read_file(&layout::atom_path(universal_dir, name, file))?;
+fn read_atom(universal_dir: &Path, name: &str, file: AtomFile, device: &Device) -> Result<Tensor> {
+    let path = layout::atom_path(universal_dir, name, file);
+    let t = ucp_telemetry::enabled().then(std::time::Instant::now);
+    let f = std::fs::File::open(&path)?;
+    let mut r = device.reader(std::io::BufReader::new(f));
+    let c = Container::read_from(&mut r)?;
+    if let Some(t) = t {
+        ucp_telemetry::observe(
+            "load/atom_read_ns",
+            t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
+        if let Ok(meta) = std::fs::metadata(&path) {
+            ucp_telemetry::count("load/bytes_read", meta.len());
+        }
+    }
     c.get(file.state_key())
         .cloned()
         .ok_or_else(|| UcpError::Inconsistent(format!("atom {name} missing {}", file.state_key())))
@@ -177,16 +190,32 @@ pub fn load_with_plan_workers(
     plan: &LoadPlan,
     workers: usize,
 ) -> Result<RankState> {
+    load_with_plan_device(universal_dir, plan, workers, &Device::unlimited())
+}
+
+/// [`load_with_plan_workers`] reading every atom through a bandwidth-
+/// throttled [`Device`] — the CLI and benches use this to emulate
+/// fixed-bandwidth storage; with an unlimited device it is the identity.
+pub fn load_with_plan_device(
+    universal_dir: &Path,
+    plan: &LoadPlan,
+    workers: usize,
+    device: &Device,
+) -> Result<RankState> {
+    let t_total = ucp_telemetry::enabled().then(std::time::Instant::now);
     let chunk = plan.layout.chunk;
     let mut fp32 = vec![0.0f32; chunk];
     let mut exp_avg = vec![0.0f32; chunk];
     let mut exp_avg_sq = vec![0.0f32; chunk];
 
     // Phase 1 (parallel): read and slice the atoms each entry needs.
+    // Per-entry busy time accumulates into `load/worker_busy_ns`;
+    // utilization over the read phase is busy / (span × workers).
     let pieces = par_map(plan.entries.len(), workers, |i| {
+        let t_busy = ucp_telemetry::enabled().then(std::time::Instant::now);
         let entry = &plan.entries[i];
         // Model copy always needs the fp32 shard of every owned parameter.
-        let atom_fp32 = read_atom(universal_dir, &entry.name, AtomFile::Fp32)?;
+        let atom_fp32 = read_atom(universal_dir, &entry.name, AtomFile::Fp32, device)?;
         if atom_fp32.shape() != &entry.full_shape {
             return Err(UcpError::Inconsistent(format!(
                 "atom {} has shape {}, expected {}",
@@ -205,15 +234,25 @@ pub fn load_with_plan_workers(
         } else {
             let mut out = Vec::with_capacity(2);
             for file in [AtomFile::ExpAvg, AtomFile::ExpAvgSq] {
-                let atom = read_atom(universal_dir, &entry.name, file)?;
+                let atom = read_atom(universal_dir, &entry.name, file, device)?;
                 out.push(entry.partition.shard(&atom, plan.target.tp, plan.coord.tp));
             }
             Some((out.remove(0), out.remove(0)))
         };
+        if let Some(t) = t_busy {
+            ucp_telemetry::count(
+                "load/worker_busy_ns",
+                t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
         Ok((shard_fp32, moments))
     })?;
+    if let Some(t) = t_total {
+        ucp_telemetry::global().record_span("load/read", t.elapsed());
+    }
 
     // Phase 2 (serial): scatter fragments into the flat chunks.
+    let t_scatter = ucp_telemetry::enabled().then(std::time::Instant::now);
     let mut model_params = Vec::with_capacity(plan.entries.len());
     for (entry, (shard_fp32, moments)) in plan.entries.iter().zip(pieces) {
         if let Some((m, v)) = moments {
@@ -222,6 +261,12 @@ pub fn load_with_plan_workers(
             scatter(&mut exp_avg_sq, v.flatten().as_slice(), &entry.fragments);
         }
         model_params.push((entry.name.clone(), shard_fp32));
+    }
+    if let Some(t) = t_scatter {
+        ucp_telemetry::global().record_span("load/scatter", t.elapsed());
+    }
+    if let Some(t) = t_total {
+        ucp_telemetry::global().record_span("load/total", t.elapsed());
     }
 
     Ok(RankState {

@@ -162,10 +162,19 @@ impl Container {
             // sections do not require a second pass.
             let mut payload = vec![0u8; payload_len];
             r.read_exact(&mut payload)?;
+            let crc_start = ucp_telemetry::enabled().then(std::time::Instant::now);
             let mut h = Crc32c::new();
             h.update(&payload);
+            let verified = h.finish();
+            if let Some(t) = crc_start {
+                ucp_telemetry::observe(
+                    "storage/crc_ns",
+                    t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                );
+                ucp_telemetry::count("storage/crc_bytes", payload.len() as u64);
+            }
             let crc = read_u32(r)?;
-            if h.finish() != crc {
+            if verified != crc {
                 return Err(StorageError::ChecksumMismatch { what: name });
             }
             let values = dtype
@@ -181,12 +190,40 @@ impl Container {
 
     /// Write to a file path (creating parent directories).
     pub fn write_file(&self, path: &Path) -> Result<()> {
+        self.write_file_impl(path, false)
+    }
+
+    /// Write to a file path and `fsync` it before returning, so the
+    /// serialization cost and the durability cost show up as separate
+    /// telemetry spans (`storage/write` vs `storage/fsync`).
+    pub fn write_file_durable(&self, path: &Path) -> Result<()> {
+        self.write_file_impl(path, true)
+    }
+
+    fn write_file_impl(&self, path: &Path, durable: bool) -> Result<()> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.write_to(&mut w)?;
-        w.flush()?;
+        let file = std::fs::File::create(path)?;
+        // Absolute span paths (via record_span) so the serialize/fsync
+        // split reads the same no matter which phase is open above us.
+        let t = ucp_telemetry::enabled().then(std::time::Instant::now);
+        {
+            let mut w = std::io::BufWriter::new(&file);
+            self.write_to(&mut w)?;
+            w.flush()?;
+        }
+        if let Some(t) = t {
+            ucp_telemetry::global().record_span("storage/write", t.elapsed());
+            ucp_telemetry::count("storage/bytes_written", self.encoded_len() as u64);
+        }
+        if durable {
+            let t = ucp_telemetry::enabled().then(std::time::Instant::now);
+            file.sync_all()?;
+            if let Some(t) = t {
+                ucp_telemetry::global().record_span("storage/fsync", t.elapsed());
+            }
+        }
         Ok(())
     }
 
@@ -386,6 +423,17 @@ mod tests {
         c.write_file(&path).unwrap();
         let back = Container::read_file(&path).unwrap();
         assert_eq!(back, c.clone());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_write_file_roundtrip() {
+        let dir = std::env::temp_dir().join("ucpt_container_durable_test");
+        let path = dir.join("test.ucpt");
+        let c = sample();
+        c.write_file_durable(&path).unwrap();
+        let back = Container::read_file(&path).unwrap();
+        assert_eq!(back, c);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,193 @@
+//! Power-of-two bucketed histograms for byte volumes and latencies.
+//!
+//! A [`Histogram`] spreads `u64` observations over 65 buckets where bucket
+//! `i` holds values whose bit length is `i` (bucket 0 holds only zero).
+//! Bucket upper bounds are therefore `0, 1, 3, 7, ..., 2^63 - 1, u64::MAX`,
+//! which gives ~2x relative resolution over the full range — plenty for
+//! distinguishing microsecond reads from millisecond reads or kilobyte
+//! atoms from megabyte atoms — with O(1) record cost and a fixed footprint.
+
+/// Number of buckets: one per possible bit length of a `u64`, plus zero.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; bucket `i` covers values of bit length `i`.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+
+    /// Bucket index of a value: its bit length.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the q-th observation. Exact `min`/`max` are kept
+    /// separately; this is for the middle of the distribution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, in order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_the_range() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value falls inside its bucket's bounds.
+        for v in [0u64, 1, 5, 1023, 1024, 1 << 40, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_stats() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 100);
+        assert_eq!(h.min, 10);
+        assert_eq!(h.max, 40);
+        assert!((h.mean() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 of 1..=1000 is ~500; bucket resolution gives ≤ 2x error.
+        let p50 = h.quantile(0.5);
+        assert!((256..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+        // p0 clamps to the first non-empty bucket's bound.
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 306);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 200);
+        assert_eq!(a.nonzero_buckets().iter().map(|(_, c)| c).sum::<u64>(), 5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Zero-dependency telemetry for the UCP hot paths.
+//!
+//! Three primitives, one report:
+//!
+//! - **Spans** — scoped timers with slash-separated phase paths
+//!   (`convert/extract`), aggregated by path (count / total / min / max).
+//!   Nesting follows lexical scope per thread; worker threads spawned by
+//!   `par_map` start with an empty stack, so hot-path instrumentation
+//!   uses absolute paths.
+//! - **Counters** — monotonic `u64` accumulators (`convert/bytes_written`).
+//! - **Histograms** — log2-bucketed `u64` distributions for latencies and
+//!   byte volumes (`load/atom_read_ns`).
+//!
+//! Everything funnels into a [`Report`], which serializes to a
+//! deterministic `ucp-metrics-v1` JSON document (the `--metrics-out`
+//! format, also consumed by CI's perf-smoke gate) and to Prometheus text
+//! exposition.
+//!
+//! The process-global recorder ([`global()`]) starts **disabled**; when
+//! disabled every instrumentation call is a single relaxed atomic load,
+//! so the hot paths carry no measurable overhead by default.
+//!
+//! ```
+//! let rec = ucp_telemetry::Recorder::new();
+//! {
+//!     let _phase = rec.span("convert");
+//!     let _sub = rec.span("extract");
+//!     rec.count("convert/fragments", 4);
+//!     rec.observe("load/atom_read_ns", 12_500);
+//! }
+//! let report = rec.report("demo");
+//! assert_eq!(report.counter("convert/fragments"), Some(4));
+//! let json = report.to_json();
+//! let back = ucp_telemetry::Report::from_json(&json).unwrap();
+//! assert_eq!(back.counter("convert/fragments"), Some(4));
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod report;
+
+pub use hist::Histogram;
+pub use json::Json;
+pub use recorder::{global, Recorder, Span};
+pub use report::{BucketStat, CounterStat, HistStat, Report, SpanStat, SCHEMA};
+
+/// Convenience: open a span on the global recorder.
+#[inline]
+pub fn span(label: &str) -> Span<'static> {
+    global().span(label)
+}
+
+/// Convenience: bump a counter on the global recorder.
+#[inline]
+pub fn count(name: &str, n: u64) {
+    global().count(name, n)
+}
+
+/// Convenience: record a histogram observation on the global recorder.
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    global().observe(name, value)
+}
+
+/// Convenience: whether the global recorder is enabled. Lets callers skip
+/// prep work (e.g. an extra `Instant::now()`) when telemetry is off.
+#[inline]
+pub fn enabled() -> bool {
+    global().is_enabled()
+}

@@ -15,7 +15,8 @@ use std::path::Path;
 
 use ucp_collectives::{Comm, Group};
 use ucp_core::checkpoint::{
-    load_optim_states, save_model_states, save_optim_states, CommonState, OptimShard,
+    load_optim_states, save_model_states, save_model_states_durable, save_optim_states,
+    save_optim_states_durable, CommonState, OptimShard,
 };
 use ucp_core::load::load_universal;
 use ucp_model::{GradStore, ModelConfig, Partition, Stage, StageIn, StageLayout, StageOut};
@@ -68,6 +69,10 @@ pub struct TrainConfig {
     pub alignment: usize,
     /// Pipeline execution schedule.
     pub schedule: PipelineSchedule,
+    /// `fsync` checkpoint files before a save is reported complete.
+    /// Telemetry then splits serialization (`storage/write`) from
+    /// durability (`storage/fsync`) in the save accounting.
+    pub durable_saves: bool,
 }
 
 impl TrainConfig {
@@ -90,6 +95,7 @@ impl TrainConfig {
             dtype: DType::BF16,
             alignment: 8,
             schedule: PipelineSchedule::Sequential,
+            durable_saves: false,
         }
     }
 
@@ -624,6 +630,7 @@ impl<'a> RankEngine<'a> {
                 exp_avg: self.adam.exp_avg.clone(),
                 exp_avg_sq: self.adam.exp_avg_sq.clone(),
             },
+            durable: self.cfg.durable_saves,
         }
     }
 
@@ -642,18 +649,30 @@ impl<'a> RankEngine<'a> {
     /// Write this rank's part of a native distributed checkpoint. Rank 0
     /// additionally records the `latest` marker after a barrier.
     pub fn save_checkpoint(&self, base: &Path) -> Result<(), TrainError> {
+        let t_persist = ucp_telemetry::enabled().then(std::time::Instant::now);
         let step_dir = disk::step_dir(base, self.iteration);
         let common = self.common_state();
         let zi = self.zero_index();
+        let durable = self.cfg.durable_saves;
         // One model-states file per (tp, pp), written by the zi=0 replica.
         if zi == 0 {
-            save_model_states(
-                &step_dir,
-                &common,
-                self.coord.tp,
-                self.coord.pp,
-                &self.stage.params,
-            )
+            if durable {
+                save_model_states_durable(
+                    &step_dir,
+                    &common,
+                    self.coord.tp,
+                    self.coord.pp,
+                    &self.stage.params,
+                )
+            } else {
+                save_model_states(
+                    &step_dir,
+                    &common,
+                    self.coord.tp,
+                    self.coord.pp,
+                    &self.stage.params,
+                )
+            }
             .map_err(TrainError::Ucp)?;
         }
         let shard = OptimShard {
@@ -663,8 +682,17 @@ impl<'a> RankEngine<'a> {
             exp_avg: self.adam.exp_avg.clone(),
             exp_avg_sq: self.adam.exp_avg_sq.clone(),
         };
-        save_optim_states(&step_dir, &common, self.coord.tp, self.coord.pp, &shard)
-            .map_err(TrainError::Ucp)?;
+        if durable {
+            save_optim_states_durable(&step_dir, &common, self.coord.tp, self.coord.pp, &shard)
+        } else {
+            save_optim_states(&step_dir, &common, self.coord.tp, self.coord.pp, &shard)
+        }
+        .map_err(TrainError::Ucp)?;
+        // Persist time only — the barriers below measure stragglers, not I/O.
+        if let Some(t) = t_persist {
+            ucp_telemetry::global().record_span("save/persist", t.elapsed());
+            ucp_telemetry::count("save/snapshots", 1);
+        }
         let world = Group::world(self.comm.world_size());
         self.comm.barrier(&world).map_err(TrainError::Comm)?;
         if self.comm.rank() == 0 {

@@ -45,6 +45,9 @@ pub use ucp_optim as optim;
 /// UCPT container format and checkpoint I/O.
 pub use ucp_storage as storage;
 
+/// Scoped timers, counters, histograms, and metric reports.
+pub use ucp_telemetry as telemetry;
+
 /// Universal Checkpointing: patterns, language, operations.
 pub use ucp_core as core;
 
