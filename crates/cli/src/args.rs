@@ -24,6 +24,11 @@ USAGE:
       Read every checkpoint file and verify all checksums.
   ucp prune --dir <ckpt-base> --keep-last K [--keep-every N]
       Remove old checkpoint steps per the retention policy.
+  ucp fsck --dir <ckpt-base> [--no-repair] [--json]
+      Verify every checkpoint step (checksums + completeness), quarantine
+      bad step trees to *.corrupt, sweep stale .tmp files, and repair
+      dangling latest markers. --no-repair only reports; --json prints a
+      machine-readable report. Exits non-zero when problems are found.
   ucp spec --model <gpt3-tiny|llama-tiny|bloom-tiny|moe-tiny> --tp T
       Print the derived UCP pattern spec (JSON) for a model preset.
   ucp diff --dir <universal-dir-A> --other <universal-dir-B> [--tolerance T]
@@ -80,6 +85,10 @@ pub struct Parsed {
     pub seed: Option<u64>,
     /// `--mibps` (load): simulated device bandwidth in MiB/s.
     pub mibps: Option<u64>,
+    /// `--no-repair` (fsck): report only, change nothing on disk.
+    pub no_repair: bool,
+    /// `--json` (fsck): print the machine-readable report.
+    pub json: bool,
 }
 
 /// Parse a flag list.
@@ -118,6 +127,8 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--save-every" => p.save_every = Some(parse_num(&value(&mut i)?)?),
             "--seed" => p.seed = Some(parse_num(&value(&mut i)?)?),
             "--mibps" => p.mibps = Some(parse_num(&value(&mut i)?)?),
+            "--no-repair" => p.no_repair = true,
+            "--json" => p.json = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -188,6 +199,16 @@ mod tests {
         assert_eq!(p.save_every, Some(2));
         assert_eq!(p.seed, Some(7));
         assert_eq!(p.mibps, Some(800));
+    }
+
+    #[test]
+    fn parses_fsck_flags() {
+        let p = parse(&sv(&["--dir", "/c", "--no-repair", "--json"])).unwrap();
+        assert!(p.no_repair);
+        assert!(p.json);
+        let p = parse(&sv(&["--dir", "/c"])).unwrap();
+        assert!(!p.no_repair);
+        assert!(!p.json);
     }
 
     #[test]

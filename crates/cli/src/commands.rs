@@ -342,6 +342,57 @@ pub fn verify(p: &Parsed) -> Result<(), String> {
     }
 }
 
+/// `ucp fsck`: verify and repair a checkpoint tree. Exits non-zero when
+/// any problem is found, even if it was repaired — the caller should know
+/// the tree was not clean.
+pub fn fsck(p: &Parsed) -> Result<(), String> {
+    let dir = require_dir(p)?;
+    let opts = ucp_core::FsckOptions {
+        repair: !p.no_repair,
+    };
+    metrics_begin(p);
+    let report = ucp_core::fsck(&dir, &opts).map_err(|e| e.to_string())?;
+    if p.json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "checked {} native step(s), {} universal step(s); {} files verified",
+            report.steps_checked.len(),
+            report.universal_checked.len(),
+            report.files_verified
+        );
+        if report.tmp_removed > 0 {
+            println!("swept {} stale .tmp file(s)", report.tmp_removed);
+        }
+        for q in &report.quarantined {
+            println!("quarantined {q}");
+        }
+        for m in &report.markers_repaired {
+            println!("marker repaired: {m}");
+        }
+        for problem in &report.problems {
+            eprintln!("PROBLEM {}: {}", problem.path, problem.detail);
+        }
+    }
+    metrics_end(p, "fsck")?;
+    if report.clean() {
+        if !p.json {
+            println!("clean");
+        }
+        Ok(())
+    } else {
+        Err(format!(
+            "{} problem(s) found{}",
+            report.problems.len(),
+            if opts.repair {
+                " (bad trees quarantined)"
+            } else {
+                " (run without --no-repair to quarantine)"
+            }
+        ))
+    }
+}
+
 /// `ucp prune`: apply a retention policy.
 pub fn prune(p: &Parsed) -> Result<(), String> {
     let dir = require_dir(p)?;

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "inspect" => commands::inspect(&parsed),
         "plan" => commands::plan(&parsed),
         "verify" => commands::verify(&parsed),
+        "fsck" => commands::fsck(&parsed),
         "prune" => commands::prune(&parsed),
         "spec" => commands::spec(&parsed),
         "diff" => commands::diff(&parsed),

@@ -294,7 +294,10 @@ pub fn convert_to_universal(
                 let path = layout::atom_path(&universal, name, *file);
                 bytes += c.encoded_len() as u64;
                 let t_w = ucp_telemetry::enabled().then(Instant::now);
-                c.write_file(&path)?;
+                // Commit ordering: every atom must be durable before the
+                // manifest that references it is written, which in turn
+                // precedes the `latest_universal` marker.
+                c.write_file_durable(&path)?;
                 if let Some(t) = t_w {
                     ucp_telemetry::global().record_span("convert/atom_write", t.elapsed());
                 }
@@ -334,6 +337,10 @@ pub fn convert_to_universal(
         source_label: src.label(),
         params: atoms,
     };
+    // The manifest is written only after every atom is durable, and the
+    // marker only after the manifest: a crash anywhere in between leaves
+    // at worst an unreferenced universal dir, never a loadable half-
+    // converted one.
     manifest.save(&universal)?;
     layout::write_latest_universal(base, step)?;
     if ucp_telemetry::enabled() {

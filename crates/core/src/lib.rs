@@ -32,6 +32,7 @@
 pub mod adapter;
 pub mod checkpoint;
 pub mod convert;
+pub mod fsck;
 pub mod language;
 pub mod load;
 pub mod manifest;
@@ -41,6 +42,7 @@ pub mod util;
 
 pub use checkpoint::{CommonState, OptimShard};
 pub use convert::{convert_to_universal, ConvertOptions, ConvertStats};
+pub use fsck::{fsck, FsckOptions, FsckProblem, FsckReport};
 pub use language::{UcpSpec, UcpSpecBuilder};
 pub use load::{
     gen_ucp_metadata, load_universal, load_with_plan, load_with_plan_device,

@@ -54,10 +54,13 @@ impl UcpManifest {
         self.params.iter().find(|a| a.name == name)
     }
 
-    /// Persist to `manifest.ucpt` inside the universal directory.
+    /// Persist to `manifest.ucpt` inside the universal directory,
+    /// durably: the manifest is the commit record of a conversion, so it
+    /// must never become readable before the atoms it indexes are on
+    /// disk, nor survive a crash half-written.
     pub fn save(&self, universal_dir: &Path) -> Result<()> {
         let c = Container::new(serde_json::to_string(self)?);
-        c.write_file(&layout::manifest_path(universal_dir))?;
+        c.write_file_durable(&layout::manifest_path(universal_dir))?;
         Ok(())
     }
 

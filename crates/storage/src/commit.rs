@@ -1,0 +1,228 @@
+//! Crash-consistent file publication.
+//!
+//! Every durable artifact UCP writes — containers, atom files, manifests,
+//! and the `latest` / `latest_universal` markers — lands through the same
+//! four-step protocol:
+//!
+//! 1. write the full contents to `<name>.tmp` in the destination directory,
+//! 2. fsync the staging file,
+//! 3. rename `<name>.tmp` over `<name>` (atomic on POSIX filesystems),
+//! 4. fsync the parent directory so the rename itself is durable.
+//!
+//! A reader therefore observes either the old file or the complete new
+//! one, never a torn write. A crash before step 3 leaves only a `.tmp`
+//! remnant, which loaders ignore and `ucp fsck` sweeps away.
+//!
+//! Each step registers a kill point with [`crate::io::fault`], so the
+//! crash-replay harness can kill the process (in effect) at any write,
+//! fsync, or rename and assert recovery.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::io::fault::{self, FaultWriter};
+use crate::Result;
+
+/// Suffix staged files carry until they are renamed into place.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// The staging path for `dest` (`model_states.ucpt` → `model_states.ucpt.tmp`).
+pub fn tmp_path(dest: &Path) -> PathBuf {
+    let mut name = dest.file_name().unwrap_or_default().to_os_string();
+    name.push(TMP_SUFFIX);
+    dest.with_file_name(name)
+}
+
+/// Whether `path` is a leftover staging file from an interrupted commit.
+pub fn is_tmp(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.ends_with(TMP_SUFFIX))
+}
+
+/// fsync a directory so a preceding rename within it is durable.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    fault::gate("commit.dirsync", dir)?;
+    File::open(dir)?.sync_all()
+}
+
+/// A file being staged for atomic publication. Create, fill via
+/// [`AtomicFile::writer`], then [`AtomicFile::commit`]. Dropping without
+/// committing leaves the `.tmp` remnant behind — exactly what a crash
+/// would leave, and what `ucp fsck` cleans up.
+pub struct AtomicFile {
+    tmp: PathBuf,
+    dest: PathBuf,
+    file: Option<File>,
+}
+
+impl AtomicFile {
+    /// Start staging a new version of `dest` (parent directories are
+    /// created as needed).
+    pub fn create(dest: &Path) -> Result<AtomicFile> {
+        if let Some(parent) = dest.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = tmp_path(dest);
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile {
+            tmp,
+            dest: dest.to_path_buf(),
+            file: Some(file),
+        })
+    }
+
+    /// Buffered, fault-injecting writer for the staging file. Flush (or
+    /// drop) the writer before calling [`AtomicFile::commit`].
+    pub fn writer(&self) -> FaultWriter<BufWriter<&File>> {
+        FaultWriter::new(
+            BufWriter::new(self.file.as_ref().expect("AtomicFile already committed")),
+            &self.tmp,
+        )
+    }
+
+    /// fsync the staged data, rename it over the destination, and fsync
+    /// the parent directory. After this returns the new contents are
+    /// durable under the destination name.
+    pub fn commit(mut self) -> Result<()> {
+        let file = self.file.take().expect("AtomicFile already committed");
+        fault::gate("commit.fsync", &self.tmp)?;
+        file.sync_all()?;
+        drop(file);
+        fault::gate("commit.rename", &self.dest)?;
+        fs::rename(&self.tmp, &self.dest)?;
+        if let Some(parent) = self.dest.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent)?;
+        }
+        Ok(())
+    }
+}
+
+impl AtomicFile {
+    /// Rename the staged file into place *without* the fsyncs: atomic
+    /// against concurrent readers, but not durable across power loss.
+    /// Crash-critical artifacts must use [`AtomicFile::commit`].
+    pub fn publish_unsynced(mut self) -> Result<()> {
+        let file = self.file.take().expect("AtomicFile already committed");
+        drop(file);
+        fault::gate("commit.rename", &self.dest)?;
+        fs::rename(&self.tmp, &self.dest)?;
+        Ok(())
+    }
+}
+
+/// Atomically publish `bytes` at `path` via the full staged protocol.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    atomic_write_with(path, |w| w.write_all(bytes))
+}
+
+/// Atomically publish a file whose contents are produced by `fill`
+/// streaming into a buffered writer.
+pub fn atomic_write_with<F>(path: &Path, fill: F) -> Result<()>
+where
+    F: FnOnce(&mut dyn Write) -> std::io::Result<()>,
+{
+    let staged = AtomicFile::create(path)?;
+    {
+        let mut w = staged.writer();
+        fill(&mut w)?;
+        w.flush()?;
+    }
+    staged.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::fault::FaultPlan;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ucp_commit_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_publishes_and_cleans_tmp() {
+        let dir = temp_dir("publish");
+        let path = dir.join("marker");
+        atomic_write(&path, b"global_step10").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"global_step10");
+        assert!(!tmp_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_contents() {
+        let dir = temp_dir("replace");
+        let path = dir.join("marker");
+        atomic_write(&path, b"old").unwrap();
+        atomic_write(&path, b"new").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_before_rename_preserves_old_contents() {
+        let dir = temp_dir("crash");
+        let path = dir.join("marker");
+        atomic_write(&path, b"old").unwrap();
+
+        // One write + fsync + rename + dirsync = kill points 0..=3.
+        // Killing at the fsync (point 1) must leave the old file intact
+        // and the torn tmp on disk.
+        let armed = fault::arm(FaultPlan::kill_at(1, &dir));
+        let err = atomic_write(&path, b"new").unwrap_err();
+        drop(armed);
+        assert!(err.to_string().contains("injected crash"));
+        assert_eq!(fs::read(&path).unwrap(), b"old");
+        assert!(tmp_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_truncates_tmp_only() {
+        let dir = temp_dir("torn");
+        let path = dir.join("marker");
+        let armed = fault::arm(FaultPlan {
+            truncate_to: Some(3),
+            ..FaultPlan::kill_at(0, &dir)
+        });
+        let err = atomic_write(&path, b"global_step99").unwrap_err();
+        drop(armed);
+        assert!(err.to_string().contains("injected crash"));
+        assert!(!path.exists());
+        assert_eq!(fs::read(tmp_path(&path)).unwrap(), b"glo");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_point_counting_is_stable() {
+        let dir = temp_dir("count");
+        let path = dir.join("marker");
+        let armed = fault::arm(FaultPlan::count_only(&dir));
+        atomic_write(&path, b"x").unwrap();
+        // write, fsync, rename, dirsync.
+        assert_eq!(armed.hits(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faults_outside_scope_do_not_fire() {
+        let dir = temp_dir("scope");
+        let other = temp_dir("scope_other");
+        let armed = fault::arm(FaultPlan::kill_at(0, &other));
+        // Writes under `dir` are outside the armed scope: untouched.
+        atomic_write(&dir.join("marker"), b"safe").unwrap();
+        assert_eq!(armed.hits(), 0);
+        drop(armed);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&other).unwrap();
+    }
+}

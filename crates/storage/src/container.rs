@@ -23,11 +23,35 @@ use std::path::Path;
 
 use ucp_tensor::{DType, Shape, Tensor};
 
+use crate::commit::AtomicFile;
 use crate::crc::{crc32c, Crc32c};
 use crate::{Result, StorageError};
 
 const MAGIC: &[u8; 4] = b"UCPT";
 const VERSION: u32 = 1;
+
+/// Cap on the declared header length; any larger value is corruption,
+/// not a header we should try to allocate.
+const MAX_HEADER_LEN: usize = 256 * 1024 * 1024;
+
+/// Block size for streaming payloads through the CRC hasher.
+const CRC_BLOCK: usize = 64 * 1024;
+
+/// Read exactly `len` declared bytes without trusting `len` for the
+/// allocation: the buffer grows only as data actually arrives (via
+/// [`Read::take`]), so a corrupt length field hits EOF long before it
+/// can exhaust memory.
+fn read_bytes_bounded<R: Read>(r: &mut R, len: usize, what: &str) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    r.take(len as u64).read_to_end(&mut buf)?;
+    if buf.len() != len {
+        return Err(StorageError::Malformed(format!(
+            "{what}: declared {len} bytes, file ends after {}",
+            buf.len()
+        )));
+    }
+    Ok(buf)
+}
 
 /// A named tensor inside a container.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,8 +147,12 @@ impl Container {
             return Err(StorageError::BadVersion(version));
         }
         let header_len = read_u32(r)? as usize;
-        let mut header = vec![0u8; header_len];
-        r.read_exact(&mut header)?;
+        if header_len > MAX_HEADER_LEN {
+            return Err(StorageError::Malformed(format!(
+                "header length {header_len} exceeds cap {MAX_HEADER_LEN}"
+            )));
+        }
+        let header = read_bytes_bounded(r, header_len, "header")?;
         let header_crc = read_u32(r)?;
         if crc32c(&header) != header_crc {
             return Err(StorageError::ChecksumMismatch {
@@ -134,11 +162,11 @@ impl Container {
         let header = String::from_utf8(header)
             .map_err(|_| StorageError::Malformed("header is not UTF-8".into()))?;
         let count = read_u32(r)? as usize;
-        let mut sections = Vec::with_capacity(count);
+        // Do not trust `count` for the allocation either; grow on demand.
+        let mut sections = Vec::with_capacity(count.min(4096));
         for _ in 0..count {
             let name_len = read_u16(r)? as usize;
-            let mut name = vec![0u8; name_len];
-            r.read_exact(&mut name)?;
+            let name = read_bytes_bounded(r, name_len, "section name")?;
             let name = String::from_utf8(name)
                 .map_err(|_| StorageError::Malformed("section name is not UTF-8".into()))?;
             let mut tag = [0u8; 2];
@@ -146,32 +174,52 @@ impl Container {
             let dtype = DType::from_tag(tag[0])
                 .ok_or_else(|| StorageError::Malformed(format!("bad dtype tag {}", tag[0])))?;
             let rank = tag[1] as usize;
-            let mut dims = Vec::with_capacity(rank);
+            let mut dims = Vec::with_capacity(rank.min(64));
+            let mut elems: usize = 1;
             for _ in 0..rank {
-                dims.push(read_u64(r)? as usize);
+                let d = usize::try_from(read_u64(r)?).map_err(|_| {
+                    StorageError::Malformed(format!("section {name}: dimension exceeds usize"))
+                })?;
+                elems = elems.checked_mul(d).ok_or_else(|| {
+                    StorageError::Malformed(format!("section {name}: shape overflows"))
+                })?;
+                dims.push(d);
             }
+            let expected = elems.checked_mul(dtype.size_bytes()).ok_or_else(|| {
+                StorageError::Malformed(format!("section {name}: payload size overflows"))
+            })?;
             let payload_len = read_u64(r)? as usize;
             let shape = Shape::new(dims);
-            let expected = shape.num_elements() * dtype.size_bytes();
             if payload_len != expected {
                 return Err(StorageError::Malformed(format!(
                     "section {name}: payload {payload_len} bytes, shape {shape} implies {expected}"
                 )));
             }
-            // Stream the payload through the hasher in blocks so huge
-            // sections do not require a second pass.
-            let mut payload = vec![0u8; payload_len];
-            r.read_exact(&mut payload)?;
-            let crc_start = ucp_telemetry::enabled().then(std::time::Instant::now);
+            // Stream the payload through the hasher in fixed-size blocks:
+            // the checksum is computed in the same pass as the read, and
+            // the buffer only grows as real file bytes arrive, so a
+            // corrupt length can never force a giant up-front allocation.
+            let mut payload = Vec::with_capacity(payload_len.min(1 << 20));
+            let mut block = [0u8; CRC_BLOCK];
+            let mut remaining = payload_len;
             let mut h = Crc32c::new();
-            h.update(&payload);
+            let timing = ucp_telemetry::enabled();
+            let mut crc_ns = 0u64;
+            while remaining > 0 {
+                let n = CRC_BLOCK.min(remaining);
+                r.read_exact(&mut block[..n])?;
+                let t = timing.then(std::time::Instant::now);
+                h.update(&block[..n]);
+                if let Some(t) = t {
+                    crc_ns += t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                }
+                payload.extend_from_slice(&block[..n]);
+                remaining -= n;
+            }
             let verified = h.finish();
-            if let Some(t) = crc_start {
-                ucp_telemetry::observe(
-                    "storage/crc_ns",
-                    t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-                );
-                ucp_telemetry::count("storage/crc_bytes", payload.len() as u64);
+            if timing {
+                ucp_telemetry::observe("storage/crc_ns", crc_ns);
+                ucp_telemetry::count("storage/crc_bytes", payload_len as u64);
             }
             let crc = read_u32(r)?;
             if verified != crc {
@@ -188,12 +236,17 @@ impl Container {
         Ok(Container { header, sections })
     }
 
-    /// Write to a file path (creating parent directories).
+    /// Write to a file path (creating parent directories). The container
+    /// is staged to `<path>.tmp` and renamed into place, so readers see
+    /// either the old container or the complete new one; this variant
+    /// skips the fsyncs (atomic against concurrent readers, not against
+    /// power loss).
     pub fn write_file(&self, path: &Path) -> Result<()> {
         self.write_file_impl(path, false)
     }
 
-    /// Write to a file path and `fsync` it before returning, so the
+    /// Write to a file path through the full crash-consistent commit
+    /// protocol (stage, fsync, rename, fsync parent directory). The
     /// serialization cost and the durability cost show up as separate
     /// telemetry spans (`storage/write` vs `storage/fsync`).
     pub fn write_file_durable(&self, path: &Path) -> Result<()> {
@@ -201,15 +254,12 @@ impl Container {
     }
 
     fn write_file_impl(&self, path: &Path, durable: bool) -> Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let file = std::fs::File::create(path)?;
+        let staged = AtomicFile::create(path)?;
         // Absolute span paths (via record_span) so the serialize/fsync
         // split reads the same no matter which phase is open above us.
         let t = ucp_telemetry::enabled().then(std::time::Instant::now);
         {
-            let mut w = std::io::BufWriter::new(&file);
+            let mut w = staged.writer();
             self.write_to(&mut w)?;
             w.flush()?;
         }
@@ -219,10 +269,12 @@ impl Container {
         }
         if durable {
             let t = ucp_telemetry::enabled().then(std::time::Instant::now);
-            file.sync_all()?;
+            staged.commit()?;
             if let Some(t) = t {
                 ucp_telemetry::global().record_span("storage/fsync", t.elapsed());
             }
+        } else {
+            staged.publish_unsynced()?;
         }
         Ok(())
     }
@@ -271,8 +323,12 @@ impl ContainerIndex {
             return Err(StorageError::BadVersion(version));
         }
         let header_len = read_u32(r)? as usize;
-        let mut header = vec![0u8; header_len];
-        r.read_exact(&mut header)?;
+        if header_len > MAX_HEADER_LEN {
+            return Err(StorageError::Malformed(format!(
+                "header length {header_len} exceeds cap {MAX_HEADER_LEN}"
+            )));
+        }
+        let header = read_bytes_bounded(r, header_len, "header")?;
         let header_crc = read_u32(r)?;
         if crc32c(&header) != header_crc {
             return Err(StorageError::ChecksumMismatch {
@@ -282,11 +338,10 @@ impl ContainerIndex {
         let header = String::from_utf8(header)
             .map_err(|_| StorageError::Malformed("header is not UTF-8".into()))?;
         let count = read_u32(r)? as usize;
-        let mut sections = Vec::with_capacity(count);
+        let mut sections = Vec::with_capacity(count.min(4096));
         for _ in 0..count {
             let name_len = read_u16(r)? as usize;
-            let mut name = vec![0u8; name_len];
-            r.read_exact(&mut name)?;
+            let name = read_bytes_bounded(r, name_len, "section name")?;
             let name = String::from_utf8(name)
                 .map_err(|_| StorageError::Malformed("section name is not UTF-8".into()))?;
             let mut tag = [0u8; 2];
@@ -294,19 +349,39 @@ impl ContainerIndex {
             let dtype = DType::from_tag(tag[0])
                 .ok_or_else(|| StorageError::Malformed(format!("bad dtype tag {}", tag[0])))?;
             let rank = tag[1] as usize;
-            let mut dims = Vec::with_capacity(rank);
+            let mut dims = Vec::with_capacity(rank.min(64));
             for _ in 0..rank {
-                dims.push(read_u64(r)? as usize);
+                let d = usize::try_from(read_u64(r)?).map_err(|_| {
+                    StorageError::Malformed(format!("section {name}: dimension exceeds usize"))
+                })?;
+                dims.push(d);
             }
             let payload_len = read_u64(r)?;
-            // Skip the payload and its checksum.
-            r.seek(std::io::SeekFrom::Current(payload_len as i64 + 4))?;
+            // Skip the payload and its checksum. A corrupt length must
+            // not wrap negative when cast for the relative seek.
+            let skip = payload_len
+                .checked_add(4)
+                .and_then(|n| i64::try_from(n).ok())
+                .ok_or_else(|| {
+                    StorageError::Malformed(format!(
+                        "section {name}: payload length {payload_len} overflows seek"
+                    ))
+                })?;
+            r.seek(std::io::SeekFrom::Current(skip))?;
             sections.push(SectionInfo {
                 name,
                 dtype,
                 shape: Shape::new(dims),
                 payload_len,
             });
+        }
+        // Relative seeks past EOF succeed silently, so a truncated final
+        // payload would otherwise index as present — verify the cursor
+        // never left the file.
+        let pos = r.stream_position()?;
+        let end = r.seek(std::io::SeekFrom::End(0))?;
+        if pos > end {
+            return Err(StorageError::Malformed("file truncated mid-section".into()));
         }
         Ok(ContainerIndex { header, sections })
     }
@@ -471,12 +546,117 @@ mod tests {
         let mut buf = Vec::new();
         c.write_to(&mut buf).unwrap();
         // Corrupt a payload byte: the index never reads it, so indexing
-        // succeeds (payload verification belongs to the full read).
-        let idx = buf.len() - 10;
+        // succeeds (payload verification belongs to the full read). The
+        // first section's payload starts after the file preamble and the
+        // section's name/dtype/rank/dims/len fields.
+        let idx = 4 + 4 + 4 + c.header.len() + 4 + 4 + 2 + "a.weight".len() + 1 + 1 + 16 + 8;
         buf[idx] ^= 1;
+        assert!(matches!(
+            Container::read_from(&mut buf.as_slice()),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
         assert!(ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).is_ok());
         // Corrupt the header: the index must fail.
         buf[12] ^= 1;
         assert!(ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).is_err());
+    }
+
+    /// Hand-rolled container bytes with attacker-controlled geometry:
+    /// one F32 section named "w" with the given dims and payload length
+    /// (and no payload bytes at all).
+    fn raw_container(dims: &[u64], payload_len: u64) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&VERSION.to_le_bytes());
+        let header = b"{}";
+        b.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        b.extend_from_slice(header);
+        b.extend_from_slice(&crc32c(header).to_le_bytes());
+        b.extend_from_slice(&1u32.to_le_bytes());
+        let name = b"w";
+        b.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        b.extend_from_slice(name);
+        b.push(DType::F32.tag());
+        b.push(dims.len() as u8);
+        for d in dims {
+            b.extend_from_slice(&d.to_le_bytes());
+        }
+        b.extend_from_slice(&payload_len.to_le_bytes());
+        b
+    }
+
+    #[test]
+    fn oversized_header_len_is_rejected_not_allocated() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        // header_len lives at bytes 8..12.
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Container::read_from(&mut buf.as_slice()),
+            Err(StorageError::Malformed(_))
+        ));
+        assert!(matches!(
+            ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn shape_overflow_is_malformed_not_panic() {
+        let buf = raw_container(&[u64::MAX, u64::MAX], 16);
+        assert!(matches!(
+            Container::read_from(&mut buf.as_slice()),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn huge_payload_len_hits_eof_not_oom() {
+        // A "valid" terabyte-scale section on a tiny file: the streamed
+        // read must fail at EOF after at most one block, never allocate
+        // the declared size up front.
+        let buf = raw_container(&[1 << 38], 4 << 38);
+        assert!(matches!(
+            Container::read_from(&mut buf.as_slice()),
+            Err(StorageError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn index_seek_overflow_is_malformed_not_wrapped() {
+        // payload_len near u64::MAX used to wrap negative through the
+        // `as i64` cast and seek *backwards*; it must be rejected.
+        let buf = raw_container(&[4], u64::MAX);
+        assert!(matches!(
+            ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn index_detects_truncated_final_payload() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        // Chop off most of the final section's payload: the skip-seek
+        // lands past EOF, which must surface as Malformed, not Ok.
+        buf.truncate(buf.len() - 16);
+        assert!(ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn byte_flip_fuzz_never_panics() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        for i in 0..buf.len() {
+            let mut mutated = buf.clone();
+            mutated[i] ^= 0xFF;
+            // Any single corrupt byte must produce Ok or a typed error —
+            // never a panic or an absurd allocation.
+            let _ = Container::read_from(&mut mutated.as_slice());
+            let _ = ContainerIndex::read_from(&mut std::io::Cursor::new(&mutated));
+        }
     }
 }

@@ -138,6 +138,211 @@ impl<R: Read> Read for Throttled<R> {
     }
 }
 
+/// Deterministic fault injection for crash-consistency testing.
+///
+/// The commit protocol in [`crate::commit`] registers a *kill point* at
+/// every crash-relevant operation: each buffered data write, the data
+/// fsync, the rename into place, and the parent-directory fsync. A test
+/// (or an operator, via the `UCP_FAULTS` environment variable) arms a
+/// [`FaultPlan`] naming which kill point should fail; when that point is
+/// reached the operation returns an injected I/O error, leaving the
+/// on-disk state exactly as a crash at that instant would — torn `.tmp`
+/// files, missing renames, unsynced directories. The crash-replay
+/// harness sweeps the kill index across a save/convert and asserts that
+/// resume always lands on a complete checkpoint.
+///
+/// `UCP_FAULTS` syntax: `kill_after=N[,truncate=K]` — fail the `N`th kill
+/// point (0-based); if the fatal point is a data write, let `K` bytes of
+/// that write land first (a torn write).
+pub mod fault {
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// What to break, and how.
+    #[derive(Debug, Clone, Default)]
+    pub struct FaultPlan {
+        /// Fail the `n`th kill point reached (0-based). `None` never
+        /// fires (counting still happens, which is how the harness
+        /// measures a run's kill-point count).
+        pub kill_after: Option<u64>,
+        /// When the fatal point is a data write, how many bytes of that
+        /// write land before the failure (a torn write). `None` → zero.
+        pub truncate_to: Option<u64>,
+        /// Only operations on paths under this prefix count as kill
+        /// points. Faults are process-global (checkpoint writers fan out
+        /// across worker threads), so tests scope their plan to their
+        /// own checkpoint directory to leave unrelated I/O untouched.
+        pub scope: Option<PathBuf>,
+    }
+
+    impl FaultPlan {
+        /// Plan that counts kill points under `scope` without ever firing.
+        pub fn count_only(scope: &Path) -> FaultPlan {
+            FaultPlan {
+                kill_after: None,
+                truncate_to: None,
+                scope: Some(scope.to_path_buf()),
+            }
+        }
+
+        /// Plan that kills the `n`th kill point under `scope`.
+        pub fn kill_at(n: u64, scope: &Path) -> FaultPlan {
+            FaultPlan {
+                kill_after: Some(n),
+                truncate_to: None,
+                scope: Some(scope.to_path_buf()),
+            }
+        }
+    }
+
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+    static ARM_LOCK: Mutex<()> = Mutex::new(());
+    static ENV: OnceLock<Option<FaultPlan>> = OnceLock::new();
+
+    fn unpoison<'a, T>(
+        r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+    ) -> MutexGuard<'a, T> {
+        r.unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn env_plan() -> Option<FaultPlan> {
+        ENV.get_or_init(|| {
+            let spec = std::env::var("UCP_FAULTS").ok()?;
+            let mut plan = FaultPlan::default();
+            for part in spec.split(',') {
+                let (key, value) = part.split_once('=')?;
+                match key.trim() {
+                    "kill_after" => plan.kill_after = value.trim().parse().ok(),
+                    "truncate" => plan.truncate_to = value.trim().parse().ok(),
+                    "scope" => plan.scope = Some(PathBuf::from(value.trim())),
+                    _ => return None,
+                }
+            }
+            plan.kill_after?;
+            Some(plan)
+        })
+        .clone()
+    }
+
+    /// An armed fault plan. Holds a process-wide arming lock so
+    /// concurrent tests cannot clobber each other's plan; dropping it
+    /// disarms. Read the kill-point count with [`Armed::hits`] before
+    /// dropping.
+    pub struct Armed {
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl Armed {
+        /// Kill points reached since arming.
+        pub fn hits(&self) -> u64 {
+            HITS.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            *unpoison(PLAN.lock()) = None;
+        }
+    }
+
+    /// Arm a fault plan (resets the kill-point counter). The plan stays
+    /// active — across all threads — until the returned guard drops.
+    #[must_use = "the plan disarms when the guard drops"]
+    pub fn arm(plan: FaultPlan) -> Armed {
+        let lock = unpoison(ARM_LOCK.lock());
+        HITS.store(0, Ordering::SeqCst);
+        *unpoison(PLAN.lock()) = Some(plan);
+        Armed { _lock: lock }
+    }
+
+    /// The error every injected crash surfaces as.
+    pub fn injected_crash(point: &str) -> std::io::Error {
+        std::io::Error::other(format!("injected crash at kill point: {point}"))
+    }
+
+    /// Whether `e` is an injected crash (vs a genuine I/O failure).
+    pub fn is_injected(e: &std::io::Error) -> bool {
+        e.to_string().contains("injected crash at kill point")
+    }
+
+    /// Count one kill point for `path`; `Some` if the plan says die here.
+    /// With no in-process plan armed, the `UCP_FAULTS` env plan applies.
+    fn strike(path: &Path) -> Option<FaultPlan> {
+        let guard = unpoison(PLAN.lock());
+        let plan = match &*guard {
+            Some(p) => p.clone(),
+            None => env_plan()?,
+        };
+        drop(guard);
+        if let Some(scope) = &plan.scope {
+            if !path.starts_with(scope) {
+                return None;
+            }
+        }
+        let n = HITS.fetch_add(1, Ordering::SeqCst);
+        (plan.kill_after == Some(n)).then_some(plan)
+    }
+
+    /// Register a non-write kill point (fsync, rename, dir sync) on `path`.
+    pub fn gate(point: &str, path: &Path) -> std::io::Result<()> {
+        match strike(path) {
+            Some(_) => Err(injected_crash(point)),
+            None => Ok(()),
+        }
+    }
+
+    /// Writer wrapper registering one kill point per `write` call; a
+    /// fatal strike lands `truncate_to` bytes (a torn write) and fails.
+    pub struct FaultWriter<W: Write> {
+        inner: W,
+        path: PathBuf,
+        dead: bool,
+    }
+
+    impl<W: Write> FaultWriter<W> {
+        /// Wrap `inner`, attributing its writes to `path` for fault scoping.
+        pub fn new(inner: W, path: &Path) -> FaultWriter<W> {
+            FaultWriter {
+                inner,
+                path: path.to_path_buf(),
+                dead: false,
+            }
+        }
+    }
+
+    impl<W: Write> Write for FaultWriter<W> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.dead {
+                return Err(injected_crash("write after injected crash"));
+            }
+            match strike(&self.path) {
+                None => self.inner.write(buf),
+                Some(plan) => {
+                    self.dead = true;
+                    let torn = (plan.truncate_to.unwrap_or(0) as usize).min(buf.len());
+                    if torn > 0 {
+                        let _ = self.inner.write_all(&buf[..torn]);
+                    }
+                    // Push whatever landed through any buffering so the
+                    // on-disk state matches a crash mid-write.
+                    let _ = self.inner.flush();
+                    Err(injected_crash("data write"))
+                }
+            }
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            if self.dead {
+                return Err(injected_crash("flush after injected crash"));
+            }
+            self.inner.flush()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

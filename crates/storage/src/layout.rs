@@ -96,11 +96,16 @@ pub fn manifest_path(universal_dir: &Path) -> PathBuf {
     universal_dir.join("manifest.ucpt")
 }
 
-/// Record the latest native checkpoint step.
+/// Record the latest native checkpoint step. The marker is the commit
+/// point of a save: it is staged, fsynced, and renamed into place
+/// atomically so a crash can never leave a torn marker referencing a
+/// half-written checkpoint.
 pub fn write_latest(base: &Path, step: u64) -> Result<()> {
     std::fs::create_dir_all(base)?;
-    std::fs::write(base.join("latest"), format!("global_step{step}"))?;
-    Ok(())
+    crate::commit::atomic_write(
+        &base.join("latest"),
+        format!("global_step{step}").as_bytes(),
+    )
 }
 
 /// Read the latest native checkpoint step, if any.
@@ -109,14 +114,14 @@ pub fn read_latest(base: &Path) -> Option<u64> {
     text.trim().strip_prefix("global_step")?.parse().ok()
 }
 
-/// Record the latest universal checkpoint step.
+/// Record the latest universal checkpoint step (atomic, like
+/// [`write_latest`]).
 pub fn write_latest_universal(base: &Path, step: u64) -> Result<()> {
     std::fs::create_dir_all(base)?;
-    std::fs::write(
-        base.join("latest_universal"),
-        format!("global_step{step}_universal"),
-    )?;
-    Ok(())
+    crate::commit::atomic_write(
+        &base.join("latest_universal"),
+        format!("global_step{step}_universal").as_bytes(),
+    )
 }
 
 /// Read the latest universal checkpoint step, if any.
@@ -178,6 +183,26 @@ mod tests {
         assert_eq!(read_latest(&dir), Some(123));
         write_latest_universal(&dir, 456).unwrap();
         assert_eq!(read_latest_universal(&dir), Some(456));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_marker_write_preserves_previous_marker() {
+        use crate::io::fault::{self, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("ucpt_layout_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_latest(&dir, 10).unwrap();
+        // Tear the very first write of the new marker after 6 bytes: the
+        // published marker must still read as step 10, with the torn
+        // bytes confined to the staging file.
+        let armed = fault::arm(FaultPlan {
+            truncate_to: Some(6),
+            ..FaultPlan::kill_at(0, &dir)
+        });
+        assert!(write_latest(&dir, 20).is_err());
+        drop(armed);
+        assert_eq!(read_latest(&dir), Some(10));
+        assert_eq!(std::fs::read(dir.join("latest.tmp")).unwrap(), b"global");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -7,8 +7,11 @@
 //! rate-limited reader/writer that simulates a storage device for the
 //! efficiency benches ([`io`]), and the on-disk directory layouts for both
 //! native distributed checkpoints and universal (atom) checkpoints
-//! ([`layout`]).
+//! ([`layout`]). Every durable file lands through the crash-consistent
+//! staged-rename protocol in [`commit`], instrumented with the fault
+//! injection layer in [`io::fault`].
 
+pub mod commit;
 pub mod container;
 pub mod crc;
 pub mod io;
@@ -17,7 +20,7 @@ pub mod retention;
 
 pub use container::{Container, ContainerIndex, Section, SectionInfo};
 pub use io::Device;
-pub use retention::{prune, PruneReport, RetentionPolicy};
+pub use retention::{prune, InFlightGuard, PruneReport, RetentionPolicy};
 
 /// Storage errors.
 #[derive(Debug)]

@@ -6,9 +6,57 @@
 //! the step the `latest` / `latest_universal` markers point to. A step's
 //! native and universal trees are pruned together.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use crate::{layout, Result};
+
+/// Steps currently being written (background/overlapped saves). Pruning
+/// must never delete a step a writer is still materializing, even though
+/// no marker points at it yet.
+static IN_FLIGHT: Mutex<Vec<(PathBuf, u64)>> = Mutex::new(Vec::new());
+
+/// RAII registration of a save in progress: while the guard lives,
+/// [`prune`] treats `step` under `base` as pinned. Register with the
+/// same `base` path the pruner is given — matching is by path equality,
+/// not canonicalization.
+#[derive(Debug)]
+pub struct InFlightGuard {
+    base: PathBuf,
+    step: u64,
+}
+
+/// Mark `step` under `base` as being written until the guard drops.
+pub fn begin_save(base: &Path, step: u64) -> InFlightGuard {
+    IN_FLIGHT
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((base.to_path_buf(), step));
+    InFlightGuard {
+        base: base.to_path_buf(),
+        step,
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        let mut guard = IN_FLIGHT.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = guard
+            .iter()
+            .position(|(b, s)| *s == self.step && b == &self.base)
+        {
+            guard.swap_remove(i);
+        }
+    }
+}
+
+fn is_in_flight(base: &Path, step: u64) -> bool {
+    IN_FLIGHT
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .any(|(b, s)| *s == step && b == base)
+}
 
 /// What to keep when pruning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,17 +119,27 @@ pub struct PruneReport {
     pub kept: Vec<u64>,
     /// Bytes reclaimed.
     pub bytes_reclaimed: u64,
+    /// Bytes held by quarantined `*.corrupt` trees (left for operator
+    /// inspection, never reclaimed by pruning).
+    pub bytes_quarantined: u64,
 }
 
 /// Apply a retention policy under `base`. The steps referenced by the
-/// `latest` and `latest_universal` markers are always kept.
+/// `latest` and `latest_universal` markers are always kept, as are steps
+/// registered in flight via [`begin_save`]. Quarantined `*.corrupt`
+/// trees (produced by `ucp fsck`) are never deleted, only measured.
 pub fn prune(base: &Path, policy: &RetentionPolicy) -> Result<PruneReport> {
     let steps = list_steps(base);
     let pinned_native = layout::read_latest(base);
     let pinned_universal = layout::read_latest_universal(base);
-    let mut report = PruneReport::default();
+    let mut report = PruneReport {
+        bytes_quarantined: quarantined_bytes(base),
+        ..PruneReport::default()
+    };
     for &step in &steps {
-        let pinned = Some(step) == pinned_native || Some(step) == pinned_universal;
+        let pinned = Some(step) == pinned_native
+            || Some(step) == pinned_universal
+            || is_in_flight(base, step);
         if pinned || policy.keeps(step, &steps) {
             report.kept.push(step);
             continue;
@@ -98,6 +156,22 @@ pub fn prune(base: &Path, policy: &RetentionPolicy) -> Result<PruneReport> {
         report.removed.push(step);
     }
     Ok(report)
+}
+
+/// Total size of quarantined `*.corrupt` trees under `base`.
+pub fn quarantined_bytes(base: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(base) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".corrupt"))
+        })
+        .map(|e| layout::dir_size_bytes(&e.path()))
+        .sum()
 }
 
 #[cfg(test)]
@@ -173,6 +247,69 @@ mod tests {
         std::fs::create_dir_all(layout::universal_dir(&base, 7)).unwrap();
         std::fs::create_dir_all(base.join("unrelated")).unwrap();
         assert_eq!(list_steps(&base), vec![7]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn in_flight_steps_survive_prune() {
+        let base = fabricate("inflight", &[1, 2, 3, 4]);
+        layout::write_latest(&base, 4).unwrap();
+        // Step 2 is mid-save (a background writer holds the guard): it
+        // must survive even though the policy would drop it.
+        let guard = begin_save(&base, 2);
+        let report = prune(&base, &RetentionPolicy::last(1)).unwrap();
+        assert_eq!(report.removed, vec![1, 3]);
+        assert!(report.kept.contains(&2));
+        drop(guard);
+        // Once the save finishes, the next prune may collect it.
+        let report = prune(&base, &RetentionPolicy::last(1)).unwrap();
+        assert_eq!(report.removed, vec![2]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn prune_racing_concurrent_writer_never_deletes_partial_step() {
+        let base = fabricate("race", &[10, 12]);
+        layout::write_latest(&base, 12).unwrap();
+        let n_files = 20;
+        std::thread::scope(|s| {
+            let guard = begin_save(&base, 11);
+            let writer_base = base.clone();
+            let h = s.spawn(move || {
+                let dir = layout::step_dir(&writer_base, 11);
+                std::fs::create_dir_all(&dir).unwrap();
+                for i in 0..n_files {
+                    std::fs::write(dir.join(format!("f{i}")), [0u8; 10]).unwrap();
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+            // Step 11 is older than the keep_last window the whole time
+            // the writer runs; only the in-flight pin protects it.
+            for _ in 0..10 {
+                let report = prune(&base, &RetentionPolicy::last(1)).unwrap();
+                assert!(!report.removed.contains(&11));
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            h.join().unwrap();
+            drop(guard);
+        });
+        let written = layout::dir_size_bytes(&layout::step_dir(&base, 11));
+        assert_eq!(written, 10 * n_files as u64);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn quarantined_trees_are_measured_not_deleted() {
+        let base = fabricate("quarantine", &[1, 2]);
+        layout::write_latest(&base, 2).unwrap();
+        let q = base.join("global_step9.corrupt");
+        std::fs::create_dir_all(&q).unwrap();
+        std::fs::write(q.join("payload"), vec![0u8; 77]).unwrap();
+        let report = prune(&base, &RetentionPolicy::last(1)).unwrap();
+        assert_eq!(report.bytes_quarantined, 77);
+        assert!(q.is_dir(), "quarantined trees are for the operator");
+        assert_eq!(report.removed, vec![1]);
+        assert_eq!(list_steps(&base), vec![2], "corrupt dirs are not steps");
         std::fs::remove_dir_all(&base).ok();
     }
 

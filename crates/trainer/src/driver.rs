@@ -134,9 +134,11 @@ pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
 /// Like [`train_run`], but checkpoint persistence overlaps training
 /// (CheckFreq/Gemini-style): at each checkpoint boundary the rank takes an
 /// in-memory snapshot — the only blocking cost — and a background thread
-/// writes the files while training continues. The `latest` marker is
-/// published once at the end, after every rank's last writer completes.
-/// The on-disk checkpoints are byte-identical to the synchronous path.
+/// writes the files while training continues. The `latest` marker for a
+/// step is published as soon as that step's writers have drained (at the
+/// next checkpoint boundary, or at run end), so a crash mid-run resumes
+/// from the newest completed save instead of losing the whole run. The
+/// on-disk checkpoints are byte-identical to the synchronous path.
 pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
     plan.config.validate().map_err(TrainError::Config)?;
     let world = plan.config.parallel.world_size();
@@ -159,7 +161,6 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
         let mut metrics = Vec::new();
         let mut save_secs = 0.0f64;
         let mut pending: Option<crate::snapshot::PendingSave> = None;
-        let mut last_saved: Option<u64> = None;
         while engine.iteration < plan.until_iteration {
             let it = engine.iteration;
             let loss = engine.train_iteration().map_err(|e| e.to_string())?;
@@ -171,22 +172,29 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
                     // Only the drain of the previous writer and the
                     // snapshot block training.
                     if let Some(prev) = pending.take() {
+                        let step = prev.step;
                         prev.wait().map_err(|e| e.to_string())?;
+                        // The drained step is complete on every rank:
+                        // publish its marker now, so a crash later in
+                        // the run loses one interval, not the whole run.
+                        engine
+                            .publish_latest(dir, step)
+                            .map_err(|e| e.to_string())?;
                     }
                     let snapshot = engine.snapshot();
                     save_secs += t0.elapsed().as_secs_f64();
-                    last_saved = Some(engine.iteration);
                     pending = Some(crate::snapshot::PendingSave::spawn(snapshot, dir.clone()));
                 }
             }
         }
         if let Some(prev) = pending.take() {
+            let step = prev.step;
             prev.wait().map_err(|e| e.to_string())?;
-        }
-        if let (Some(step), Some(dir)) = (last_saved, &plan.checkpoint_dir) {
-            engine
-                .publish_latest(dir, step)
-                .map_err(|e| e.to_string())?;
+            if let Some(dir) = &plan.checkpoint_dir {
+                engine
+                    .publish_latest(dir, step)
+                    .map_err(|e| e.to_string())?;
+            }
         }
         Ok(RunResult {
             losses,

@@ -74,10 +74,17 @@ pub struct PendingSave {
 }
 
 impl PendingSave {
-    /// Spawn the background writer for a snapshot.
+    /// Spawn the background writer for a snapshot. The step is pinned
+    /// against retention pruning before the thread starts and stays
+    /// pinned until the writer finishes, so `prune` can never delete a
+    /// directory that is still materializing.
     pub fn spawn(snapshot: CheckpointSnapshot, base: PathBuf) -> PendingSave {
         let step = snapshot.common.iteration;
-        let handle = std::thread::spawn(move || snapshot.persist(&base));
+        let guard = ucp_storage::retention::begin_save(&base, step);
+        let handle = std::thread::spawn(move || {
+            let _guard = guard;
+            snapshot.persist(&base)
+        });
         PendingSave { step, handle }
     }
 

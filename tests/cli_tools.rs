@@ -119,6 +119,46 @@ fn verify_passes_then_detects_corruption() {
 }
 
 #[test]
+fn fsck_clean_tree_succeeds_and_corrupt_tree_fails() {
+    let dir = make_checkpoint("fsck");
+    let dir_s = dir.to_string_lossy().to_string();
+    // Clean tree: Ok (exit 0 through main's dispatch).
+    commands::fsck(&flags(&["--dir", &dir_s])).unwrap();
+    commands::fsck(&flags(&["--dir", &dir_s, "--json"])).unwrap();
+
+    // Corrupt one file: Err (non-zero exit), tree quarantined.
+    let victim = layout::optim_states_path(&layout::step_dir(&dir, 2), 1, 0, 0);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let n = bytes.len();
+    bytes[n / 2] ^= 0x01;
+    std::fs::write(&victim, bytes).unwrap();
+    let err = commands::fsck(&flags(&["--dir", &dir_s])).unwrap_err();
+    assert!(err.contains("problem"), "{err}");
+    assert!(dir.join("global_step2.corrupt").is_dir());
+    assert!(!layout::step_dir(&dir, 2).exists());
+
+    // The quarantine fixed the tree: a second pass is clean.
+    commands::fsck(&flags(&["--dir", &dir_s])).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fsck_no_repair_leaves_tree_alone() {
+    let dir = make_checkpoint("fsck_norepair");
+    let dir_s = dir.to_string_lossy().to_string();
+    let victim = layout::model_states_path(&layout::step_dir(&dir, 2), 0, 0);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let n = bytes.len();
+    bytes[n / 2] ^= 0x01;
+    std::fs::write(&victim, bytes).unwrap();
+    let err = commands::fsck(&flags(&["--dir", &dir_s, "--no-repair"])).unwrap_err();
+    assert!(err.contains("problem"), "{err}");
+    assert!(layout::step_dir(&dir, 2).is_dir());
+    assert!(!dir.join("global_step2.corrupt").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn prune_respects_policy() {
     let dir = scratch("prune");
     let dir_s = dir.to_string_lossy().to_string();

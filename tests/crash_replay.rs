@@ -1,0 +1,270 @@
+//! Crash-replay harness for the commit protocol: kill the writer at a
+//! sweep of points through save and convert, then assert the tree always
+//! resumes.
+//!
+//! The fault layer (`storage::io::fault`) counts every buffered write and
+//! every commit gate (pre-publish fsync, rename, parent-dir sync) under a
+//! scoped directory. Each sweep first runs a calibration pass to count the
+//! kill points of the operation, then replays the operation with an
+//! injected crash at indices spread across that range. After every crash
+//! the invariants the protocol promises are checked:
+//!
+//! - `latest` / `latest_universal` never reference an incomplete step —
+//!   `fsck` finds no dangling marker to repair;
+//! - resume from the newest marker always succeeds;
+//! - after `fsck` quarantines partial trees, simply retrying the
+//!   interrupted operation converges.
+
+use ucp_repro::core::convert::{convert_to_universal, ConvertOptions};
+use ucp_repro::core::{fsck, FsckOptions};
+use ucp_repro::model::ModelConfig;
+use ucp_repro::parallel::{ParallelConfig, ZeroStage};
+use ucp_repro::storage::io::fault;
+use ucp_repro::storage::layout;
+use ucp_repro::trainer::{train_run, train_run_overlapped, ResumeMode, TrainConfig, TrainPlan};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ucp_it_crash_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config() -> TrainConfig {
+    TrainConfig::quick(
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+        91,
+    )
+}
+
+/// Fresh run that commits a complete checkpoint at step 2.
+fn baseline(dir: &std::path::Path) {
+    train_run(&TrainPlan {
+        config: config(),
+        until_iteration: 2,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(2),
+        checkpoint_dir: Some(dir.to_path_buf()),
+    })
+    .unwrap();
+}
+
+/// The segment under fault: resume from step 2 and save step 4.
+fn save_segment(dir: &std::path::Path) -> Result<ucp_repro::trainer::RunResult, String> {
+    train_run(&TrainPlan {
+        config: config(),
+        until_iteration: 4,
+        resume: ResumeMode::Native {
+            dir: dir.to_path_buf(),
+            step: 2,
+        },
+        checkpoint_every: Some(2),
+        checkpoint_dir: Some(dir.to_path_buf()),
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// `want` kill indices spread over `[0, total)`, ends included.
+fn spread(total: u64, want: u64) -> Vec<u64> {
+    assert!(total > 1, "operation exposed too few kill points: {total}");
+    let want = want.min(total);
+    let mut ks: Vec<u64> = (0..want)
+        .map(|i| i * (total - 1) / (want - 1).max(1))
+        .collect();
+    ks.dedup();
+    ks
+}
+
+fn copy_tree(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for e in std::fs::read_dir(src).unwrap().flatten() {
+        let to = dst.join(e.file_name());
+        if e.path().is_dir() {
+            copy_tree(&e.path(), &to);
+        } else {
+            std::fs::copy(e.path(), &to).unwrap();
+        }
+    }
+}
+
+#[test]
+fn save_crash_replay_sweeps_kill_points() {
+    // Calibration: count the kill points of one save segment.
+    let cal = scratch("save_cal");
+    baseline(&cal);
+    let total = {
+        let armed = fault::arm(fault::FaultPlan::count_only(&cal));
+        save_segment(&cal).unwrap();
+        armed.hits()
+    };
+    std::fs::remove_dir_all(&cal).ok();
+
+    let kill_points = spread(total, 12);
+    assert!(
+        kill_points.len() >= 10,
+        "save exposed only {total} kill points"
+    );
+    for &k in &kill_points {
+        let dir = scratch(&format!("save_k{k}"));
+        baseline(&dir);
+        let err = {
+            let _armed = fault::arm(fault::FaultPlan::kill_at(k, &dir));
+            save_segment(&dir).unwrap_err()
+        };
+        assert!(err.contains("injected crash"), "kill {k}: {err}");
+
+        // fsck may quarantine the partial step-4 tree, but must find the
+        // markers sound: a marker is only ever published after its step
+        // is complete.
+        let report = fsck(&dir, &FsckOptions::default()).unwrap();
+        assert!(
+            report.markers_repaired.is_empty(),
+            "kill {k}: marker referenced an incomplete step: {:?}",
+            report.markers_repaired
+        );
+
+        // Resume from the marker always works: old step or new step,
+        // never a torn in-between.
+        let latest = layout::read_latest(&dir).expect("baseline marker must survive");
+        assert!(latest == 2 || latest == 4, "kill {k}: latest = {latest}");
+        let resumed = train_run(&TrainPlan {
+            config: config(),
+            until_iteration: latest + 2,
+            resume: ResumeMode::Native {
+                dir: dir.clone(),
+                step: latest,
+            },
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        })
+        .unwrap_or_else(|e| panic!("kill {k}: resume from step {latest} failed: {e}"));
+        assert_eq!(resumed.start_iteration, latest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn convert_crash_replay_sweeps_kill_points() {
+    // One native checkpoint; each scenario converts a fresh copy of it.
+    let base = scratch("conv_base");
+    baseline(&base);
+    let total = {
+        let cal = scratch("conv_cal");
+        copy_tree(&base, &cal);
+        let armed = fault::arm(fault::FaultPlan::count_only(&cal));
+        convert_to_universal(&cal, 2, &ConvertOptions::default()).unwrap();
+        let hits = armed.hits();
+        drop(armed);
+        std::fs::remove_dir_all(&cal).ok();
+        hits
+    };
+
+    let kill_points = spread(total, 12);
+    assert!(
+        kill_points.len() >= 10,
+        "convert exposed only {total} kill points"
+    );
+    for &k in &kill_points {
+        let dir = scratch(&format!("conv_k{k}"));
+        copy_tree(&base, &dir);
+        let err = {
+            let _armed = fault::arm(fault::FaultPlan::kill_at(k, &dir));
+            convert_to_universal(&dir, 2, &ConvertOptions::default()).unwrap_err()
+        };
+        assert!(
+            err.to_string().contains("injected crash"),
+            "kill {k}: {err}"
+        );
+
+        let report = fsck(&dir, &FsckOptions::default()).unwrap();
+        assert!(
+            report.markers_repaired.is_empty(),
+            "kill {k}: marker referenced an incomplete universal step: {:?}",
+            report.markers_repaired
+        );
+        // The native source is untouched by a convert crash.
+        assert_eq!(layout::read_latest(&dir), Some(2), "kill {k}");
+
+        // Either the conversion committed (marker present ⇒ complete) or
+        // it can simply be retried after fsck swept the debris.
+        if layout::read_latest_universal(&dir).is_none() {
+            convert_to_universal(&dir, 2, &ConvertOptions::default())
+                .unwrap_or_else(|e| panic!("kill {k}: retry after fsck failed: {e}"));
+        }
+        assert_eq!(layout::read_latest_universal(&dir), Some(2), "kill {k}");
+        let resumed = train_run(&TrainPlan {
+            config: config(),
+            until_iteration: 4,
+            resume: ResumeMode::Universal {
+                dir: dir.clone(),
+                step: 2,
+            },
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        })
+        .unwrap_or_else(|e| panic!("kill {k}: universal resume failed: {e}"));
+        assert_eq!(resumed.start_iteration, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn overlapped_mid_run_kill_resumes_from_published_marker() {
+    let plan = |dir: &std::path::Path| TrainPlan {
+        config: config(),
+        until_iteration: 6,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(2),
+        checkpoint_dir: Some(dir.to_path_buf()),
+    };
+    let total = {
+        let cal = scratch("ovl_cal");
+        let armed = fault::arm(fault::FaultPlan::count_only(&cal));
+        train_run_overlapped(&plan(&cal)).unwrap();
+        let hits = armed.hits();
+        drop(armed);
+        std::fs::remove_dir_all(&cal).ok();
+        hits
+    };
+
+    for &k in &spread(total, 6) {
+        let dir = scratch(&format!("ovl_k{k}"));
+        let result = {
+            let _armed = fault::arm(fault::FaultPlan::kill_at(k, &dir));
+            train_run_overlapped(&plan(&dir))
+        };
+        assert!(result.is_err(), "kill {k}: run should have crashed");
+
+        let report = fsck(&dir, &FsckOptions::default()).unwrap();
+        assert!(
+            report.markers_repaired.is_empty(),
+            "kill {k}: overlapped run published a marker for an incomplete step: {:?}",
+            report.markers_repaired
+        );
+        match layout::read_latest(&dir) {
+            // The marker is published per drained interval, so a mid-run
+            // crash loses at most one interval — and resume works.
+            Some(latest) => {
+                assert!([2, 4, 6].contains(&latest), "kill {k}: latest = {latest}");
+                let resumed = train_run(&TrainPlan {
+                    config: config(),
+                    until_iteration: latest + 2,
+                    resume: ResumeMode::Native {
+                        dir: dir.clone(),
+                        step: latest,
+                    },
+                    checkpoint_every: None,
+                    checkpoint_dir: None,
+                })
+                .unwrap_or_else(|e| panic!("kill {k}: resume from {latest} failed: {e}"));
+                assert_eq!(resumed.start_iteration, latest);
+            }
+            // Crashed before the first drain: nothing was committed and
+            // nothing claims otherwise.
+            None => assert!(!dir.join("latest").exists(), "kill {k}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,267 @@
+//! Vendored stand-in for `criterion` (offline build).
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface UCP's
+//! benches use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `b.iter`, `criterion_group!`/`criterion_main!`). No
+//! statistical analysis or HTML reports: each benchmark runs a warmup
+//! pass, then `sample_size` timed samples of an adaptively chosen
+//! iteration count, and prints min/median/mean per iteration. Honors
+//! `--bench` (ignored) and a substring filter argument like criterion's
+//! CLI so `cargo bench <name>` still narrows the run.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// `std::hint::black_box` under criterion's name).
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration nanoseconds, one entry per sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording `samples` samples. The iteration count
+    /// per sample is calibrated so one sample takes ≥ ~5 ms (or a single
+    /// iteration for slow routines).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration.
+        let t0 = Instant::now();
+        std_black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1) as usize;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.results
+                .push(elapsed.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let mut sorted = b.results.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean: f64 = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{label:<40} min {:>12}  med {:>12}  mean {:>12}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+/// Benchmark driver. Collects CLI filter state; benchmarks run eagerly as
+/// they are registered.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Positional non-flag args act as a name filter, mirroring
+        // `cargo bench <filter>`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        if self.matches(name) {
+            run_one(name, self.default_samples, &mut f);
+        }
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = Some(samples);
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&label) {
+            let samples = self.samples.unwrap_or(self.criterion.default_samples);
+            run_one(&label, samples, f);
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.into().0, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.name, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where a bench name is needed.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.name)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 3,
+            results: Vec::new(),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            black_box(n)
+        });
+        assert_eq!(b.results.len(), 3);
+        assert!(b.results.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            filter: None,
+            default_samples: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with", 4), &4u32, |b, &x| b.iter(|| x * 2));
+        group.bench_function(BenchmarkId::from_parameter(9), |b| b.iter(|| 9));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| 0));
+    }
+}

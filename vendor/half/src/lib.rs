@@ -1,0 +1,238 @@
+//! Vendored stand-in for the `half` crate (offline build).
+//!
+//! Implements the subset UCP uses: `f16`/`bf16` with `from_f32`, `to_f32`,
+//! `to_le_bytes`, and `from_le_bytes`. Conversions follow IEEE 754
+//! round-to-nearest-even semantics, matching the upstream crate bit-for-bit
+//! on finite inputs (including subnormals and overflow-to-infinity), so
+//! checkpoint payloads encoded with either implementation are identical.
+
+/// IEEE 754 binary16 (half precision) floating point number.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct f16(u16);
+
+/// bfloat16: truncated-mantissa f32 with round-to-nearest-even.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct bf16(u16);
+
+impl f16 {
+    /// Convert an `f32` to binary16 with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> f16 {
+        f16(f32_to_f16_bits(value))
+    }
+
+    /// Widen back to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Raw bits, little-endian.
+    pub fn to_le_bytes(self) -> [u8; 2] {
+        self.0.to_le_bytes()
+    }
+
+    /// Reconstruct from little-endian bits.
+    pub fn from_le_bytes(bytes: [u8; 2]) -> f16 {
+        f16(u16::from_le_bytes(bytes))
+    }
+
+    /// Reinterpret raw bits.
+    pub fn from_bits(bits: u16) -> f16 {
+        f16(bits)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+}
+
+impl bf16 {
+    /// Convert an `f32` to bfloat16 with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> bf16 {
+        bf16(f32_to_bf16_bits(value))
+    }
+
+    /// Widen back to `f32` (exact: bf16 is a truncated f32).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Raw bits, little-endian.
+    pub fn to_le_bytes(self) -> [u8; 2] {
+        self.0.to_le_bytes()
+    }
+
+    /// Reconstruct from little-endian bits.
+    pub fn from_le_bytes(bytes: [u8; 2]) -> bf16 {
+        bf16(u16::from_le_bytes(bytes))
+    }
+
+    /// Reinterpret raw bits.
+    pub fn from_bits(bits: u16) -> bf16 {
+        bf16(bits)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+}
+
+fn f32_to_bf16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    if value.is_nan() {
+        // Preserve sign, force a quiet NaN that survives truncation.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round-to-nearest-even on the dropped 16 bits.
+    let round_bit = (bits >> 15) & 1;
+    let lower = bits & 0x7FFF;
+    let mut upper = (bits >> 16) as u16;
+    if round_bit == 1 && (lower != 0 || (upper & 1) == 1) {
+        upper = upper.wrapping_add(1);
+    }
+    upper
+}
+
+fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN. Keep NaN payloads quiet.
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00
+        };
+    }
+
+    // Unbiased exponent; f16 bias is 15, f32 bias is 127.
+    let unbiased = exp - 127;
+    if unbiased >= 16 {
+        // Overflow → infinity.
+        return sign | 0x7C00;
+    }
+    if unbiased >= -14 {
+        // Normal range. 13 mantissa bits are dropped.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_mant = (mant >> 13) as u16;
+        let dropped = mant & 0x1FFF;
+        let mut out = sign | half_exp | half_mant;
+        // Round to nearest even; a mantissa carry correctly bumps the
+        // exponent because the fields are adjacent.
+        if dropped > 0x1000 || (dropped == 0x1000 && (out & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    if unbiased >= -25 {
+        // Subnormal range: implicit leading 1 becomes explicit, shifted
+        // right by the exponent deficit.
+        let full_mant = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let half_mant = (full_mant >> shift) as u16;
+        let dropped = full_mant & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut out = sign | half_mant;
+        if dropped > halfway || (dropped == halfway && (out & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    // Underflow → signed zero.
+    sign
+}
+
+fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let mant = (bits & 0x03FF) as u32;
+    let out = if exp == 0x1F {
+        // Inf / NaN.
+        sign | 0x7F80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: renormalize.
+            let mut e = -1i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e += 1;
+            }
+            let exp32 = (127 - 15 - e) as u32;
+            sign | (exp32 << 23) | ((m & 0x03FF) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_exact_values_roundtrip() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(f16::from_f32(v).to_f32(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn f16_saturates_to_infinity() {
+        assert_eq!(f16::from_f32(1e9).to_f32(), f32::INFINITY);
+        assert_eq!(f16::from_f32(-1e9).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(f16::from_f32(65520.0).to_f32(), f32::INFINITY);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        // Smallest positive subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16::from_f32(tiny).to_f32(), tiny);
+        // Below half the smallest subnormal rounds to zero.
+        assert_eq!(f16::from_f32(2.0f32.powi(-26)).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16; ties
+        // go to even (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(halfway).to_f32(), 1.0);
+        // 1 + 3*2^-11 is halfway between nextafter(1) and the one after;
+        // ties to even picks the larger (even mantissa).
+        let halfway_up = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(halfway_up).to_f32(), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn f16_nan_stays_nan() {
+        assert!(f16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn bf16_truncates_with_rounding() {
+        assert_eq!(bf16::from_f32(1.0).to_f32(), 1.0);
+        // bf16 keeps 8 mantissa bits: 1 + eps_f32 rounds back to 1.
+        assert_eq!(bf16::from_f32(1.0 + f32::EPSILON).to_f32(), 1.0);
+        assert!(bf16::from_f32(f32::NAN).to_f32().is_nan());
+        assert_eq!(bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip() {
+        let h = f16::from_f32(3.14159);
+        assert_eq!(f16::from_le_bytes(h.to_le_bytes()), h);
+        let b = bf16::from_f32(3.14159);
+        assert_eq!(bf16::from_le_bytes(b.to_le_bytes()), b);
+    }
+}

@@ -1,0 +1,389 @@
+//! Vendored stand-in for `serde` (offline build).
+//!
+//! The real serde is format-agnostic; UCP only ever serializes to JSON via
+//! `serde_json`, so this stand-in collapses the data-model layer to a
+//! single JSON [`Value`] tree. `Serialize` renders into a `Value`,
+//! `Deserialize` reads back out of one, and the companion `serde_derive`
+//! proc-macro generates both impls for plain structs and enums with the
+//! same on-the-wire conventions as upstream serde_json:
+//!
+//! - structs → objects with fields in declaration order
+//! - newtype structs → the inner value, transparently
+//! - unit enum variants → `"VariantName"`
+//! - newtype enum variants → `{"VariantName": value}` (externally tagged)
+//! - struct enum variants → `{"VariantName": {..fields..}}`
+//! - `Option::None` → `null`, and a *missing* object field deserializes
+//!   to `None` (matching serde's derived behavior for `Option` fields)
+//!
+//! Only the surface UCP uses is implemented; `#[serde(...)]` attributes
+//! are not supported (the codebase uses none).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value: the single data model this serde speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integer (how the parser reports unsigned literals).
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion order (serde_json preserves struct
+    /// field order the same way).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's type for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error (also re-exported as
+/// `serde_json::Error`).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+
+    pub fn expected(what: &'static str, got: &Value) -> Error {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into the JSON data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the JSON data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Hook for a field absent from its enclosing object. Errors by
+    /// default; `Option` overrides it to yield `None`.
+    fn missing_field(field: &str, ty: &str) -> Result<Self, Error> {
+        let _ = (field, ty);
+        Err(Error::new(format!("missing field `{field}` in {ty}")))
+    }
+}
+
+/// Helper used by derived `Deserialize` impls: fetch `key` from an object
+/// body, falling back to [`Deserialize::missing_field`].
+pub fn get_field<T: Deserialize>(obj: &[(String, Value)], key: &str, ty: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::new(format!("field `{key}` in {ty}: {e}")))
+        }
+        None => T::missing_field(key, ty),
+    }
+}
+
+// ---- Primitive impls ----------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n: u64 = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    ref other => return Err(Error::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::new(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| Error::new(format!("integer {u} overflows i64")))?,
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.3e18 => f as i64,
+                    ref other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::new(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    ref other => Err(Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str, _ty: &str) -> Result<Option<T>, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, Error> {
+        let pairs = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        pairs
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(Error::new(format!(
+                        "expected array of length {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let obj: Vec<(String, Value)> = vec![("a".into(), Value::UInt(1))];
+        let got: Option<u32> = get_field(&obj, "absent", "T").unwrap();
+        assert_eq!(got, None);
+        let err = get_field::<u32>(&obj, "absent", "T");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn integer_bounds_checked() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert_eq!(u8::from_value(&Value::UInt(255)).unwrap(), 255);
+        assert_eq!(i32::from_value(&Value::Int(-5)).unwrap(), -5);
+        assert!(u64::from_value(&Value::Int(-5)).is_err());
+    }
+
+    #[test]
+    fn map_roundtrips_sorted() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), "2".to_string());
+        m.insert("a".to_string(), "1".to_string());
+        let v = m.to_value();
+        let pairs = v.as_object().unwrap();
+        assert_eq!(pairs[0].0, "a");
+        let back: BTreeMap<String, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

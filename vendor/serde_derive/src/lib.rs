@@ -1,0 +1,419 @@
+//! Vendored stand-in for `serde_derive` (offline build).
+//!
+//! Derives `serde::Serialize` / `serde::Deserialize` for the shapes UCP
+//! actually uses — plain (non-generic) structs, tuple structs, and enums
+//! with unit / newtype / tuple / struct variants — by walking the raw
+//! `proc_macro::TokenStream` directly instead of pulling in syn/quote.
+//! `#[serde(...)]` attributes are not supported and `#[derive]` on a
+//! generic type is a compile error; neither appears in this codebase.
+//!
+//! Wire conventions match upstream serde_json (externally tagged enums,
+//! transparent newtype structs); see the crate docs on `serde` itself.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the fields of a struct or enum variant look like.
+enum Fields {
+    Unit,
+    /// Tuple fields, by arity.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---- Parsing ------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume leading `#[...]` attributes (doc comments arrive as
+/// `#[doc = "..."]`) and any visibility qualifier.
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The attribute body: a bracket group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive: expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive(Serialize/Deserialize): generic type `{name}` is not supported \
+                 by the vendored serde_derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("derive: malformed struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("derive: malformed enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Parse `a: T, b: U, ...` returning field names. Commas nested inside
+/// `<...>` generic arguments (e.g. `BTreeMap<String, String>`) are not
+/// separators, so angle-bracket depth is tracked across punctuation.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("derive: expected field name, got {other:?}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "derive: expected `:` after `{name}`, got {other:?}"
+                ))
+            }
+        }
+        let mut angle_depth = 0i32;
+        for tok in it.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple struct/variant body (top-level commas,
+/// angle-depth aware; trailing comma tolerated).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tok in body {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_tokens = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    fields + usize::from(saw_tokens)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("derive: expected variant name, got {other:?}")),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                it.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                it.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the separating comma (tolerates `= discriminant`).
+        for tok in it.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---- Codegen ------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => named_to_object(names, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(ref __f0) => ::serde::Value::Object(vec![\
+                         (\"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("ref __f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let binds: Vec<String> =
+                            fnames.iter().map(|f| format!("ref {f}")).collect();
+                        let obj = named_to_object(fnames, "");
+                        format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), {obj})]),",
+                            binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match *self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `{a, b}` with an access prefix (`self.` or `` for match bindings) →
+/// code building an insertion-ordered object.
+fn named_to_object(names: &[String], prefix: &str) -> String {
+    let pairs: Vec<String> = names
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __arr = __v.as_array().ok_or_else(|| \
+                             ::serde::Error::expected(\"array\", __v))?;\n\
+                         if __arr.len() != {n} {{\n\
+                             return Err(::serde::Error::new(format!(\
+                                 \"expected {n} elements for {name}, got {{}}\", __arr.len())));\n\
+                         }}\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => named_from_object(name, &name.to_string(), names, "__v"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<{name}, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        // serde also accepts {"Unit": null} from formats
+                        // that can't emit bare strings; keep string-only.
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __arr = __inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::expected(\"array\", __inner))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                     return Err(::serde::Error::new(format!(\
+                                         \"expected {n} elements for {name}::{vname}, \
+                                          got {{}}\", __arr.len())));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let ctor = named_from_object(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fnames,
+                            "__inner",
+                        );
+                        tagged_arms.push_str(&format!("\"{vname}\" => {{ {ctor} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<{name}, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::Error::new(format!(\
+                                     \"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                                 let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1);\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => Err(::serde::Error::new(format!(\
+                                         \"unknown {name} variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::Error::expected(\
+                                 \"externally tagged enum\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Codegen: build `ctor { field: get_field(..)?, .. }` from an object
+/// value expression.
+fn named_from_object(ctor: &str, ty_label: &str, names: &[String], value_expr: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| format!("{f}: ::serde::get_field(__obj, \"{f}\", \"{ty_label}\")?,"))
+        .collect();
+    format!(
+        "let __obj = {value_expr}.as_object().ok_or_else(|| \
+             ::serde::Error::expected(\"object\", {value_expr}))?;\n\
+         Ok({ctor} {{ {} }})",
+        fields.join("\n")
+    )
+}
