@@ -103,6 +103,20 @@ fn bench_telemetry_disabled(c: &mut Criterion) {
     group.bench_function("span_guard", |b| {
         b.iter(|| ucp_telemetry::span("bench/noop_span"))
     });
+    // The tracing layer shares the contract: while the global tracer is
+    // disabled (the default), recording spans, collectives, and comm
+    // edges must also reduce to one relaxed atomic load each.
+    group.bench_function("trace_span_guard", |b| {
+        b.iter(|| {
+            ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Compute, "bench/noop_trace_span")
+        })
+    });
+    group.bench_function("trace_collective_guard", |b| {
+        b.iter(|| ucp_telemetry::trace::collective("bench_noop", "0-3", 4096))
+    });
+    group.bench_function("trace_edge", |b| {
+        b.iter(|| ucp_telemetry::trace::edge(true, 1, 4096))
+    });
     group.finish();
 }
 

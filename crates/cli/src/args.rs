@@ -33,12 +33,23 @@ USAGE:
       Print the derived UCP pattern spec (JSON) for a model preset.
   ucp diff --dir <universal-dir-A> --other <universal-dir-B> [--tolerance T]
       Compare two universal checkpoints atom by atom.
+  ucp trace --dir <ckpt-base> [--trace-out <path>] [--summary] [--json]
+      Record a traced 2x2 (TPxPP) workload — train with overlapped saves,
+      convert, universal load — and write Chrome Trace Format JSON (one
+      pid per rank; load it in Perfetto or chrome://tracing). --summary
+      prints per-rank busy/wait, per-collective wait breakdowns, and the
+      straggler ranking; --json emits that analysis as JSON.
+  ucp trace --trace-in <trace.json> [--summary] [--json]
+      Analyze a previously recorded trace instead of running a workload.
   ucp help
       Show this message.
 
   Any of convert / load / train also accept --metrics-out <path>: enable
   telemetry and write a ucp-metrics-v1 JSON report of the run's phase
-  timings, counters, and histograms to <path>.";
+  timings, counters, and histograms to <path>. They also accept
+  --trace-out <path>: record a distributed trace of the run and write it
+  as Chrome Trace Format JSON. Both flags create missing parent
+  directories and publish the file atomically.";
 
 /// Parsed flags (a flat bag; each command reads what it needs).
 #[derive(Debug, Default)]
@@ -77,6 +88,12 @@ pub struct Parsed {
     pub tolerance: Option<f64>,
     /// `--metrics-out`: enable telemetry and write the JSON report here.
     pub metrics_out: Option<PathBuf>,
+    /// `--trace-out`: enable tracing and write Chrome-trace JSON here.
+    pub trace_out: Option<PathBuf>,
+    /// `--trace-in` (trace): analyze a saved trace instead of running.
+    pub trace_in: Option<PathBuf>,
+    /// `--summary` (trace): print the busy/wait/straggler analysis.
+    pub summary: bool,
     /// `--iters` (train): iterations to run.
     pub iters: Option<u64>,
     /// `--save-every` (train): checkpoint every K iterations.
@@ -123,6 +140,9 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
                 p.tolerance = Some(v.parse().map_err(|_| format!("'{v}' is not a number"))?);
             }
             "--metrics-out" => p.metrics_out = Some(PathBuf::from(value(&mut i)?)),
+            "--trace-out" => p.trace_out = Some(PathBuf::from(value(&mut i)?)),
+            "--trace-in" => p.trace_in = Some(PathBuf::from(value(&mut i)?)),
+            "--summary" => p.summary = true,
             "--iters" => p.iters = Some(parse_num(&value(&mut i)?)?),
             "--save-every" => p.save_every = Some(parse_num(&value(&mut i)?)?),
             "--seed" => p.seed = Some(parse_num(&value(&mut i)?)?),
@@ -209,6 +229,22 @@ mod tests {
         let p = parse(&sv(&["--dir", "/c"])).unwrap();
         assert!(!p.no_repair);
         assert!(!p.json);
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let p = parse(&sv(&[
+            "--trace-out",
+            "/tmp/t.json",
+            "--trace-in",
+            "/tmp/in.json",
+            "--summary",
+        ]))
+        .unwrap();
+        assert_eq!(p.trace_out.unwrap(), PathBuf::from("/tmp/t.json"));
+        assert_eq!(p.trace_in.unwrap(), PathBuf::from("/tmp/in.json"));
+        assert!(p.summary);
+        assert!(!parse(&sv(&[])).unwrap().summary);
     }
 
     #[test]

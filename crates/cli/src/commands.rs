@@ -8,7 +8,7 @@ use ucp_core::manifest::UcpManifest;
 use ucp_model::ModelConfig;
 use ucp_parallel::{ParallelConfig, ZeroStage};
 use ucp_storage::{layout, retention, Container, Device};
-use ucp_trainer::{train_run, ResumeMode, TrainConfig, TrainPlan};
+use ucp_trainer::{train_run, train_run_overlapped, ResumeMode, TrainConfig, TrainPlan};
 
 use crate::args::Parsed;
 use crate::resolve_step;
@@ -28,7 +28,10 @@ fn metrics_begin(p: &Parsed) {
 }
 
 /// When `--metrics-out` is set, snapshot the recorder into a
-/// `ucp-metrics-v1` JSON report at the requested path and disable it again.
+/// `ucp-metrics-v1` JSON report at the requested path and disable it
+/// again. The file is published through the staged-commit protocol
+/// (parent directories created, write + rename atomic) so a crash or a
+/// concurrent reader never observes torn JSON.
 fn metrics_end(p: &Parsed, label: &str) -> Result<(), String> {
     let Some(path) = &p.metrics_out else {
         return Ok(());
@@ -36,11 +39,41 @@ fn metrics_end(p: &Parsed, label: &str) -> Result<(), String> {
     let rec = ucp_telemetry::global();
     let report = rec.report(label);
     rec.set_enabled(false);
-    report
-        .write_json_file(path)
+    ucp_storage::commit::atomic_write(path, report.to_json().as_bytes())
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     println!("metrics report written to {}", path.display());
     Ok(())
+}
+
+/// When `--trace-out` is set, wipe the global tracer, enable it, and bind
+/// the calling thread as the driver timeline, so the command records from
+/// a clean slate.
+fn trace_begin(p: &Parsed) {
+    if p.trace_out.is_some() {
+        ucp_telemetry::trace::global().start();
+        ucp_telemetry::trace::register_thread(ucp_telemetry::trace::DRIVER_PID, "driver");
+    }
+}
+
+/// When `--trace-out` is set, merge the per-thread buffers and publish
+/// the Chrome Trace Format JSON atomically at the requested path.
+/// Returns the merged session so callers can also analyze it.
+fn trace_end(p: &Parsed) -> Result<Option<ucp_telemetry::TraceSession>, String> {
+    let Some(path) = &p.trace_out else {
+        return Ok(None);
+    };
+    let tracer = ucp_telemetry::trace::global();
+    tracer.set_enabled(false);
+    let session = tracer.take_session();
+    ucp_storage::commit::atomic_write(path, session.to_chrome_json().as_bytes())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "trace written to {} ({} events, {} rank(s))",
+        path.display(),
+        session.event_count(),
+        session.ranks().len()
+    );
+    Ok(Some(session))
 }
 
 fn target_parallel(p: &Parsed) -> Result<ParallelConfig, String> {
@@ -83,6 +116,7 @@ pub fn convert(p: &Parsed) -> Result<(), String> {
         opts.verify_replicas
     );
     metrics_begin(p);
+    trace_begin(p);
     let (manifest, stats) = convert_to_universal(&dir, step, &opts).map_err(|e| e.to_string())?;
     println!(
         "done: {} atoms, {} bytes written, extract {:.3}s, union {:.3}s",
@@ -93,6 +127,7 @@ pub fn convert(p: &Parsed) -> Result<(), String> {
         layout::universal_dir(&dir, step).display(),
         manifest.source_label
     );
+    trace_end(p)?;
     metrics_end(p, "convert")
 }
 
@@ -121,6 +156,7 @@ pub fn load(p: &Parsed) -> Result<(), String> {
         None => (0..target.world_size()).collect(),
     };
     metrics_begin(p);
+    trace_begin(p);
     let mut total_elems = 0usize;
     for &rank in &ranks {
         let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT)
@@ -139,6 +175,7 @@ pub fn load(p: &Parsed) -> Result<(), String> {
         ranks.len(),
         target.label()
     );
+    trace_end(p)?;
     metrics_end(p, "load")
 }
 
@@ -160,6 +197,7 @@ pub fn train(p: &Parsed) -> Result<(), String> {
         checkpoint_dir: Some(dir.clone()),
     };
     metrics_begin(p);
+    trace_begin(p);
     let result = train_run(&plan).map_err(|e| format!("{e:?}"))?;
     for (iter, loss) in &result.losses {
         println!("iter {iter}: loss {loss:.6}");
@@ -169,6 +207,7 @@ pub fn train(p: &Parsed) -> Result<(), String> {
         result.save_secs,
         dir.display()
     );
+    trace_end(p)?;
     metrics_end(p, "train")
 }
 
@@ -391,6 +430,149 @@ pub fn fsck(p: &Parsed) -> Result<(), String> {
             }
         ))
     }
+}
+
+/// `ucp trace`: record a traced workload (or ingest a saved trace with
+/// `--trace-in`) and analyze it.
+///
+/// Run mode executes the full hot path under one recording session — a
+/// TP=2 × PP=2 train with overlapped background saves, the universal
+/// conversion of the final step, and the universal load for every rank —
+/// then publishes Chrome Trace Format JSON (one pid per rank; open it in
+/// Perfetto or `chrome://tracing`).
+pub fn trace(p: &Parsed) -> Result<(), String> {
+    // Ingest mode: analyze a previously recorded trace.
+    if let Some(path) = &p.trace_in {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let session = ucp_telemetry::TraceSession::from_chrome_json(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if !p.json {
+            println!(
+                "trace {}: {} events, {} rank(s)",
+                path.display(),
+                session.event_count(),
+                session.ranks().len()
+            );
+        }
+        return print_trace_summary(&session, p.json);
+    }
+
+    // Run mode: record the built-in 2×2 workload.
+    let dir = require_dir(p)?;
+    let model = model_preset(p.model.as_deref().or(Some("gpt3-tiny")))?;
+    let parallel = ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1);
+    model.validate(parallel.tp)?;
+    let iters = p.iters.unwrap_or(4);
+    let plan = TrainPlan {
+        config: TrainConfig::quick(model, parallel, p.seed.unwrap_or(42)),
+        until_iteration: iters,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(p.save_every.unwrap_or(2).max(1)),
+        checkpoint_dir: Some(dir.clone()),
+    };
+    let out = p
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| dir.join("trace.json"));
+    let workers = p.workers.unwrap_or(2);
+
+    let tracer = ucp_telemetry::trace::global();
+    tracer.start();
+    ucp_telemetry::trace::register_thread(ucp_telemetry::trace::DRIVER_PID, "driver");
+
+    // 1. Train with overlapped background checkpointing.
+    train_run_overlapped(&plan).map_err(|e| format!("{e:?}"))?;
+    // 2. Convert the final native step to a universal checkpoint.
+    let step = resolve_step(&dir, None)?;
+    let opts = ConvertOptions {
+        workers,
+        spill_fragments: false,
+        verify_replicas: false,
+        spec_override: None,
+    };
+    convert_to_universal(&dir, step, &opts).map_err(|e| e.to_string())?;
+    // 3. Universal load for every rank of the same strategy.
+    let universal = layout::universal_dir(&dir, step);
+    let manifest = UcpManifest::load(&universal).map_err(|e| e.to_string())?;
+    for rank in 0..parallel.world_size() {
+        let rank_plan = gen_ucp_metadata(&manifest, &parallel, rank, DEFAULT_ALIGNMENT)
+            .map_err(|e| e.to_string())?;
+        load_with_plan_device(&universal, &rank_plan, workers, &Device::unlimited())
+            .map_err(|e| e.to_string())?;
+    }
+
+    tracer.set_enabled(false);
+    let session = tracer.take_session();
+    ucp_storage::commit::atomic_write(&out, session.to_chrome_json().as_bytes())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "trace written to {} ({} events, {} rank(s))",
+        out.display(),
+        session.event_count(),
+        session.ranks().len()
+    );
+    if p.summary || p.json {
+        print_trace_summary(&session, p.json)?;
+    }
+    Ok(())
+}
+
+/// Print the busy/wait/straggler analysis of a trace session, as the
+/// `ucp-trace-summary-v1` JSON (`json = true`) or a human-readable table.
+fn print_trace_summary(session: &ucp_telemetry::TraceSession, json: bool) -> Result<(), String> {
+    let summary = session.summary();
+    if json {
+        println!("{}", summary.to_json());
+        return Ok(());
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let who = |pid: u64| {
+        if pid >= ucp_telemetry::trace::DRIVER_PID {
+            "driver".to_string()
+        } else {
+            format!("rank {pid}")
+        }
+    };
+    println!("per-rank busy/wait:");
+    for r in &summary.ranks {
+        println!(
+            "  {}: busy {:5.1}%  wait {:5.1}%  (wall {:.3} ms, {} collective(s), {} event(s))",
+            who(r.pid),
+            r.busy_pct(),
+            r.wait_pct(),
+            ms(r.wall_ns),
+            r.collectives,
+            r.events
+        );
+    }
+    println!("per-collective wait vs transfer:");
+    for op in &summary.ops {
+        println!(
+            "  {:<16} x{:<4} {:>10} B  wait {:.3} ms  transfer {:.3} ms",
+            op.op,
+            op.count,
+            op.bytes,
+            ms(op.total_wait_ns),
+            ms(op.total_comm_ns)
+        );
+    }
+    println!("straggler ranking (least collective wait first — the rank the others wait on):");
+    for (i, (pid, wait_ns)) in summary.stragglers.iter().enumerate() {
+        println!("  {}. rank {pid}: {:.3} ms total wait", i + 1, ms(*wait_ns));
+    }
+    println!("critical path (slowest top-level span per phase):");
+    for seg in &summary.critical_path {
+        println!(
+            "  +{:9.3} ms  {:<12} [{}] on {} — {:.3} ms",
+            ms(seg.start_ns),
+            seg.name,
+            seg.cat.as_str(),
+            who(seg.pid),
+            ms(seg.dur_ns)
+        );
+    }
+    Ok(())
 }
 
 /// `ucp prune`: apply a retention policy.

@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         "prune" => commands::prune(&parsed),
         "spec" => commands::spec(&parsed),
         "diff" => commands::diff(&parsed),
+        "trace" => commands::trace(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             return ExitCode::SUCCESS;

@@ -51,7 +51,15 @@ impl Cluster {
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(world_size);
             for (rank, comm) in comms.drain(..).enumerate() {
-                handles.push((rank, scope.spawn(move |_| body(&comm))));
+                handles.push((
+                    rank,
+                    scope.spawn(move |_| {
+                        // Bind this thread to its rank's trace timeline
+                        // (no-op while tracing is disabled).
+                        ucp_telemetry::trace::register_rank(rank, "main");
+                        body(&comm)
+                    }),
+                ));
             }
             handles
                 .into_iter()

@@ -2,6 +2,7 @@
 //! collectives built on top of it.
 
 use crossbeam::channel::{Receiver, Sender};
+use ucp_telemetry::trace;
 use ucp_tensor::Tensor;
 
 use crate::{group::Group, CommError, Result};
@@ -33,6 +34,18 @@ impl Payload {
             Payload::U32(_) => "u32",
             Payload::Bytes(_) => "bytes",
             Payload::U64(_) => "u64",
+        }
+    }
+
+    /// Approximate wire size in bytes (element counts times element width;
+    /// shape/enum overhead ignored). Used for trace attribution.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Payload::Tensor(t) => 4 * t.num_elements() as u64,
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::U32(v) => 4 * v.len() as u64,
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::U64(_) => 8,
         }
     }
 }
@@ -90,18 +103,35 @@ impl Comm {
 
     // ---- Point-to-point -------------------------------------------------
 
-    /// Send a payload to `dst`. Sending to self is allowed (buffered).
-    pub fn send(&self, dst: usize, payload: Payload) -> Result<()> {
+    /// Raw channel send: no trace edge. The collective internals use this
+    /// so their message traffic shows up only as the collective record,
+    /// not as a storm of p2p edges.
+    fn send_raw(&self, dst: usize, payload: Payload) -> Result<()> {
         self.senders[dst]
             .send(payload)
             .map_err(|_| CommError::Disconnected { peer: dst })
     }
 
-    /// Receive the next payload from `src` (blocking, FIFO per pair).
-    pub fn recv(&self, src: usize) -> Result<Payload> {
+    /// Raw channel receive: no trace edge (see [`Comm::send_raw`]).
+    fn recv_raw(&self, src: usize) -> Result<Payload> {
         self.receivers[src]
             .recv()
             .map_err(|_| CommError::Disconnected { peer: src })
+    }
+
+    /// Send a payload to `dst`. Sending to self is allowed (buffered).
+    /// Records a trace send edge (pipeline activations and control traffic).
+    pub fn send(&self, dst: usize, payload: Payload) -> Result<()> {
+        trace::edge(true, dst, payload.approx_bytes());
+        self.send_raw(dst, payload)
+    }
+
+    /// Receive the next payload from `src` (blocking, FIFO per pair).
+    /// Records a trace recv edge on arrival.
+    pub fn recv(&self, src: usize) -> Result<Payload> {
+        let payload = self.recv_raw(src)?;
+        trace::edge(false, src, payload.approx_bytes());
+        Ok(payload)
     }
 
     /// Send a tensor to `dst`.
@@ -112,6 +142,21 @@ impl Comm {
     /// Receive a tensor from `src`.
     pub fn recv_tensor(&self, src: usize) -> Result<Tensor> {
         expect_payload!(self.recv(src)?, Tensor, "tensor")
+    }
+
+    /// Open a collective trace record without paying for the group label
+    /// when tracing is off.
+    fn trace_collective(
+        &self,
+        op: &'static str,
+        group: &Group,
+        bytes: u64,
+    ) -> trace::CollectiveSpan<'static> {
+        if trace::enabled() {
+            trace::collective(op, &group.label(), bytes)
+        } else {
+            trace::collective(op, "", 0)
+        }
     }
 
     // ---- Collectives ----------------------------------------------------
@@ -125,11 +170,23 @@ impl Comm {
     /// Gather every member's payload to the leader (in member order), apply
     /// `reduce`, and broadcast the result back. The deterministic backbone
     /// of every collective below.
-    fn leader_reduce<F>(&self, group: &Group, payload: Payload, reduce: F) -> Result<Payload>
+    ///
+    /// Records one collective trace event per member under `op`: *enter* is
+    /// the call, *ready* is when the rank stops waiting on its peers (the
+    /// leader: last contribution received; others: result arrived), *exit*
+    /// is the return.
+    fn leader_reduce<F>(
+        &self,
+        op: &'static str,
+        group: &Group,
+        payload: Payload,
+        reduce: F,
+    ) -> Result<Payload>
     where
         F: FnOnce(Vec<Payload>) -> Result<Payload>,
     {
         self.member_index(group)?;
+        let mut span = self.trace_collective(op, group, payload.approx_bytes());
         let leader = group.leader();
         if self.rank == leader {
             let mut contributions = Vec::with_capacity(group.size());
@@ -137,25 +194,28 @@ impl Comm {
                 if m == self.rank {
                     contributions.push(payload.clone());
                 } else {
-                    contributions.push(self.recv(m)?);
+                    contributions.push(self.recv_raw(m)?);
                 }
             }
+            span.ready();
             let result = reduce(contributions)?;
             for &m in group.members() {
                 if m != self.rank {
-                    self.send(m, result.clone())?;
+                    self.send_raw(m, result.clone())?;
                 }
             }
             Ok(result)
         } else {
-            self.send(leader, payload)?;
-            self.recv(leader)
+            self.send_raw(leader, payload)?;
+            let result = self.recv_raw(leader)?;
+            span.ready();
+            Ok(result)
         }
     }
 
     /// Barrier over a group.
     pub fn barrier(&self, group: &Group) -> Result<()> {
-        self.leader_reduce(group, Payload::U64(0), |_| Ok(Payload::U64(0)))?;
+        self.leader_reduce("barrier", group, Payload::U64(0), |_| Ok(Payload::U64(0)))?;
         Ok(())
     }
 
@@ -168,15 +228,19 @@ impl Comm {
                 "broadcast root {root} not in group"
             )));
         }
+        let mut span = self.trace_collective("broadcast", group, payload.approx_bytes());
         if self.rank == root {
+            span.ready(); // the root never waits on peers
             for &m in group.members() {
                 if m != self.rank {
-                    self.send(m, payload.clone())?;
+                    self.send_raw(m, payload.clone())?;
                 }
             }
             Ok(payload)
         } else {
-            self.recv(root)
+            let result = self.recv_raw(root)?;
+            span.ready();
+            Ok(result)
         }
     }
 
@@ -184,6 +248,7 @@ impl Comm {
     /// member-ordered list.
     pub fn all_gather(&self, group: &Group, payload: Payload) -> Result<Vec<Payload>> {
         self.member_index(group)?;
+        let mut span = self.trace_collective("all_gather", group, payload.approx_bytes());
         let leader = group.leader();
         if self.rank == leader {
             let mut all = Vec::with_capacity(group.size());
@@ -191,22 +256,28 @@ impl Comm {
                 if m == self.rank {
                     all.push(payload.clone());
                 } else {
-                    all.push(self.recv(m)?);
+                    all.push(self.recv_raw(m)?);
                 }
             }
+            span.ready();
             for &m in group.members() {
                 if m != self.rank {
                     for p in &all {
-                        self.send(m, p.clone())?;
+                        self.send_raw(m, p.clone())?;
                     }
                 }
             }
             Ok(all)
         } else {
-            self.send(leader, payload)?;
+            self.send_raw(leader, payload)?;
             let mut all = Vec::with_capacity(group.size());
-            for _ in 0..group.size() {
-                all.push(self.recv(leader)?);
+            for i in 0..group.size() {
+                all.push(self.recv_raw(leader)?);
+                if i == 0 {
+                    // The leader has everything once it starts streaming;
+                    // the rest of the loop is transfer, not peer wait.
+                    span.ready();
+                }
             }
             Ok(all)
         }
@@ -223,7 +294,13 @@ impl Comm {
     /// Deterministic all-reduce (sum) of tensors with f64 accumulation in
     /// member order. All members receive the identical result.
     pub fn all_reduce_sum(&self, group: &Group, t: &Tensor) -> Result<Tensor> {
-        let out = self.leader_reduce(group, Payload::Tensor(t.clone()), |contribs| {
+        self.all_reduce_sum_named("all_reduce", group, t)
+    }
+
+    /// [`Comm::all_reduce_sum`] recorded under a caller-chosen trace op, so
+    /// derived collectives (reduce-scatter) attribute to their own name.
+    fn all_reduce_sum_named(&self, op: &'static str, group: &Group, t: &Tensor) -> Result<Tensor> {
+        let out = self.leader_reduce(op, group, Payload::Tensor(t.clone()), |contribs| {
             let mut tensors = Vec::with_capacity(contribs.len());
             for c in contribs {
                 tensors.push(expect_payload!(c, Tensor, "tensor")?);
@@ -253,28 +330,33 @@ impl Comm {
 
     /// Deterministic all-reduce (sum) of f64 vectors in member order.
     pub fn all_reduce_sum_f64(&self, group: &Group, v: &[f64]) -> Result<Vec<f64>> {
-        let out = self.leader_reduce(group, Payload::F64(v.to_vec()), |contribs| {
-            let mut acc: Option<Vec<f64>> = None;
-            for c in contribs {
-                let vec = expect_payload!(c, F64, "f64")?;
-                match &mut acc {
-                    None => acc = Some(vec),
-                    Some(a) => {
-                        if a.len() != vec.len() {
-                            return Err(CommError::InvalidGroup(format!(
-                                "all_reduce_f64 length mismatch: {} vs {}",
-                                a.len(),
-                                vec.len()
-                            )));
-                        }
-                        for (x, y) in a.iter_mut().zip(vec) {
-                            *x += y;
+        let out = self.leader_reduce(
+            "all_reduce_f64",
+            group,
+            Payload::F64(v.to_vec()),
+            |contribs| {
+                let mut acc: Option<Vec<f64>> = None;
+                for c in contribs {
+                    let vec = expect_payload!(c, F64, "f64")?;
+                    match &mut acc {
+                        None => acc = Some(vec),
+                        Some(a) => {
+                            if a.len() != vec.len() {
+                                return Err(CommError::InvalidGroup(format!(
+                                    "all_reduce_f64 length mismatch: {} vs {}",
+                                    a.len(),
+                                    vec.len()
+                                )));
+                            }
+                            for (x, y) in a.iter_mut().zip(vec) {
+                                *x += y;
+                            }
                         }
                     }
                 }
-            }
-            Ok(Payload::F64(acc.expect("group is non-empty")))
-        })?;
+                Ok(Payload::F64(acc.expect("group is non-empty")))
+            },
+        )?;
         expect_payload!(out, F64, "f64")
     }
 
@@ -288,7 +370,7 @@ impl Comm {
     /// (the ZeRO-2 gradient-partitioning primitive). The flattened length
     /// must be divisible by the group size.
     pub fn reduce_scatter_sum(&self, group: &Group, t: &Tensor) -> Result<Tensor> {
-        let summed = self.all_reduce_sum(group, t)?;
+        let summed = self.all_reduce_sum_named("reduce_scatter", group, t)?;
         let n = summed.num_elements();
         let parts = group.size();
         if n % parts != 0 {
@@ -315,6 +397,8 @@ impl Comm {
                 group.size()
             )));
         }
+        let bytes = outgoing.iter().map(Payload::approx_bytes).sum();
+        let mut span = self.trace_collective("all_to_all", group, bytes);
         // Send phase: deliver to each peer (self-delivery kept local).
         let mut mine: Vec<Option<Payload>> = (0..group.size()).map(|_| None).collect();
         for (j, payload) in outgoing.into_iter().enumerate() {
@@ -322,13 +406,20 @@ impl Comm {
             if dst == self.rank {
                 mine[my_idx] = Some(payload);
             } else {
-                self.send(dst, payload)?;
+                self.send_raw(dst, payload)?;
             }
         }
         // Receive phase, in member order for determinism.
+        let mut first = true;
         for (i, &src) in group.members().iter().enumerate() {
             if src != self.rank {
-                mine[i] = Some(self.recv(src)?);
+                mine[i] = Some(self.recv_raw(src)?);
+                if first {
+                    // Peers have arrived once the first incoming payload
+                    // lands; the remainder is transfer.
+                    span.ready();
+                    first = false;
+                }
             }
         }
         Ok(mine.into_iter().map(|p| p.expect("filled above")).collect())
@@ -342,18 +433,21 @@ impl Comm {
         t: &Tensor,
     ) -> Result<Option<Vec<Tensor>>> {
         self.member_index(group)?;
+        let mut span = self.trace_collective("gather", group, 4 * t.num_elements() as u64);
         if self.rank == root {
             let mut all = Vec::with_capacity(group.size());
             for &m in group.members() {
                 if m == self.rank {
                     all.push(t.clone());
                 } else {
-                    all.push(self.recv_tensor(m)?);
+                    all.push(expect_payload!(self.recv_raw(m)?, Tensor, "tensor")?);
                 }
             }
+            span.ready();
             Ok(Some(all))
         } else {
-            self.send_tensor(root, t)?;
+            self.send_raw(root, Payload::Tensor(t.clone()))?;
+            span.ready(); // fire-and-forget: a non-root never waits
             Ok(None)
         }
     }
@@ -362,7 +456,9 @@ impl Comm {
     /// receives chunk `i`. Non-root members pass any tensor (ignored).
     pub fn scatter_chunks(&self, group: &Group, root: usize, t: &Tensor) -> Result<Tensor> {
         let idx = self.member_index(group)?;
+        let mut span = self.trace_collective("scatter", group, 4 * t.num_elements() as u64);
         if self.rank == root {
+            span.ready(); // the root never waits on peers
             let n = t.num_elements();
             let parts = group.size();
             if !n.is_multiple_of(parts) {
@@ -380,7 +476,7 @@ impl Comm {
                 if m == self.rank {
                     my_chunk = Some(piece);
                 } else {
-                    self.send_tensor(m, &piece)?;
+                    self.send_raw(m, Payload::Tensor(piece))?;
                 }
             }
             // The root is always a member, so its chunk was filled; `idx`
@@ -388,7 +484,9 @@ impl Comm {
             let _ = idx;
             Ok(my_chunk.expect("root is a member"))
         } else {
-            self.recv_tensor(root)
+            let result = expect_payload!(self.recv_raw(root)?, Tensor, "tensor")?;
+            span.ready();
+            Ok(result)
         }
     }
 }

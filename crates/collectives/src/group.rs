@@ -60,6 +60,23 @@ impl Group {
     pub fn contains(&self, rank: usize) -> bool {
         self.index_of(rank).is_some()
     }
+
+    /// Compact label for traces: `first-last` for contiguous member ranges,
+    /// comma-separated ranks otherwise.
+    pub fn label(&self) -> String {
+        let first = self.members[0];
+        let last = self.members[self.members.len() - 1];
+        if last - first + 1 == self.members.len() {
+            if first == last {
+                format!("{first}")
+            } else {
+                format!("{first}-{last}")
+            }
+        } else {
+            let parts: Vec<String> = self.members.iter().map(|m| m.to_string()).collect();
+            parts.join(",")
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +110,12 @@ mod tests {
     fn world_covers_all_ranks() {
         let g = Group::world(4);
         assert_eq!(g.members(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(Group::world(4).label(), "0-3");
+        assert_eq!(Group::new(vec![2]).unwrap().label(), "2");
+        assert_eq!(Group::new(vec![0, 2, 5]).unwrap().label(), "0,2,5");
     }
 }

@@ -97,6 +97,7 @@ fn assemble_slice(
     // par_map worker threads, which have no parent span on their stack.
     let t_extract = ucp_telemetry::enabled().then(Instant::now);
     let extracted = par_map(dp_degree, opts.workers, |dp| {
+        let _sp = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Convert, "extract");
         let (_, shard) = load_optim_states(step_dir, dp, tp, pp)?;
         let keys: [(&str, &[f32]); 3] = [
             ("fp32", &shard.fp32),
@@ -147,6 +148,7 @@ fn assemble_slice(
     let flat_layout = load_optim_states(step_dir, 0, tp, pp)?.1.layout;
 
     let t_union = ucp_telemetry::enabled().then(Instant::now);
+    let _union_span = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Convert, "union_flat");
     let mut grouped: BTreeMap<(String, usize), Vec<Fragment>> = BTreeMap::new();
     for (dp, per_file) in extracted.into_iter().enumerate() {
         for (name, ki, frag) in per_file {
@@ -200,6 +202,7 @@ pub fn convert_to_universal(
     opts: &ConvertOptions,
 ) -> Result<(UcpManifest, ConvertStats)> {
     let t_total = Instant::now();
+    let _convert_span = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Convert, "convert");
     let step_dir = layout::step_dir(base, step);
     let universal = layout::universal_dir(base, step);
     std::fs::create_dir_all(&universal)?;
@@ -252,6 +255,14 @@ pub fn convert_to_universal(
                 .cloned()
                 .ok_or_else(|| UcpError::Inconsistent(format!("no pattern rule matches {name}")))?;
             let spec_entry = find_param(&all_specs, name)?;
+            // Per-pattern union work item (the format! only runs when
+            // tracing is on).
+            let _union_sp = ucp_telemetry::trace::enabled().then(|| {
+                ucp_telemetry::trace::span(
+                    ucp_telemetry::TraceCat::Convert,
+                    &format!("union:{}", pattern.paper_name()),
+                )
+            });
             let mut metas = Vec::with_capacity(3);
             let mut bytes = 0u64;
             for (ki, file) in AtomFile::ALL.iter().enumerate() {
@@ -272,6 +283,10 @@ pub fn convert_to_universal(
                     pattern,
                     ParamPattern::Fragment(FragmentSpec::PaddedDim { .. })
                 ) {
+                    let _strip_sp = ucp_telemetry::trace::span(
+                        ucp_telemetry::TraceCat::Convert,
+                        "strip_padding",
+                    );
                     atom = strip_padding(&atom, &spec_entry.shape)?;
                 }
                 if atom.shape() != &spec_entry.shape {

@@ -296,6 +296,15 @@ pub fn fsck(base: &Path, opts: &FsckOptions) -> Result<FsckReport> {
     check_markers(base, &good_native, &good_universal, opts, &mut report)?;
 
     if ucp_telemetry::enabled() {
+        ucp_telemetry::count("fsck/steps_scanned", report.steps_checked.len() as u64);
+        ucp_telemetry::count(
+            "fsck/universal_scanned",
+            report.universal_checked.len() as u64,
+        );
+        ucp_telemetry::count(
+            "fsck/markers_repaired",
+            report.markers_repaired.len() as u64,
+        );
         ucp_telemetry::count("fsck/files_verified", report.files_verified as u64);
         ucp_telemetry::count("fsck/problems", report.problems.len() as u64);
         ucp_telemetry::count("fsck/quarantined", report.quarantined.len() as u64);

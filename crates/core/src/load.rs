@@ -202,6 +202,7 @@ pub fn load_with_plan_device(
     workers: usize,
     device: &Device,
 ) -> Result<RankState> {
+    let _load_span = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Load, "load");
     let t_total = ucp_telemetry::enabled().then(std::time::Instant::now);
     let chunk = plan.layout.chunk;
     let mut fp32 = vec![0.0f32; chunk];
@@ -212,6 +213,7 @@ pub fn load_with_plan_device(
     // Per-entry busy time accumulates into `load/worker_busy_ns`;
     // utilization over the read phase is busy / (span × workers).
     let pieces = par_map(plan.entries.len(), workers, |i| {
+        let _read_sp = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Load, "read_entry");
         let t_busy = ucp_telemetry::enabled().then(std::time::Instant::now);
         let entry = &plan.entries[i];
         // Model copy always needs the fp32 shard of every owned parameter.
@@ -252,6 +254,7 @@ pub fn load_with_plan_device(
     }
 
     // Phase 2 (serial): scatter fragments into the flat chunks.
+    let _scatter_span = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Load, "scatter");
     let t_scatter = ucp_telemetry::enabled().then(std::time::Instant::now);
     let mut model_params = Vec::with_capacity(plan.entries.len());
     for (entry, (shard_fp32, moments)) in plan.entries.iter().zip(pieces) {

@@ -20,6 +20,10 @@
 //! disabled every instrumentation call is a single relaxed atomic load,
 //! so the hot paths carry no measurable overhead by default.
 //!
+//! The [`trace`] module adds the per-rank distributed tracing layer
+//! (typed event timelines, Chrome Trace Format export, busy/wait
+//! analysis) under the same zero-overhead-when-disabled contract.
+//!
 //! ```
 //! let rec = ucp_telemetry::Recorder::new();
 //! {
@@ -39,11 +43,13 @@ pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod report;
+pub mod trace;
 
 pub use hist::Histogram;
 pub use json::Json;
 pub use recorder::{global, Recorder, Span};
 pub use report::{BucketStat, CounterStat, HistStat, Report, SpanStat, SCHEMA};
+pub use trace::{TraceCat, TraceSession, TraceSummary, Tracer};
 
 /// Convenience: open a span on the global recorder.
 #[inline]

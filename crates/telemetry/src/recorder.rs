@@ -11,7 +11,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::hist::Histogram;
@@ -96,13 +96,22 @@ impl Recorder {
         self as *const Recorder as usize
     }
 
+    /// Lock the state, recovering it if a panicking thread poisoned the
+    /// mutex. Every update is a self-contained map operation, so the
+    /// state is never left half-written by a panic mid-update; recovering
+    /// keeps a crashing rank thread from cascading into telemetry panics
+    /// during the final metric flush.
+    fn state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Add `n` to the named monotonic counter.
     #[inline]
     pub fn count(&self, name: &str, n: u64) {
         if !self.is_enabled() {
             return;
         }
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state();
         *state.counters.entry(name.to_string()).or_insert(0) += n;
     }
 
@@ -112,7 +121,7 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state();
         state
             .hists
             .entry(name.to_string())
@@ -130,7 +139,7 @@ impl Recorder {
     }
 
     fn record_span_ns(&self, path: &str, ns: u64) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state();
         let agg = state.spans.entry(path.to_string()).or_default();
         if agg.count == 0 {
             agg.min_ns = ns;
@@ -179,13 +188,13 @@ impl Recorder {
 
     /// Wipe all recorded data (the enabled flag is untouched).
     pub fn reset(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state();
         *state = State::default();
     }
 
     /// Snapshot everything recorded so far into a [`Report`].
     pub fn report(&self, label: &str) -> Report {
-        let state = self.state.lock().unwrap();
+        let state = self.state();
         Report {
             label: label.to_string(),
             spans: state
@@ -384,6 +393,33 @@ mod tests {
         r.count("x", 1);
         r.reset();
         assert!(r.is_enabled());
+        assert!(r.report("t").counters.is_empty());
+    }
+
+    #[test]
+    fn poisoned_state_recovers_instead_of_cascading() {
+        let r = Recorder::new();
+        r.count("before", 1);
+        // Poison the state mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = r.state.lock().unwrap();
+            panic!("rank thread dies mid-flush");
+        }));
+        assert!(r.state.is_poisoned());
+        // All five lock sites must keep working on the recovered state.
+        r.count("after", 2);
+        r.observe("h", 7);
+        r.record_span("p", Duration::from_nanos(5));
+        {
+            let _s = r.span("scoped");
+        }
+        let report = r.report("t");
+        assert_eq!(report.counter("before"), Some(1));
+        assert_eq!(report.counter("after"), Some(2));
+        assert!(report.hist("h").is_some());
+        assert!(report.span("p").is_some());
+        assert!(report.span("scoped").is_some());
+        r.reset();
         assert!(r.report("t").counters.is_empty());
     }
 

@@ -172,6 +172,10 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
                     // Only the drain of the previous writer and the
                     // snapshot block training.
                     if let Some(prev) = pending.take() {
+                        let _drain = ucp_telemetry::trace::span(
+                            ucp_telemetry::TraceCat::Checkpoint,
+                            "drain",
+                        );
                         let step = prev.step;
                         prev.wait().map_err(|e| e.to_string())?;
                         // The drained step is complete on every rank:
@@ -188,6 +192,7 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
             }
         }
         if let Some(prev) = pending.take() {
+            let _drain = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Checkpoint, "drain");
             let step = prev.step;
             prev.wait().map_err(|e| e.to_string())?;
             if let Some(dir) = &plan.checkpoint_dir {

@@ -23,6 +23,7 @@ use ucp_model::{GradStore, ModelConfig, Partition, Stage, StageIn, StageLayout, 
 use ucp_optim::{clip_scale, AdamConfig, AdamState, LrSchedule};
 use ucp_parallel::{FlatLayout, ParallelConfig, RankCoord};
 use ucp_storage::layout as disk;
+use ucp_telemetry::trace::{self, TraceCat};
 use ucp_tensor::{DType, DetRng, Tensor};
 
 use crate::comm_group::CommGroup;
@@ -379,6 +380,7 @@ impl<'a> RankEngine<'a> {
     /// Run one training iteration; returns the mean LM loss (identical on
     /// every rank).
     pub fn train_iteration(&mut self) -> Result<f64, TrainError> {
+        let _step_span = trace::span(TraceCat::Compute, "step");
         let t_iter = std::time::Instant::now();
         let p = self.cfg.parallel;
         let rank = self.comm.rank();
@@ -402,6 +404,7 @@ impl<'a> RankEngine<'a> {
         // contribution with the backward cache.
         let forward_micro =
             |m: usize, loss_acc: &mut f64| -> Result<ucp_model::StageCache, TrainError> {
+                let _sp = trace::span(TraceCat::Compute, "forward");
                 let start = replica.start + (m * self.cfg.micro_batch) as u64;
                 let samples: Vec<data::Sample> = (0..self.cfg.micro_batch)
                     .map(|k| {
@@ -447,6 +450,7 @@ impl<'a> RankEngine<'a> {
         // stage backward, and ship the upstream gradient.
         let backward_micro =
             |cache: &ucp_model::StageCache, grads: &mut GradStore| -> Result<(), TrainError> {
+                let _sp = trace::span(TraceCat::Compute, "backward");
                 let dh_next = if is_last {
                     None
                 } else {
@@ -576,16 +580,19 @@ impl<'a> RankEngine<'a> {
         let scale = inv * clip_scale(total_sq, self.cfg.grad_clip);
 
         // AdamW on this rank's chunk, then all-gather and refresh.
-        let range = self.layout.rank_range(self.zero_index());
-        let grad_chunk: Vec<f32> = flat[range].iter().map(|v| (v * scale) as f32).collect();
-        self.adam.step(
-            &self.cfg.adam,
-            &mut self.master,
-            &grad_chunk,
-            self.cfg.lr.lr_at(self.iteration),
-        );
-        self.refresh_model_copy()?;
-        self.stage.params.cast_all(self.cfg.dtype);
+        {
+            let _sp = trace::span(TraceCat::Compute, "optim");
+            let range = self.layout.rank_range(self.zero_index());
+            let grad_chunk: Vec<f32> = flat[range].iter().map(|v| (v * scale) as f32).collect();
+            self.adam.step(
+                &self.cfg.adam,
+                &mut self.master,
+                &grad_chunk,
+                self.cfg.lr.lr_at(self.iteration),
+            );
+            self.refresh_model_copy()?;
+            self.stage.params.cast_all(self.cfg.dtype);
+        }
 
         self.iteration += 1;
         let wall_secs = t_iter.elapsed().as_secs_f64();
@@ -617,6 +624,7 @@ impl<'a> RankEngine<'a> {
     /// current step (the blocking half of overlapped checkpointing; see
     /// [`crate::snapshot`]).
     pub fn snapshot(&self) -> crate::snapshot::CheckpointSnapshot {
+        let _sp = trace::span(TraceCat::Checkpoint, "snapshot");
         let zi = self.zero_index();
         crate::snapshot::CheckpointSnapshot {
             common: self.common_state(),
@@ -637,6 +645,7 @@ impl<'a> RankEngine<'a> {
     /// Barrier the world, then let rank 0 record the `latest` marker for
     /// `step` (split out so overlapped saves can defer it).
     pub fn publish_latest(&self, base: &Path, step: u64) -> Result<(), TrainError> {
+        let _sp = trace::span(TraceCat::Checkpoint, "publish");
         let world = Group::world(self.comm.world_size());
         self.comm.barrier(&world).map_err(TrainError::Comm)?;
         if self.comm.rank() == 0 {
@@ -649,6 +658,8 @@ impl<'a> RankEngine<'a> {
     /// Write this rank's part of a native distributed checkpoint. Rank 0
     /// additionally records the `latest` marker after a barrier.
     pub fn save_checkpoint(&self, base: &Path) -> Result<(), TrainError> {
+        let _save_span = trace::span(TraceCat::Checkpoint, "save");
+        let persist_span = trace::span(TraceCat::Checkpoint, "persist");
         let t_persist = ucp_telemetry::enabled().then(std::time::Instant::now);
         let step_dir = disk::step_dir(base, self.iteration);
         let common = self.common_state();
@@ -689,10 +700,12 @@ impl<'a> RankEngine<'a> {
         }
         .map_err(TrainError::Ucp)?;
         // Persist time only — the barriers below measure stragglers, not I/O.
+        drop(persist_span);
         if let Some(t) = t_persist {
             ucp_telemetry::global().record_span("save/persist", t.elapsed());
             ucp_telemetry::count("save/snapshots", 1);
         }
+        let _publish_span = trace::span(TraceCat::Checkpoint, "publish");
         let world = Group::world(self.comm.world_size());
         self.comm.barrier(&world).map_err(TrainError::Comm)?;
         if self.comm.rank() == 0 {

@@ -40,8 +40,22 @@ pub struct CheckpointSnapshot {
 }
 
 impl CheckpointSnapshot {
+    /// The cluster rank that owns this snapshot (its writer thread is
+    /// traced under this rank's pid).
+    pub fn owner_rank(&self) -> usize {
+        let p = &self.common.parallel;
+        let zi = self.shard.dp;
+        p.rank_of(ucp_parallel::RankCoord {
+            dp: zi / p.sp,
+            sp: zi % p.sp,
+            tp: self.tp,
+            pp: self.pp,
+        })
+    }
+
     /// Persist the snapshot under `base/global_step<iteration>`.
     pub fn persist(&self, base: &Path) -> Result<(), TrainError> {
+        let _sp = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Checkpoint, "persist");
         let t = ucp_telemetry::enabled().then(std::time::Instant::now);
         let step_dir = disk::step_dir(base, self.common.iteration);
         if let Some(model) = &self.model {
@@ -81,7 +95,12 @@ impl PendingSave {
     pub fn spawn(snapshot: CheckpointSnapshot, base: PathBuf) -> PendingSave {
         let step = snapshot.common.iteration;
         let guard = ucp_storage::retention::begin_save(&base, step);
+        let owner = snapshot.owner_rank();
         let handle = std::thread::spawn(move || {
+            // The writer appears as a second thread on the owning rank's
+            // trace timeline, making the overlap visible (no-op when
+            // tracing is disabled).
+            ucp_telemetry::trace::register_rank(owner, "saver");
             let _guard = guard;
             snapshot.persist(&base)
         });
