@@ -14,10 +14,13 @@ use ucp_bench::correctness::{
     elastic_demo, fig10, fig6, fig7, fig8, fig9, CurveSet, Schedule, Table3,
 };
 use ucp_bench::efficiency::{fig11, fig12};
+use ucp_bench::load_scaling::fig13;
 use ucp_bench::report::{curves_to_csv, write_artifact};
 
 fn usage() -> ! {
-    eprintln!("usage: figures --experiment <fig6|fig7|fig8|fig9|fig10|fig11|fig12|all> [--fast]");
+    eprintln!(
+        "usage: figures --experiment <fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|all> [--fast]"
+    );
     std::process::exit(2)
 }
 
@@ -70,9 +73,20 @@ fn run(which: &str, fast: bool) {
                 eprintln!("  could not write BENCH_fig12.json: {e}");
             }
         }
+        "fig13" => {
+            let r = fig13(fast);
+            println!("{}", r.render());
+            if let Err(e) = write_artifact("fig13.txt", &r.render()) {
+                eprintln!("  could not write fig13.txt: {e}");
+            }
+            // BENCH_load.json feeds the CI read-amplification gate.
+            if let Err(e) = write_artifact("BENCH_load.json", &r.to_report().to_json()) {
+                eprintln!("  could not write BENCH_load.json: {e}");
+            }
+        }
         "all" => {
             for exp in [
-                "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "elastic",
+                "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "elastic",
             ] {
                 run(exp, fast);
             }

@@ -9,7 +9,9 @@
 
 pub mod correctness;
 pub mod efficiency;
+pub mod load_scaling;
 pub mod report;
 
 pub use correctness::{fig10, fig6, fig7, fig8, fig9, CurveSet, Table3};
 pub use efficiency::{fig11, fig12, Fig11Result, Fig12Result};
+pub use load_scaling::{fig13, Fig13Result, ScaleRow};

@@ -10,9 +10,13 @@ USAGE:
   ucp convert --dir <ckpt-base> [--step N] [--workers W] [--spill] [--no-verify]
       Convert a native distributed checkpoint into a universal checkpoint.
   ucp load --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--rank R]
-      [--workers W] [--mibps M]
+      [--workers W] [--mibps M] [--no-ranged-load]
       Execute the universal load for one rank (or all ranks when --rank is
-      omitted), optionally through a simulated fixed-bandwidth device.
+      omitted), optionally through a simulated fixed-bandwidth device. By
+      default only the block-aligned byte ranges each rank's shard needs
+      are read, with a session atom cache shared across ranks;
+      --no-ranged-load reads whole atom files instead (the pre-v2
+      behavior). Prints bytes read vs. bytes needed and cache hit rates.
   ucp train --dir <ckpt-base> --model <preset> --tp T --pp P --dp D [--sp S]
       [--iters I] [--save-every K] [--seed S]
       Run the training simulator with periodic native checkpointing.
@@ -102,6 +106,9 @@ pub struct Parsed {
     pub seed: Option<u64>,
     /// `--mibps` (load): simulated device bandwidth in MiB/s.
     pub mibps: Option<u64>,
+    /// `--no-ranged-load` (load): read whole atom files instead of
+    /// section-range reads.
+    pub no_ranged_load: bool,
     /// `--no-repair` (fsck): report only, change nothing on disk.
     pub no_repair: bool,
     /// `--json` (fsck): print the machine-readable report.
@@ -147,6 +154,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--save-every" => p.save_every = Some(parse_num(&value(&mut i)?)?),
             "--seed" => p.seed = Some(parse_num(&value(&mut i)?)?),
             "--mibps" => p.mibps = Some(parse_num(&value(&mut i)?)?),
+            "--no-ranged-load" => p.no_ranged_load = true,
             "--no-repair" => p.no_repair = true,
             "--json" => p.json = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -219,6 +227,16 @@ mod tests {
         assert_eq!(p.save_every, Some(2));
         assert_eq!(p.seed, Some(7));
         assert_eq!(p.mibps, Some(800));
+    }
+
+    #[test]
+    fn parses_load_strategy_flag() {
+        assert!(!parse(&sv(&["--dir", "/c"])).unwrap().no_ranged_load);
+        assert!(
+            parse(&sv(&["--dir", "/c", "--no-ranged-load"]))
+                .unwrap()
+                .no_ranged_load
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use ucp_core::checkpoint::{load_model_states, load_optim_states};
 use ucp_core::convert::{convert_to_universal, ConvertOptions};
 use ucp_core::language::UcpSpec;
-use ucp_core::load::{gen_ucp_metadata, load_with_plan_device, DEFAULT_ALIGNMENT};
+use ucp_core::load::{
+    gen_ucp_metadata, load_with_plan_device, LoadOptions, LoadSession, DEFAULT_ALIGNMENT,
+};
 use ucp_core::manifest::UcpManifest;
 use ucp_model::ModelConfig;
 use ucp_parallel::{ParallelConfig, ZeroStage};
@@ -133,18 +135,24 @@ pub fn convert(p: &Parsed) -> Result<(), String> {
 
 /// `ucp load`: execute the universal load for one rank (or every rank of
 /// the target strategy) against the on-disk atoms, optionally through a
-/// simulated fixed-bandwidth device (`--mibps`).
+/// simulated fixed-bandwidth device (`--mibps`). Ranks load through one
+/// shared session, so the default ranged path fetches each atom byte
+/// range from disk once and serves repeats from the session atom cache;
+/// `--no-ranged-load` falls back to whole-file reads.
 pub fn load(p: &Parsed) -> Result<(), String> {
     let dir = require_dir(p)?;
     let step = resolve_step(&dir, p.step)?;
     let target = target_parallel(p)?;
-    let universal = layout::universal_dir(&dir, step);
-    let manifest = UcpManifest::load(&universal).map_err(|e| e.to_string())?;
     let device = match p.mibps {
         Some(m) => Device::with_mibps(m),
         None => Device::unlimited(),
     };
-    let workers = p.workers.unwrap_or(4);
+    let opts = LoadOptions {
+        workers: p.workers.unwrap_or(4),
+        device,
+        ranged: !p.no_ranged_load,
+    };
+    let ranged = opts.ranged;
     let ranks: Vec<usize> = match p.rank {
         Some(r) if r >= target.world_size() => {
             return Err(format!(
@@ -157,11 +165,19 @@ pub fn load(p: &Parsed) -> Result<(), String> {
     };
     metrics_begin(p);
     trace_begin(p);
+    // The read-amplification summary comes from telemetry counters, so
+    // measure even when no --metrics-out report was requested.
+    let rec = ucp_telemetry::global();
+    let private_metrics = p.metrics_out.is_none();
+    if private_metrics {
+        rec.reset();
+        rec.set_enabled(true);
+    }
+    let session = LoadSession::open(&dir, step, opts).map_err(|e| e.to_string())?;
     let mut total_elems = 0usize;
     for &rank in &ranks {
-        let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT)
-            .map_err(|e| e.to_string())?;
-        let state = load_with_plan_device(&universal, &plan, workers, &device)
+        let state = session
+            .load_rank(&target, rank, DEFAULT_ALIGNMENT)
             .map_err(|e| e.to_string())?;
         total_elems += state.fp32.len();
         println!(
@@ -171,10 +187,33 @@ pub fn load(p: &Parsed) -> Result<(), String> {
         );
     }
     println!(
-        "loaded {} rank(s) of {} — {total_elems} flat elements total",
+        "loaded {} rank(s) of {} — {total_elems} flat elements total ({} reads)",
         ranks.len(),
-        target.label()
+        target.label(),
+        if ranged { "ranged" } else { "full-file" }
     );
+    let report = rec.report("load");
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let read = counter("load/bytes_read");
+    let needed = counter("load/bytes_needed");
+    if needed > 0 {
+        println!(
+            "bytes read {read} / needed {needed} ({:.3}x amplification); atom cache: {} hit(s), {} miss(es), {} bytes served from cache",
+            read as f64 / needed as f64,
+            counter("load/cache_hits"),
+            counter("load/cache_misses"),
+            counter("load/cache_hit_bytes"),
+        );
+    }
+    if private_metrics {
+        rec.set_enabled(false);
+    }
     trace_end(p)?;
     metrics_end(p, "load")
 }

@@ -382,7 +382,7 @@ mod tests {
             let shard = state
                 .model_params
                 .iter()
-                .find(|(n, _)| n == name)
+                .find(|(n, _)| n.as_ref() == name.as_str())
                 .map(|(_, t)| t)
                 .unwrap();
             let expected = orig.chunk(0, 2).unwrap()[coord.tp].clone();

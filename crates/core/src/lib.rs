@@ -30,6 +30,7 @@
 //!   consolidated checkpoint flavor) converted through the same pipeline.
 
 pub mod adapter;
+pub mod atom_cache;
 pub mod checkpoint;
 pub mod convert;
 pub mod fsck;
@@ -40,13 +41,14 @@ pub mod ops;
 pub mod pattern;
 pub mod util;
 
+pub use atom_cache::AtomCache;
 pub use checkpoint::{CommonState, OptimShard};
 pub use convert::{convert_to_universal, ConvertOptions, ConvertStats};
 pub use fsck::{fsck, FsckOptions, FsckProblem, FsckReport};
 pub use language::{UcpSpec, UcpSpecBuilder};
 pub use load::{
-    gen_ucp_metadata, load_universal, load_with_plan, load_with_plan_device,
-    load_with_plan_workers, LoadPlan, RankState,
+    gen_ucp_metadata, load_universal, load_with_plan, load_with_plan_device, load_with_plan_opts,
+    load_with_plan_workers, LoadOptions, LoadPlan, LoadSession, RankState,
 };
 pub use manifest::{AtomMeta, UcpManifest};
 pub use pattern::{FragmentSpec, ParamPattern};

@@ -4,18 +4,29 @@
 //! configuration, [`gen_ucp_metadata`] computes, per rank, the new
 //! partition metadata — which slice of which atom lands where in the
 //! rank's flat ZeRO chunk, with alignment padding re-introduced — and
-//! [`load_with_plan`] executes the reads. A rank only opens the atoms it
-//! actually needs, which is what keeps loading memory proportional to the
-//! rank's shard rather than the model.
+//! [`load_with_plan`] executes the reads.
+//!
+//! The default *ranged* load path reads only the bytes a rank needs: each
+//! entry's shard is translated into element runs of the flattened atom
+//! ([`Partition::shard_segments`]), adjacent runs are coalesced, and the
+//! runs are fetched through verified section-range reads
+//! ([`ucp_storage::ContainerIndex::read_section_range`]) into a
+//! per-session [`AtomCache`] shared across ranks — DP replicas of a
+//! (tp, pp) slice hit the cache instead of re-reading the same bytes.
+//! `LoadOptions { ranged: false }` (CLI `--no-ranged-load`) falls back to
+//! reading whole atom files.
 
-use std::path::Path;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use ucp_model::{param_specs, ModelConfig, Partition};
+use ucp_model::{param_specs, ModelConfig, Partition, ShardSegment};
 use ucp_parallel::{FlatFragment, FlatLayout, ParallelConfig, RankCoord};
 use ucp_storage::layout::{self, AtomFile};
 use ucp_storage::{Container, Device};
 use ucp_tensor::{Shape, Tensor};
 
+use crate::atom_cache::AtomCache;
 use crate::manifest::UcpManifest;
 use crate::util::par_map;
 use crate::{Result, UcpError};
@@ -26,8 +37,8 @@ pub const DEFAULT_ALIGNMENT: usize = 8;
 /// One parameter's load instructions for one rank.
 #[derive(Debug, Clone)]
 pub struct LoadEntry {
-    /// Atom (parameter) name.
-    pub name: String,
+    /// Atom (parameter) name, shared with the rank's `model_params`.
+    pub name: Arc<str>,
     /// Consolidated shape of the atom.
     pub full_shape: Shape,
     /// How the target's TP degree slices the atom.
@@ -45,8 +56,9 @@ pub struct LoadPlan {
     pub target: ParallelConfig,
     /// This rank's coordinate.
     pub coord: RankCoord,
-    /// Flat layout of this rank's (tp, pp) slice at the target DP degree.
-    pub layout: FlatLayout,
+    /// Flat layout of this rank's (tp, pp) slice at the target DP degree,
+    /// shared (not cloned) into the loaded [`RankState`].
+    pub layout: Arc<FlatLayout>,
     /// Per-parameter instructions, in flattening order.
     pub entries: Vec<LoadEntry>,
 }
@@ -63,7 +75,7 @@ impl LoadPlan {
 #[derive(Debug, Clone)]
 pub struct RankState {
     /// Flat layout of the rank's (tp, pp) slice.
-    pub layout: FlatLayout,
+    pub layout: Arc<FlatLayout>,
     /// This rank's fp32 master chunk.
     pub fp32: Vec<f32>,
     /// This rank's Adam first-moment chunk.
@@ -72,7 +84,84 @@ pub struct RankState {
     pub exp_avg_sq: Vec<f32>,
     /// fp32 parameter shards of the whole (tp, pp) slice, in flattening
     /// order (the trainer quantizes these into its bf16/fp16 model copy).
-    pub model_params: Vec<(String, Tensor)>,
+    pub model_params: Vec<(Arc<str>, Tensor)>,
+}
+
+/// How a load executes its reads.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Atom reads fan out over this many threads.
+    pub workers: usize,
+    /// Bandwidth-throttled device the reads go through (unlimited by
+    /// default).
+    pub device: Device,
+    /// `true` (default): fetch only the block-aligned byte ranges the
+    /// rank's shard touches. `false`: read whole atom files (the
+    /// pre-range-read behavior, kept for comparison and as an escape
+    /// hatch).
+    pub ranged: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            workers: 1,
+            device: Device::unlimited(),
+            ranged: true,
+        }
+    }
+}
+
+impl LoadOptions {
+    /// Options with a worker count.
+    pub fn with_workers(workers: usize) -> LoadOptions {
+        LoadOptions {
+            workers,
+            ..LoadOptions::default()
+        }
+    }
+}
+
+/// One open universal checkpoint plus the atom cache its loads share.
+///
+/// Load every target rank through the same session and ranks that need
+/// the same atom ranges (all DP replicas of a (tp, pp) slice do) fetch
+/// the bytes once.
+pub struct LoadSession {
+    universal: PathBuf,
+    manifest: UcpManifest,
+    opts: LoadOptions,
+    cache: Arc<AtomCache>,
+}
+
+impl LoadSession {
+    /// Open the universal checkpoint for `step` under `base`.
+    pub fn open(base: &Path, step: u64, opts: LoadOptions) -> Result<LoadSession> {
+        let universal = layout::universal_dir(base, step);
+        let manifest = UcpManifest::load(&universal)?;
+        Ok(LoadSession {
+            universal,
+            manifest,
+            opts,
+            cache: Arc::new(AtomCache::new()),
+        })
+    }
+
+    /// The checkpoint's manifest.
+    pub fn manifest(&self) -> &UcpManifest {
+        &self.manifest
+    }
+
+    /// `GenUcpMetadata` + `Load` for one rank, against the shared cache.
+    pub fn load_rank(
+        &self,
+        target: &ParallelConfig,
+        rank: usize,
+        alignment: usize,
+    ) -> Result<RankState> {
+        let plan = gen_ucp_metadata(&self.manifest, target, rank, alignment)?;
+        execute_plan(&self.universal, &plan, &self.opts, &self.cache)
+    }
 }
 
 /// Compute the load plan for `rank` under `target` (the `GenUcpMetadata`
@@ -105,14 +194,14 @@ pub fn gen_ucp_metadata(
         .collect();
     owned.sort_by(|a, b| a.0.name.cmp(&b.0.name));
 
-    let layout = FlatLayout::build(
+    let layout = Arc::new(FlatLayout::build(
         &owned
             .iter()
             .map(|(s, shape)| (s.name.clone(), shape.clone()))
             .collect::<Vec<_>>(),
         alignment,
         target.dp,
-    );
+    ));
 
     let mut entries = Vec::with_capacity(owned.len());
     for ((spec, _), slot) in owned.iter().zip(&layout.slots) {
@@ -132,7 +221,7 @@ pub fn gen_ucp_metadata(
             .filter(|f| f.dp_rank == coord.dp)
             .collect();
         entries.push(LoadEntry {
-            name: spec.name.clone(),
+            name: Arc::from(spec.name.as_str()),
             full_shape: spec.shape.clone(),
             partition: spec.partition.clone(),
             fragments,
@@ -168,6 +257,7 @@ fn read_atom(universal_dir: &Path, name: &str, file: AtomFile, device: &Device) 
         );
         if let Ok(meta) = std::fs::metadata(&path) {
             ucp_telemetry::count("load/bytes_read", meta.len());
+            ucp_telemetry::count("load/bytes_needed", meta.len());
         }
     }
     c.get(file.state_key())
@@ -190,7 +280,7 @@ pub fn load_with_plan_workers(
     plan: &LoadPlan,
     workers: usize,
 ) -> Result<RankState> {
-    load_with_plan_device(universal_dir, plan, workers, &Device::unlimited())
+    load_with_plan_opts(universal_dir, plan, &LoadOptions::with_workers(workers))
 }
 
 /// [`load_with_plan_workers`] reading every atom through a bandwidth-
@@ -202,6 +292,43 @@ pub fn load_with_plan_device(
     workers: usize,
     device: &Device,
 ) -> Result<RankState> {
+    load_with_plan_opts(
+        universal_dir,
+        plan,
+        &LoadOptions {
+            workers,
+            device: *device,
+            ranged: true,
+        },
+    )
+}
+
+/// [`load_with_plan`] with full control over workers, device, and the
+/// ranged/full read strategy. Uses a fresh single-rank atom cache; share
+/// reads across ranks with [`LoadSession`] instead.
+pub fn load_with_plan_opts(
+    universal_dir: &Path,
+    plan: &LoadPlan,
+    opts: &LoadOptions,
+) -> Result<RankState> {
+    execute_plan(universal_dir, plan, opts, &AtomCache::new())
+}
+
+/// Per-entry phase-1 output: the fp32 shard of the whole parameter plus
+/// whatever optimizer-moment data this rank's fragments need.
+enum MomentData {
+    /// Full-read path: sharded moment tensors, scattered by fragment.
+    Full(Tensor, Tensor),
+    /// Ranged path: `(chunk_offset, values)` runs, copied directly.
+    Runs(Vec<(usize, Vec<f32>)>, Vec<(usize, Vec<f32>)>),
+}
+
+fn execute_plan(
+    universal_dir: &Path,
+    plan: &LoadPlan,
+    opts: &LoadOptions,
+    cache: &AtomCache,
+) -> Result<RankState> {
     let _load_span = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Load, "load");
     let t_total = ucp_telemetry::enabled().then(std::time::Instant::now);
     let chunk = plan.layout.chunk;
@@ -212,34 +339,14 @@ pub fn load_with_plan_device(
     // Phase 1 (parallel): read and slice the atoms each entry needs.
     // Per-entry busy time accumulates into `load/worker_busy_ns`;
     // utilization over the read phase is busy / (span × workers).
-    let pieces = par_map(plan.entries.len(), workers, |i| {
+    let pieces = par_map(plan.entries.len(), opts.workers, |i| {
         let _read_sp = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Load, "read_entry");
         let t_busy = ucp_telemetry::enabled().then(std::time::Instant::now);
         let entry = &plan.entries[i];
-        // Model copy always needs the fp32 shard of every owned parameter.
-        let atom_fp32 = read_atom(universal_dir, &entry.name, AtomFile::Fp32, device)?;
-        if atom_fp32.shape() != &entry.full_shape {
-            return Err(UcpError::Inconsistent(format!(
-                "atom {} has shape {}, expected {}",
-                entry.name,
-                atom_fp32.shape(),
-                entry.full_shape
-            )));
-        }
-        let shard_fp32 = entry
-            .partition
-            .shard(&atom_fp32, plan.target.tp, plan.coord.tp);
-        // Optimizer moments are only read when this rank's chunk
-        // intersects the parameter.
-        let moments = if entry.fragments.is_empty() {
-            None
+        let piece = if opts.ranged {
+            read_entry_ranged(universal_dir, plan, entry, opts, cache)?
         } else {
-            let mut out = Vec::with_capacity(2);
-            for file in [AtomFile::ExpAvg, AtomFile::ExpAvgSq] {
-                let atom = read_atom(universal_dir, &entry.name, file, device)?;
-                out.push(entry.partition.shard(&atom, plan.target.tp, plan.coord.tp));
-            }
-            Some((out.remove(0), out.remove(0)))
+            read_entry_full(universal_dir, plan, entry, opts)?
         };
         if let Some(t) = t_busy {
             ucp_telemetry::count(
@@ -247,7 +354,7 @@ pub fn load_with_plan_device(
                 t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             );
         }
-        Ok((shard_fp32, moments))
+        Ok(piece)
     })?;
     if let Some(t) = t_total {
         ucp_telemetry::global().record_span("load/read", t.elapsed());
@@ -258,10 +365,22 @@ pub fn load_with_plan_device(
     let t_scatter = ucp_telemetry::enabled().then(std::time::Instant::now);
     let mut model_params = Vec::with_capacity(plan.entries.len());
     for (entry, (shard_fp32, moments)) in plan.entries.iter().zip(pieces) {
-        if let Some((m, v)) = moments {
-            scatter(&mut fp32, shard_fp32.flatten().as_slice(), &entry.fragments);
-            scatter(&mut exp_avg, m.flatten().as_slice(), &entry.fragments);
-            scatter(&mut exp_avg_sq, v.flatten().as_slice(), &entry.fragments);
+        match moments {
+            Some(MomentData::Full(m, v)) => {
+                scatter(&mut fp32, shard_fp32.as_slice(), &entry.fragments);
+                scatter(&mut exp_avg, m.flatten().as_slice(), &entry.fragments);
+                scatter(&mut exp_avg_sq, v.flatten().as_slice(), &entry.fragments);
+            }
+            Some(MomentData::Runs(m_runs, v_runs)) => {
+                scatter(&mut fp32, shard_fp32.as_slice(), &entry.fragments);
+                for (off, vals) in m_runs {
+                    exp_avg[off..off + vals.len()].copy_from_slice(&vals);
+                }
+                for (off, vals) in v_runs {
+                    exp_avg_sq[off..off + vals.len()].copy_from_slice(&vals);
+                }
+            }
+            None => {}
         }
         model_params.push((entry.name.clone(), shard_fp32));
     }
@@ -273,12 +392,147 @@ pub fn load_with_plan_device(
     }
 
     Ok(RankState {
-        layout: plan.layout.clone(),
+        layout: Arc::clone(&plan.layout),
         fp32,
         exp_avg,
         exp_avg_sq,
         model_params,
     })
+}
+
+/// Full-read strategy: open each atom container and decode all of it, then
+/// slice out this rank's TP shard in memory.
+fn read_entry_full(
+    universal_dir: &Path,
+    plan: &LoadPlan,
+    entry: &LoadEntry,
+    opts: &LoadOptions,
+) -> Result<(Tensor, Option<MomentData>)> {
+    // Model copy always needs the fp32 shard of every owned parameter.
+    let atom_fp32 = read_atom(universal_dir, &entry.name, AtomFile::Fp32, &opts.device)?;
+    if atom_fp32.shape() != &entry.full_shape {
+        return Err(UcpError::Inconsistent(format!(
+            "atom {} has shape {}, expected {}",
+            entry.name,
+            atom_fp32.shape(),
+            entry.full_shape
+        )));
+    }
+    let shard_fp32 = entry
+        .partition
+        .shard(&atom_fp32, plan.target.tp, plan.coord.tp);
+    // Optimizer moments are only read when this rank's chunk intersects
+    // the parameter.
+    let moments = if entry.fragments.is_empty() {
+        None
+    } else {
+        let mut out = Vec::with_capacity(2);
+        for file in [AtomFile::ExpAvg, AtomFile::ExpAvgSq] {
+            let atom = read_atom(universal_dir, &entry.name, file, &opts.device)?;
+            out.push(entry.partition.shard(&atom, plan.target.tp, plan.coord.tp));
+        }
+        Some(MomentData::Full(out.remove(0), out.remove(0)))
+    };
+    Ok((shard_fp32, moments))
+}
+
+/// Ranged strategy: fetch only the element runs the shard and fragments
+/// touch, through the shared atom cache.
+fn read_entry_ranged(
+    universal_dir: &Path,
+    plan: &LoadPlan,
+    entry: &LoadEntry,
+    opts: &LoadOptions,
+    cache: &AtomCache,
+) -> Result<(Tensor, Option<MomentData>)> {
+    let segments = entry
+        .partition
+        .shard_segments(&entry.full_shape, plan.target.tp, plan.coord.tp);
+    let shard_shape = entry
+        .partition
+        .shard_shape(&entry.full_shape, plan.target.tp);
+
+    // The model copy needs the whole fp32 shard: one range per segment
+    // with an on-disk source; padding segments stay zero.
+    let fp32_ranges: Vec<Range<usize>> = segments
+        .iter()
+        .filter_map(|s| s.src_offset.map(|o| o..o + s.len))
+        .collect();
+    let (dtype, parts) = cache.fetch(
+        universal_dir,
+        &entry.name,
+        AtomFile::Fp32,
+        &entry.full_shape,
+        &fp32_ranges,
+        &opts.device,
+    )?;
+    let mut shard_flat = vec![0.0f32; shard_shape.num_elements()];
+    let mut part = parts.into_iter();
+    for seg in &segments {
+        if seg.src_offset.is_some() {
+            let vals = part.next().expect("one part per sourced segment");
+            shard_flat[seg.shard_offset..seg.shard_offset + seg.len].copy_from_slice(&vals);
+        }
+    }
+    let shard_fp32 = Tensor::from_vec(shard_flat, shard_shape)?.cast(dtype);
+
+    // Moments: only the exact fragment intersections, as sparse runs.
+    let moments = if entry.fragments.is_empty() {
+        None
+    } else {
+        let runs = fragment_runs(&segments, &entry.fragments);
+        let src: Vec<Range<usize>> = runs.iter().map(|(_, r)| r.clone()).collect();
+        let offs: Vec<usize> = runs.iter().map(|(o, _)| *o).collect();
+        let (_, m) = cache.fetch(
+            universal_dir,
+            &entry.name,
+            AtomFile::ExpAvg,
+            &entry.full_shape,
+            &src,
+            &opts.device,
+        )?;
+        let (_, v) = cache.fetch(
+            universal_dir,
+            &entry.name,
+            AtomFile::ExpAvgSq,
+            &entry.full_shape,
+            &src,
+            &opts.device,
+        )?;
+        Some(MomentData::Runs(
+            offs.iter().copied().zip(m).collect(),
+            offs.into_iter().zip(v).collect(),
+        ))
+    };
+    Ok((shard_fp32, moments))
+}
+
+/// Intersect this rank's ZeRO fragments (shard-space) with the shard's
+/// source segments (atom-space): each overlap with an on-disk source
+/// becomes a `(chunk_offset, atom element range)` run. Padding overlaps
+/// are dropped — the chunk buffers start zeroed, which is exactly what the
+/// full-read path scatters there.
+fn fragment_runs(
+    segments: &[ShardSegment],
+    fragments: &[FlatFragment],
+) -> Vec<(usize, Range<usize>)> {
+    let mut runs = Vec::new();
+    for f in fragments {
+        let fstart = f.param_offset;
+        let fend = f.param_offset + f.len;
+        for seg in segments {
+            let lo = fstart.max(seg.shard_offset);
+            let hi = fend.min(seg.shard_offset + seg.len);
+            if lo >= hi {
+                continue;
+            }
+            if let Some(src) = seg.src_offset {
+                let s = src + (lo - seg.shard_offset);
+                runs.push((f.chunk_offset + (lo - fstart), s..s + (hi - lo)));
+            }
+        }
+    }
+    runs
 }
 
 /// Copy `fragments` of the flattened shard into the chunk buffer.
@@ -298,9 +552,7 @@ pub fn load_universal(
     rank: usize,
     alignment: usize,
 ) -> Result<(UcpManifest, RankState)> {
-    let universal = layout::universal_dir(base, step);
-    let manifest = UcpManifest::load(&universal)?;
-    let plan = gen_ucp_metadata(&manifest, target, rank, alignment)?;
-    let state = load_with_plan(&universal, &plan)?;
-    Ok((manifest, state))
+    let session = LoadSession::open(base, step, LoadOptions::default())?;
+    let state = session.load_rank(target, rank, alignment)?;
+    Ok((session.manifest.clone(), state))
 }

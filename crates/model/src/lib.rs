@@ -24,6 +24,6 @@ pub mod store;
 
 pub use config::{MlpKind, ModelConfig, NormKind, PositionKind, SizePreset};
 pub use group_ops::{GroupOps, Solo};
-pub use spec::{find_spec, param_specs, Init, LayerRole, ParamSpec, Partition};
+pub use spec::{find_spec, param_specs, Init, LayerRole, ParamSpec, Partition, ShardSegment};
 pub use stage::{Stage, StageCache, StageIn, StageLayout, StageOut};
 pub use store::{GradStore, ParamStore};

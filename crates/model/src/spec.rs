@@ -53,12 +53,127 @@ pub enum Partition {
     },
 }
 
+/// One contiguous run of a rank's flattened shard, located in the
+/// flattened *full* tensor — the unit a ranged atom read fetches.
+///
+/// Produced by [`Partition::shard_segments`]. `src_offset` is `None` for
+/// alignment padding a [`Partition::PaddedShard`] re-introduces: those
+/// shard elements exist only at runtime and have no bytes on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSegment {
+    /// Start offset within the rank's flattened shard (elements).
+    pub shard_offset: usize,
+    /// Start offset within the flattened full tensor, or `None` for
+    /// padding (materialized as zeros, never read).
+    pub src_offset: Option<usize>,
+    /// Run length (elements).
+    pub len: usize,
+}
+
 impl Partition {
     /// The padded extent of dimension `extent` under `tp`-way padded
     /// sharding with quantum `multiple`.
     pub fn padded_extent(extent: usize, multiple: usize, tp: usize) -> usize {
         let quantum = multiple.max(1) * tp;
         extent.div_ceil(quantum) * quantum
+    }
+
+    /// Where rank `r`'s shard elements live in the flattened full tensor,
+    /// as contiguous runs in ascending shard order (adjacent runs merged).
+    ///
+    /// This is the metadata that lets `Load` read a shard without
+    /// materializing the full tensor: every `Some`-sourced segment is one
+    /// contiguous byte range of the atom on disk, and concatenating the
+    /// segments (padding as zeros) reproduces
+    /// `self.shard(full, tp, r).flatten()` exactly.
+    pub fn shard_segments(&self, full: &Shape, tp: usize, r: usize) -> Vec<ShardSegment> {
+        let dims = full.dims();
+        let mut out = Vec::new();
+        let push = |out: &mut Vec<ShardSegment>, shard_offset, src_offset, len: usize| {
+            if len == 0 {
+                return;
+            }
+            // Merge with the previous run when both shard and source
+            // continue contiguously (e.g. dim-0 shards collapse to one).
+            if let Some(last) = out.last_mut() {
+                let shard_joins = last.shard_offset + last.len == shard_offset;
+                let src_joins = match (last.src_offset, src_offset) {
+                    (Some(a), Some(b)) => a + last.len == b,
+                    (None, None) => true,
+                    _ => false,
+                };
+                if shard_joins && src_joins {
+                    last.len += len;
+                    return;
+                }
+            }
+            out.push(ShardSegment {
+                shard_offset,
+                src_offset,
+                len,
+            });
+        };
+        match self {
+            Partition::Replicated => {
+                push(&mut out, 0, Some(0), full.num_elements());
+            }
+            Partition::Shard { dim } => {
+                let extent = dims[*dim];
+                let chunk = extent / tp;
+                let outer: usize = dims[..*dim].iter().product();
+                let inner: usize = dims[*dim + 1..].iter().product();
+                for o in 0..outer {
+                    push(
+                        &mut out,
+                        o * chunk * inner,
+                        Some((o * extent + r * chunk) * inner),
+                        chunk * inner,
+                    );
+                }
+            }
+            Partition::PaddedShard { dim, multiple } => {
+                let extent = dims[*dim];
+                let padded = Partition::padded_extent(extent, *multiple, tp);
+                let chunk = padded / tp;
+                let start = r * chunk;
+                let outer: usize = dims[..*dim].iter().product();
+                let inner: usize = dims[*dim + 1..].iter().product();
+                // Rows past the real extent are runtime-only padding.
+                let real = extent.saturating_sub(start).min(chunk);
+                for o in 0..outer {
+                    let base = o * chunk * inner;
+                    push(
+                        &mut out,
+                        base,
+                        Some((o * extent + start) * inner),
+                        real * inner,
+                    );
+                    push(&mut out, base + real * inner, None, (chunk - real) * inner);
+                }
+            }
+            Partition::Grouped { dim, sections } => {
+                let extent = dims[*dim];
+                let shard_extent: usize = sections.iter().map(|s| s / tp).sum();
+                let outer: usize = dims[..*dim].iter().product();
+                let inner: usize = dims[*dim + 1..].iter().product();
+                for o in 0..outer {
+                    let mut sec_off = 0;
+                    let mut shard_row = 0;
+                    for &sec in sections {
+                        let chunk = sec / tp;
+                        push(
+                            &mut out,
+                            (o * shard_extent + shard_row) * inner,
+                            Some((o * extent + sec_off + r * chunk) * inner),
+                            chunk * inner,
+                        );
+                        sec_off += sec;
+                        shard_row += chunk;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Shape of rank `r`'s shard of a tensor with `full` shape under `tp`-way
@@ -540,6 +655,104 @@ mod tests {
                 assert!(back.bitwise_eq(&full), "roundtrip failed for {}", spec.name);
             }
         }
+    }
+
+    #[test]
+    fn shard_segments_reconstruct_every_shard() {
+        // Property: for every parameter in the inventory and every rank,
+        // gathering the full tensor's elements at each segment's source
+        // (zeros for padding) reproduces `shard(...).flatten()` exactly.
+        // This is the contract the ranged load path builds on.
+        let configs = [
+            ModelConfig::gpt3_tiny_padded_vocab(),
+            ModelConfig::llama_tiny(),
+            ModelConfig::moe_tiny(),
+        ];
+        let rng = DetRng::new(11);
+        for cfg in &configs {
+            for spec in param_specs(cfg) {
+                let full = spec.materialize_full(&rng);
+                let flat_full = full.as_slice();
+                for tp in [1usize, 2, 4] {
+                    for r in 0..tp {
+                        let segs = spec.partition.shard_segments(&spec.shape, tp, r);
+                        let expect = spec.partition.shard(&full, tp, r).flatten();
+                        let mut got = vec![0.0f32; expect.num_elements()];
+                        let mut cursor = 0;
+                        for seg in &segs {
+                            // Segments are ascending, disjoint, and
+                            // non-mergeable (otherwise push would have
+                            // merged them).
+                            assert_eq!(seg.shard_offset, cursor, "{} gap", spec.name);
+                            cursor += seg.len;
+                            if let Some(src) = seg.src_offset {
+                                got[seg.shard_offset..seg.shard_offset + seg.len]
+                                    .copy_from_slice(&flat_full[src..src + seg.len]);
+                            }
+                        }
+                        assert_eq!(cursor, expect.num_elements(), "{} coverage", spec.name);
+                        assert_eq!(
+                            got,
+                            expect.as_slice(),
+                            "{} tp{tp} rank{r} segments mismatch",
+                            spec.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_segments_merge_contiguous_runs() {
+        // A dim-0 shard of a 2-D tensor is one contiguous run.
+        let p = Partition::Shard { dim: 0 };
+        let shape = Shape::new([8, 4]);
+        let segs = p.shard_segments(&shape, 2, 1);
+        assert_eq!(
+            segs,
+            vec![ShardSegment {
+                shard_offset: 0,
+                src_offset: Some(16),
+                len: 16
+            }]
+        );
+        // Replicated is one run covering everything.
+        assert_eq!(Partition::Replicated.shard_segments(&shape, 4, 3).len(), 1);
+        // A dim-1 shard needs one run per row.
+        assert_eq!(
+            Partition::Shard { dim: 1 }
+                .shard_segments(&shape, 2, 0)
+                .len(),
+            8
+        );
+    }
+
+    #[test]
+    fn padded_shard_segments_mark_padding() {
+        // 10 rows padded to 12 across tp=4: rank 3 holds real row 9 plus
+        // two padding rows with no on-disk source.
+        let p = Partition::PaddedShard {
+            dim: 0,
+            multiple: 1,
+        };
+        let shape = Shape::new([10, 3]);
+        let segs = p.shard_segments(&shape, 4, 3);
+        assert_eq!(
+            segs,
+            vec![
+                ShardSegment {
+                    shard_offset: 0,
+                    src_offset: Some(27),
+                    len: 3
+                },
+                ShardSegment {
+                    shard_offset: 3,
+                    src_offset: None,
+                    len: 6
+                },
+            ]
+        );
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! magic "UCPT" | version u32
 //! header_len u32 | header JSON bytes | header crc32c u32
 //! section_count u32
-//! per section:
+//! per section (v2, current):
 //!   name_len u16 | name bytes
 //!   dtype u8 | rank u8 | dims u64 × rank
-//!   payload_len u64 | payload bytes (dtype-encoded) | crc32c u32
+//!   payload_len u64 | crc_block u32
+//!   payload bytes (dtype-encoded)
+//!   crc32c u32 × ceil(payload_len / crc_block)    (the block-CRC table)
+//! per section (v1, legacy):
+//!   name_len u16 | name bytes
+//!   dtype u8 | rank u8 | dims u64 × rank
+//!   payload_len u64 | payload bytes | crc32c u32
 //! ```
 //!
 //! The JSON header carries structured metadata (model config, parallel
@@ -17,18 +23,32 @@
 //! the role the pickled dictionary plays in a `.pt` checkpoint. Tensor
 //! payloads are stored in their logical dtype, so a bf16 model copy costs
 //! two bytes per element while the fp32 master costs four.
+//!
+//! v2 replaces v1's single whole-payload checksum with a table of per-block
+//! CRCs at a fixed block size recorded in the file. Every payload byte is
+//! still covered (full reads verify every block in the same single hashing
+//! pass v1 used), and in addition an arbitrary *byte range* of a section
+//! can be integrity-checked by reading only the blocks it touches — the
+//! primitive behind [`ContainerIndex::read_section_range`], which lets a
+//! loading rank fetch exactly the slice of an atom it needs. v1 files
+//! remain fully readable; range reads of v1 sections fall back to reading
+//! and verifying the whole section before slicing.
 
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::ops::Range;
 use std::path::Path;
 
 use ucp_tensor::{DType, Shape, Tensor};
 
 use crate::commit::AtomicFile;
-use crate::crc::{crc32c, Crc32c};
+use crate::crc::{crc32c, crc32c_blocks, Crc32c};
 use crate::{Result, StorageError};
 
 const MAGIC: &[u8; 4] = b"UCPT";
-const VERSION: u32 = 1;
+/// Current write version: per-section block-CRC tables.
+const VERSION: u32 = 2;
+/// Legacy version: one whole-payload CRC per section.
+const VERSION_V1: u32 = 1;
 
 /// Cap on the declared header length; any larger value is corruption,
 /// not a header we should try to allocate.
@@ -36,6 +56,32 @@ const MAX_HEADER_LEN: usize = 256 * 1024 * 1024;
 
 /// Block size for streaming payloads through the CRC hasher.
 const CRC_BLOCK: usize = 64 * 1024;
+
+/// CRC block size (bytes) new v2 sections are written with. Small enough
+/// that a tensor-parallel slice of an inner dimension maps to whole blocks
+/// with little overshoot, at a table cost of 4 bytes per block (~1.6%).
+pub const RANGE_CRC_BLOCK: u32 = 256;
+
+/// Sanity bounds on a *declared* CRC block size: outside this window the
+/// field is corruption (and tiny values would make the table allocation
+/// attacker-amplified).
+const MIN_CRC_BLOCK: u32 = 64;
+const MAX_CRC_BLOCK: u32 = 16 * 1024 * 1024;
+
+fn check_crc_block(name: &str, crc_block: u32) -> Result<()> {
+    if !(MIN_CRC_BLOCK..=MAX_CRC_BLOCK).contains(&crc_block) || !crc_block.is_power_of_two() {
+        return Err(StorageError::Malformed(format!(
+            "section {name}: crc block size {crc_block} is not a power of two in \
+             [{MIN_CRC_BLOCK}, {MAX_CRC_BLOCK}]"
+        )));
+    }
+    Ok(())
+}
+
+/// Number of CRC blocks covering `payload_len` bytes at `crc_block`.
+fn block_count(payload_len: u64, crc_block: u32) -> u64 {
+    payload_len.div_ceil(crc_block as u64)
+}
 
 /// Read exactly `len` declared bytes without trusting `len` for the
 /// allocation: the buffer grows only as data actually arrives (via
@@ -96,20 +142,32 @@ impl Container {
             .map(|s| &s.tensor)
     }
 
-    /// Serialized size in bytes (what will be written).
+    /// Serialized size in bytes (what [`Container::write_to`] will write).
     pub fn encoded_len(&self) -> usize {
         let mut n = 4 + 4 + 4 + self.header.len() + 4 + 4;
         for s in &self.sections {
-            n += 2 + s.name.len() + 1 + 1 + 8 * s.tensor.shape().rank() + 8;
-            n += s.tensor.num_elements() * s.tensor.dtype().size_bytes() + 4;
+            let payload = s.tensor.num_elements() * s.tensor.dtype().size_bytes();
+            n += 2 + s.name.len() + 1 + 1 + 8 * s.tensor.shape().rank() + 8 + 4;
+            n += payload + 4 * payload.div_ceil(RANGE_CRC_BLOCK as usize);
         }
         n
     }
 
-    /// Serialize into a writer.
+    /// Serialize into a writer (current v2 layout, block-CRC tables).
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        self.write_to_version(w, VERSION)
+    }
+
+    /// Serialize in the legacy v1 layout (whole-payload CRCs, no block
+    /// table). Kept so format-compatibility tests and tooling can produce
+    /// v1 files; new files should use [`Container::write_to`].
+    pub fn write_to_v1<W: Write>(&self, w: &mut W) -> Result<()> {
+        self.write_to_version(w, VERSION_V1)
+    }
+
+    fn write_to_version<W: Write>(&self, w: &mut W, version: u32) -> Result<()> {
         w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&version.to_le_bytes())?;
         let header = self.header.as_bytes();
         w.write_all(&(header.len() as u32).to_le_bytes())?;
         w.write_all(header)?;
@@ -129,13 +187,22 @@ impl Container {
                 Vec::with_capacity(s.tensor.num_elements() * s.tensor.dtype().size_bytes());
             s.tensor.dtype().encode(s.tensor.as_slice(), &mut payload);
             w.write_all(&(payload.len() as u64).to_le_bytes())?;
-            w.write_all(&payload)?;
-            w.write_all(&crc32c(&payload).to_le_bytes())?;
+            if version >= 2 {
+                w.write_all(&RANGE_CRC_BLOCK.to_le_bytes())?;
+                w.write_all(&payload)?;
+                for crc in crc32c_blocks(&payload, RANGE_CRC_BLOCK as usize) {
+                    w.write_all(&crc.to_le_bytes())?;
+                }
+            } else {
+                w.write_all(&payload)?;
+                w.write_all(&crc32c(&payload).to_le_bytes())?;
+            }
         }
         Ok(())
     }
 
-    /// Deserialize from a reader, verifying all checksums.
+    /// Deserialize from a reader, verifying all checksums. Accepts both
+    /// the current v2 layout and legacy v1 files.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Container> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
@@ -143,7 +210,7 @@ impl Container {
             return Err(StorageError::BadMagic);
         }
         let version = read_u32(r)?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V1 {
             return Err(StorageError::BadVersion(version));
         }
         let header_len = read_u32(r)? as usize;
@@ -195,35 +262,81 @@ impl Container {
                     "section {name}: payload {payload_len} bytes, shape {shape} implies {expected}"
                 )));
             }
+            let crc_block = if version >= 2 {
+                let b = read_u32(r)?;
+                check_crc_block(&name, b)?;
+                Some(b as usize)
+            } else {
+                None
+            };
             // Stream the payload through the hasher in fixed-size blocks:
             // the checksum is computed in the same pass as the read, and
             // the buffer only grows as real file bytes arrive, so a
             // corrupt length can never force a giant up-front allocation.
+            // v1 hashes the whole payload into one checksum; v2 restarts
+            // the hasher every `crc_block` bytes, building the table to
+            // compare against the one stored after the payload.
             let mut payload = Vec::with_capacity(payload_len.min(1 << 20));
             let mut block = [0u8; CRC_BLOCK];
             let mut remaining = payload_len;
             let mut h = Crc32c::new();
+            let mut fill = 0usize;
+            let mut computed_table = Vec::new();
             let timing = ucp_telemetry::enabled();
             let mut crc_ns = 0u64;
             while remaining > 0 {
                 let n = CRC_BLOCK.min(remaining);
                 r.read_exact(&mut block[..n])?;
                 let t = timing.then(std::time::Instant::now);
-                h.update(&block[..n]);
+                match crc_block {
+                    None => h.update(&block[..n]),
+                    Some(cb) => {
+                        let mut rest = &block[..n];
+                        while !rest.is_empty() {
+                            let take = (cb - fill).min(rest.len());
+                            h.update(&rest[..take]);
+                            fill += take;
+                            if fill == cb {
+                                computed_table.push(h.finish());
+                                h = Crc32c::new();
+                                fill = 0;
+                            }
+                            rest = &rest[take..];
+                        }
+                    }
+                }
                 if let Some(t) = t {
                     crc_ns += t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 }
                 payload.extend_from_slice(&block[..n]);
                 remaining -= n;
             }
-            let verified = h.finish();
             if timing {
                 ucp_telemetry::observe("storage/crc_ns", crc_ns);
                 ucp_telemetry::count("storage/crc_bytes", payload_len as u64);
             }
-            let crc = read_u32(r)?;
-            if verified != crc {
-                return Err(StorageError::ChecksumMismatch { what: name });
+            match crc_block {
+                None => {
+                    let crc = read_u32(r)?;
+                    if h.finish() != crc {
+                        return Err(StorageError::ChecksumMismatch { what: name });
+                    }
+                }
+                Some(cb) => {
+                    if fill > 0 {
+                        computed_table.push(h.finish());
+                    }
+                    let n_blocks = block_count(payload_len as u64, cb as u32) as usize;
+                    debug_assert_eq!(computed_table.len(), n_blocks);
+                    for (i, computed) in computed_table.iter().enumerate() {
+                        let stored = read_u32(r)?;
+                        if stored != *computed {
+                            return Err(StorageError::ChecksumMismatch {
+                                what: format!("{name} (block {i})"),
+                            });
+                        }
+                    }
+                }
             }
             let values = dtype
                 .decode(&payload, shape.num_elements())
@@ -297,13 +410,44 @@ pub struct SectionInfo {
     pub shape: Shape,
     /// Payload bytes on disk.
     pub payload_len: u64,
+    /// Absolute file offset of the first payload byte.
+    pub payload_offset: u64,
+    /// CRC block size this section was written with (0 for v1 sections,
+    /// which carry a single whole-payload checksum instead of a table).
+    pub crc_block: u32,
+}
+
+impl SectionInfo {
+    /// Elements in the section.
+    pub fn num_elements(&self) -> usize {
+        self.shape.num_elements()
+    }
+
+    /// Payload bytes a [`ContainerIndex::read_section_range`] of `elems`
+    /// will fetch from disk: the block-aligned span covering the range
+    /// (v2), or the whole payload (v1).
+    pub fn range_read_bytes(&self, elems: &Range<usize>) -> u64 {
+        if elems.start >= elems.end {
+            return 0;
+        }
+        let esize = self.dtype.size_bytes() as u64;
+        if self.crc_block == 0 {
+            return self.payload_len;
+        }
+        let cb = self.crc_block as u64;
+        let bstart = elems.start as u64 * esize / cb * cb;
+        let bend = (elems.end as u64 * esize).div_ceil(cb) * cb;
+        bend.min(self.payload_len) - bstart
+    }
 }
 
 /// A container's header and section index, read by *skipping* payloads —
-/// O(header) instead of O(file). Backs fast inspection and metadata-only
-/// planning over large checkpoints.
+/// O(header) instead of O(file). Backs fast inspection, metadata-only
+/// planning, and verified range reads over large checkpoints.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ContainerIndex {
+    /// Container format version the file was written with.
+    pub version: u32,
     /// JSON metadata header (checksum verified).
     pub header: String,
     /// Per-section metadata, in file order.
@@ -312,14 +456,14 @@ pub struct ContainerIndex {
 
 impl ContainerIndex {
     /// Read the index from a seekable reader.
-    pub fn read_from<R: Read + std::io::Seek>(r: &mut R) -> Result<ContainerIndex> {
+    pub fn read_from<R: Read + Seek>(r: &mut R) -> Result<ContainerIndex> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(StorageError::BadMagic);
         }
         let version = read_u32(r)?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V1 {
             return Err(StorageError::BadVersion(version));
         }
         let header_len = read_u32(r)? as usize;
@@ -357,33 +501,52 @@ impl ContainerIndex {
                 dims.push(d);
             }
             let payload_len = read_u64(r)?;
-            // Skip the payload and its checksum. A corrupt length must
+            let crc_block = if version >= 2 {
+                let b = read_u32(r)?;
+                check_crc_block(&name, b)?;
+                b
+            } else {
+                0
+            };
+            let payload_offset = r.stream_position()?;
+            // Skip the payload and its checksum(s). A corrupt length must
             // not wrap negative when cast for the relative seek.
-            let skip = payload_len
-                .checked_add(4)
+            let checksums = if crc_block > 0 {
+                block_count(payload_len, crc_block).checked_mul(4)
+            } else {
+                Some(4)
+            };
+            let skip = checksums
+                .and_then(|c| payload_len.checked_add(c))
                 .and_then(|n| i64::try_from(n).ok())
                 .ok_or_else(|| {
                     StorageError::Malformed(format!(
                         "section {name}: payload length {payload_len} overflows seek"
                     ))
                 })?;
-            r.seek(std::io::SeekFrom::Current(skip))?;
+            r.seek(SeekFrom::Current(skip))?;
             sections.push(SectionInfo {
                 name,
                 dtype,
                 shape: Shape::new(dims),
                 payload_len,
+                payload_offset,
+                crc_block,
             });
         }
         // Relative seeks past EOF succeed silently, so a truncated final
         // payload would otherwise index as present — verify the cursor
         // never left the file.
         let pos = r.stream_position()?;
-        let end = r.seek(std::io::SeekFrom::End(0))?;
+        let end = r.seek(SeekFrom::End(0))?;
         if pos > end {
             return Err(StorageError::Malformed("file truncated mid-section".into()));
         }
-        Ok(ContainerIndex { header, sections })
+        Ok(ContainerIndex {
+            version,
+            header,
+            sections,
+        })
     }
 
     /// Read the index from a file.
@@ -396,6 +559,108 @@ impl ContainerIndex {
     pub fn get(&self, name: &str) -> Option<&SectionInfo> {
         self.sections.iter().find(|s| s.name == name)
     }
+
+    /// Read elements `elems` of `section` from the same reader the index
+    /// was built from, verifying integrity of exactly what is read.
+    ///
+    /// For v2 sections only the CRC blocks the byte range touches are
+    /// fetched and checked — corruption outside the range goes unread and
+    /// undetected, corruption inside it surfaces as
+    /// [`StorageError::ChecksumMismatch`]. v1 sections have no block
+    /// table, so the whole payload is read and verified before slicing.
+    /// Returns a 1-D tensor of `elems.len()` values in the section dtype.
+    pub fn read_section_range<R: Read + Seek>(
+        &self,
+        r: &mut R,
+        section: &str,
+        elems: Range<usize>,
+    ) -> Result<Tensor> {
+        let info = self.get(section).ok_or_else(|| {
+            StorageError::Malformed(format!("container has no section {section}"))
+        })?;
+        let total = info.num_elements();
+        if elems.start > elems.end || elems.end > total {
+            return Err(StorageError::Malformed(format!(
+                "section {section}: range {}..{} out of bounds for {total} elements",
+                elems.start, elems.end
+            )));
+        }
+        let esize = info.dtype.size_bytes();
+        let expected = total as u64 * esize as u64;
+        if info.payload_len != expected {
+            return Err(StorageError::Malformed(format!(
+                "section {section}: payload {} bytes, shape {} implies {expected}",
+                info.payload_len, info.shape
+            )));
+        }
+        let n = elems.end - elems.start;
+        if n == 0 {
+            let t = Tensor::from_vec(Vec::new(), Shape::new([0]))
+                .map_err(|e| StorageError::Malformed(e.to_string()))?;
+            return Ok(t.cast(info.dtype));
+        }
+        let bstart = elems.start * esize;
+        let bend = elems.end * esize;
+        let bytes = if info.crc_block == 0 {
+            // v1: no block table — read and verify the whole payload,
+            // then slice the requested bytes out of it.
+            r.seek(SeekFrom::Start(info.payload_offset))?;
+            let payload = read_bytes_bounded(r, info.payload_len as usize, section)?;
+            let crc = read_u32(r)?;
+            if crc32c(&payload) != crc {
+                return Err(StorageError::ChecksumMismatch {
+                    what: section.to_string(),
+                });
+            }
+            self.count_range_read(payload.len() as u64 + 4);
+            payload[bstart..bend].to_vec()
+        } else {
+            let cb = info.crc_block as usize;
+            let b0 = bstart / cb;
+            let b1 = bend.div_ceil(cb);
+            let data_off = info.payload_offset + (b0 * cb) as u64;
+            let data_len = (b1 * cb).min(info.payload_len as usize) - b0 * cb;
+            r.seek(SeekFrom::Start(data_off))?;
+            let data = read_bytes_bounded(r, data_len, section)?;
+            r.seek(SeekFrom::Start(
+                info.payload_offset + info.payload_len + (b0 * 4) as u64,
+            ))?;
+            let table = read_bytes_bounded(r, (b1 - b0) * 4, "block crc table")?;
+            for (i, chunk) in data.chunks(cb).enumerate() {
+                let stored = u32::from_le_bytes(table[i * 4..i * 4 + 4].try_into().unwrap());
+                if crc32c(chunk) != stored {
+                    return Err(StorageError::ChecksumMismatch {
+                        what: format!("{section} (block {})", b0 + i),
+                    });
+                }
+            }
+            self.count_range_read((data_len + table.len()) as u64);
+            data[bstart - b0 * cb..bend - b0 * cb].to_vec()
+        };
+        let values = info
+            .dtype
+            .decode(&bytes, n)
+            .ok_or_else(|| StorageError::Malformed(format!("section {section}: short payload")))?;
+        let tensor = Tensor::from_vec(values, Shape::new([n]))
+            .map_err(|e| StorageError::Malformed(e.to_string()))?;
+        Ok(tensor.cast(info.dtype))
+    }
+
+    fn count_range_read(&self, bytes: u64) {
+        if ucp_telemetry::enabled() {
+            ucp_telemetry::count("storage/range_reads", 1);
+            ucp_telemetry::count("storage/range_bytes_read", bytes);
+        }
+    }
+}
+
+/// Convenience: open the container at `path` and read elements `elems` of
+/// `section` through a verified range read (see
+/// [`ContainerIndex::read_section_range`]).
+pub fn read_section_range(path: &Path, section: &str, elems: Range<usize>) -> Result<Tensor> {
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let index = ContainerIndex::read_from(&mut r)?;
+    index.read_section_range(&mut r, section, elems)
 }
 
 fn read_u16<R: Read>(r: &mut R) -> Result<u16> {
@@ -433,6 +698,18 @@ mod tests {
         c
     }
 
+    /// A container big enough that sections span many CRC blocks.
+    fn big_sample() -> Container {
+        let rng = DetRng::new(9);
+        let mut c = Container::new("{}");
+        c.push("w", Tensor::randn([40, 33], 1.0, &rng.derive("w")));
+        c.push(
+            "h",
+            Tensor::randn([777], 1.0, &rng.derive("h")).cast(DType::F16),
+        );
+        c
+    }
+
     #[test]
     fn roundtrip_preserves_everything() {
         let c = sample();
@@ -450,6 +727,21 @@ mod tests {
     }
 
     #[test]
+    fn v1_files_still_read_back() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to_v1(&mut buf).unwrap();
+        let back = Container::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.header, c.header);
+        for (orig, read) in c.sections.iter().zip(&back.sections) {
+            assert!(orig.tensor.bitwise_eq(&read.tensor), "{}", orig.name);
+        }
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(index.version, 1);
+        assert!(index.sections.iter().all(|s| s.crc_block == 0));
+    }
+
+    #[test]
     fn bf16_sections_are_half_size() {
         let rng = DetRng::new(2);
         let t = Tensor::randn([1000], 1.0, &rng.derive("t"));
@@ -458,7 +750,9 @@ mod tests {
         let mut c16 = Container::new("{}");
         c16.push("w", t.cast(DType::BF16));
         let diff = c32.encoded_len() - c16.encoded_len();
-        assert_eq!(diff, 2000, "bf16 payload halves 4000 → 2000 bytes");
+        // bf16 halves the payload 4000 → 2000 bytes, and with it the
+        // block-CRC table (16 blocks → 8 at 4 bytes each).
+        assert_eq!(diff, 2000 + 32);
     }
 
     #[test]
@@ -476,9 +770,38 @@ mod tests {
     }
 
     #[test]
+    fn v1_corruption_is_detected() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to_v1(&mut buf).unwrap();
+        let idx = buf.len() - 10;
+        buf[idx] ^= 0x01;
+        match Container::read_from(&mut buf.as_slice()) {
+            Err(StorageError::ChecksumMismatch { .. }) | Err(StorageError::Malformed(_)) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let err = Container::read_from(&mut &b"NOPE"[..]).unwrap_err();
         assert!(matches!(err, StorageError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        buf[4..8].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            Container::read_from(&mut buf.as_slice()),
+            Err(StorageError::BadVersion(3))
+        ));
+        assert!(matches!(
+            ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)),
+            Err(StorageError::BadVersion(3))
+        ));
     }
 
     #[test]
@@ -525,6 +848,7 @@ mod tests {
         let mut buf = Vec::new();
         c.write_to(&mut buf).unwrap();
         let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(index.version, 2);
         assert_eq!(index.header, c.header);
         assert_eq!(index.sections.len(), c.sections.len());
         for (info, full) in index.sections.iter().zip(&c.sections) {
@@ -535,6 +859,13 @@ mod tests {
                 info.payload_len as usize,
                 full.tensor.num_elements() * full.tensor.dtype().size_bytes()
             );
+            assert_eq!(info.crc_block, RANGE_CRC_BLOCK);
+            // The recorded offset really is where the payload starts.
+            let esize = info.dtype.size_bytes();
+            let first = &buf[info.payload_offset as usize..info.payload_offset as usize + esize];
+            let mut enc = Vec::new();
+            info.dtype.encode(&full.tensor.as_slice()[..1], &mut enc);
+            assert_eq!(first, &enc[..], "payload offset of {}", info.name);
         }
         assert!(index.get("a.weight").is_some());
         assert!(index.get("nope").is_none());
@@ -548,8 +879,8 @@ mod tests {
         // Corrupt a payload byte: the index never reads it, so indexing
         // succeeds (payload verification belongs to the full read). The
         // first section's payload starts after the file preamble and the
-        // section's name/dtype/rank/dims/len fields.
-        let idx = 4 + 4 + 4 + c.header.len() + 4 + 4 + 2 + "a.weight".len() + 1 + 1 + 16 + 8;
+        // section's name/dtype/rank/dims/len/crc_block fields.
+        let idx = 4 + 4 + 4 + c.header.len() + 4 + 4 + 2 + "a.weight".len() + 1 + 1 + 16 + 8 + 4;
         buf[idx] ^= 1;
         assert!(matches!(
             Container::read_from(&mut buf.as_slice()),
@@ -559,6 +890,152 @@ mod tests {
         // Corrupt the header: the index must fail.
         buf[12] ^= 1;
         assert!(ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn range_read_matches_full_read_slice() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let mut cur = std::io::Cursor::new(&buf);
+        let index = ContainerIndex::read_from(&mut cur).unwrap();
+        for s in &c.sections {
+            let total = s.tensor.num_elements();
+            let full: Vec<f32> = s.tensor.flatten().as_slice().to_vec();
+            for range in [0..total, 0..1, total - 1..total, 3..total / 2, 0..0] {
+                let t = index
+                    .read_section_range(&mut cur, &s.name, range.clone())
+                    .unwrap();
+                assert_eq!(t.num_elements(), range.len());
+                assert_eq!(t.dtype(), s.tensor.dtype());
+                for (got, want) in t.as_slice().iter().zip(&full[range.clone()]) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "{} {range:?}", s.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_read_of_v1_section_falls_back_to_full_verify() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to_v1(&mut buf).unwrap();
+        let mut cur = std::io::Cursor::new(&buf);
+        let index = ContainerIndex::read_from(&mut cur).unwrap();
+        let full: Vec<f32> = c.sections[0].tensor.flatten().as_slice().to_vec();
+        let t = index.read_section_range(&mut cur, "w", 5..25).unwrap();
+        for (got, want) in t.as_slice().iter().zip(&full[5..25]) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // Corrupt any payload byte: a v1 range read must fail even when
+        // the corruption is outside the requested range.
+        let info = index.get("w").unwrap();
+        let mut bad = buf.clone();
+        bad[info.payload_offset as usize + info.payload_len as usize - 1] ^= 1;
+        let mut cur = std::io::Cursor::new(&bad);
+        let index = ContainerIndex::read_from(&mut cur).unwrap();
+        assert!(matches!(
+            index.read_section_range(&mut cur, "w", 5..25),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_block_outside_range_is_not_read() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        let info = index.get("w").unwrap().clone();
+        // Corrupt the last payload byte (the final block).
+        buf[info.payload_offset as usize + info.payload_len as usize - 1] ^= 1;
+        let mut cur = std::io::Cursor::new(&buf);
+        // A range confined to the first block still reads clean...
+        let t = index.read_section_range(&mut cur, "w", 0..10).unwrap();
+        assert_eq!(t.num_elements(), 10);
+        // ...while a range touching the corrupt block errors, and the full
+        // read errors too.
+        let total = info.num_elements();
+        assert!(matches!(
+            index.read_section_range(&mut cur, "w", total - 1..total),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        assert!(Container::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_block_table_entry_fails_matching_range() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        let info = index.get("w").unwrap().clone();
+        // Corrupt the *table entry* of block 0 rather than the data.
+        let table_off = (info.payload_offset + info.payload_len) as usize;
+        buf[table_off] ^= 1;
+        let mut cur = std::io::Cursor::new(&buf);
+        assert!(matches!(
+            index.read_section_range(&mut cur, "w", 0..10),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        // The full read verifies the table too.
+        assert!(Container::read_from(&mut buf.as_slice()).is_err());
+        // Ranges entirely inside later blocks are unaffected.
+        let cb = info.crc_block as usize / 4;
+        let t = index
+            .read_section_range(&mut cur, "w", 2 * cb..3 * cb)
+            .unwrap();
+        assert_eq!(t.num_elements(), cb);
+    }
+
+    #[test]
+    fn range_read_bounds_are_checked() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let mut cur = std::io::Cursor::new(&buf);
+        let index = ContainerIndex::read_from(&mut cur).unwrap();
+        assert!(index
+            .read_section_range(&mut cur, "a.weight", 0..13)
+            .is_err());
+        assert!(index.read_section_range(&mut cur, "nope", 0..1).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 5..2;
+        assert!(index
+            .read_section_range(&mut cur, "a.weight", reversed)
+            .is_err());
+    }
+
+    #[test]
+    fn range_read_bytes_accounting() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        let info = index.get("w").unwrap();
+        let cb = info.crc_block as u64;
+        // One element in the middle of a block costs exactly one block.
+        assert_eq!(info.range_read_bytes(&(100..101)), cb);
+        // The full section costs the whole payload (last block short).
+        let total = info.num_elements();
+        assert_eq!(info.range_read_bytes(&(0..total)), info.payload_len);
+        assert_eq!(info.range_read_bytes(&(7..7)), 0);
+    }
+
+    #[test]
+    fn free_function_reads_range_from_file() {
+        let dir = std::env::temp_dir().join("ucpt_range_free_fn");
+        let path = dir.join("c.ucpt");
+        let c = big_sample();
+        c.write_file(&path).unwrap();
+        let t = read_section_range(&path, "h", 10..20).unwrap();
+        assert_eq!(t.num_elements(), 10);
+        assert_eq!(t.dtype(), DType::F16);
+        let full: Vec<f32> = c.sections[1].tensor.flatten().as_slice().to_vec();
+        for (got, want) in t.as_slice().iter().zip(&full[10..20]) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Hand-rolled container bytes with attacker-controlled geometry:
@@ -582,6 +1059,7 @@ mod tests {
             b.extend_from_slice(&d.to_le_bytes());
         }
         b.extend_from_slice(&payload_len.to_le_bytes());
+        b.extend_from_slice(&RANGE_CRC_BLOCK.to_le_bytes());
         b
     }
 
@@ -624,6 +1102,23 @@ mod tests {
     }
 
     #[test]
+    fn absurd_crc_block_is_rejected() {
+        let mut buf = raw_container(&[4], 16);
+        // Rewrite the crc_block field (the final 4 bytes of the raw
+        // preamble) with an out-of-bounds value.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            Container::read_from(&mut buf.as_slice()),
+            Err(StorageError::Malformed(_))
+        ));
+        assert!(matches!(
+            ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn index_seek_overflow_is_malformed_not_wrapped() {
         // payload_len near u64::MAX used to wrap negative through the
         // `as i64` cast and seek *backwards*; it must be rejected.
@@ -645,18 +1140,105 @@ mod tests {
         assert!(ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).is_err());
     }
 
+    mod range_read_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// A verified range read agrees byte-for-byte with slicing a
+            /// full `Container::read_from`, over random shapes, dtypes
+            /// (including fp16/bf16), format versions, and ranges — with
+            /// the empty and full ranges checked on every case.
+            #[test]
+            fn prop_range_read_matches_full_read_slice(
+                dims in prop::collection::vec(1usize..12, 1..4),
+                dtype_sel in 0usize..3,
+                v1 in prop::bool::ANY,
+                pick in 0.0f64..1.0,
+                span in 0.0f64..1.0,
+            ) {
+                let dtype = [DType::F32, DType::F16, DType::BF16][dtype_sel];
+                let shape = Shape::new(dims);
+                let total = shape.num_elements();
+                let rng = DetRng::new(0x5EC7 ^ total as u64);
+                let t = Tensor::randn(shape, 1.0, &rng.derive("t")).cast(dtype);
+                let mut c = Container::new("{}");
+                c.push("w", t);
+                let mut buf = Vec::new();
+                if v1 {
+                    c.write_to_v1(&mut buf).unwrap();
+                } else {
+                    c.write_to(&mut buf).unwrap();
+                }
+                let full = Container::read_from(&mut buf.as_slice()).unwrap();
+                let full: Vec<f32> = full.sections[0].tensor.flatten().as_slice().to_vec();
+                let mut cur = std::io::Cursor::new(&buf);
+                let index = ContainerIndex::read_from(&mut cur).unwrap();
+                let start = ((pick * total as f64) as usize).min(total);
+                let len = ((span * (total - start + 1) as f64) as usize).min(total - start);
+                for range in [start..start + len, 0..0, 0..total] {
+                    let got = index
+                        .read_section_range(&mut cur, "w", range.clone())
+                        .unwrap();
+                    prop_assert_eq!(got.num_elements(), range.len());
+                    prop_assert_eq!(got.dtype(), dtype);
+                    for (g, w) in got.as_slice().iter().zip(&full[range]) {
+                        prop_assert_eq!(g.to_bits(), w.to_bits());
+                    }
+                }
+            }
+
+            /// Flipping one random byte inside a v2 payload fails exactly
+            /// the range reads that cover the flipped block — ranges
+            /// entirely outside it still load.
+            #[test]
+            fn prop_corrupt_block_only_fails_covering_ranges(
+                elems in 200usize..900,
+                victim in 0.0f64..1.0,
+            ) {
+                let rng = DetRng::new(elems as u64);
+                let t = Tensor::randn([elems], 1.0, &rng.derive("t"));
+                let mut c = Container::new("{}");
+                c.push("w", t);
+                let mut buf = Vec::new();
+                c.write_to(&mut buf).unwrap();
+                let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+                let info = index.get("w").unwrap().clone();
+                let byte = ((victim * info.payload_len as f64) as usize)
+                    .min(info.payload_len as usize - 1);
+                buf[info.payload_offset as usize + byte] ^= 0x40;
+                let cb_elems = info.crc_block as usize / 4;
+                let bad_block = byte / info.crc_block as usize;
+                let mut cur = std::io::Cursor::new(&buf);
+                // Any range covering the corrupt element must error...
+                let bad = index.read_section_range(&mut cur, "w", byte / 4..byte / 4 + 1);
+                prop_assert!(matches!(bad, Err(StorageError::ChecksumMismatch { .. })));
+                // ...while ranges confined to other blocks stay readable.
+                let clean_block = if bad_block == 0 { 1 } else { 0 };
+                let clean = index.read_section_range(
+                    &mut cur,
+                    "w",
+                    clean_block * cb_elems..(clean_block + 1) * cb_elems,
+                );
+                prop_assert!(clean.is_ok());
+            }
+        }
+    }
+
     #[test]
     fn byte_flip_fuzz_never_panics() {
-        let c = sample();
-        let mut buf = Vec::new();
-        c.write_to(&mut buf).unwrap();
-        for i in 0..buf.len() {
-            let mut mutated = buf.clone();
-            mutated[i] ^= 0xFF;
-            // Any single corrupt byte must produce Ok or a typed error —
-            // never a panic or an absurd allocation.
-            let _ = Container::read_from(&mut mutated.as_slice());
-            let _ = ContainerIndex::read_from(&mut std::io::Cursor::new(&mutated));
+        for writer in [Container::write_to, Container::write_to_v1] {
+            let c = sample();
+            let mut buf = Vec::new();
+            writer(&c, &mut buf).unwrap();
+            for i in 0..buf.len() {
+                let mut mutated = buf.clone();
+                mutated[i] ^= 0xFF;
+                // Any single corrupt byte must produce Ok or a typed error —
+                // never a panic or an absurd allocation.
+                let _ = Container::read_from(&mut mutated.as_slice());
+                let _ = ContainerIndex::read_from(&mut std::io::Cursor::new(&mutated));
+            }
         }
     }
 }

@@ -63,6 +63,14 @@ pub fn crc32c(bytes: &[u8]) -> u32 {
     h.finish()
 }
 
+/// Per-block checksums: one CRC-32C per `block`-byte chunk of `data` (the
+/// final chunk may be short; empty data yields an empty table). This is
+/// the checksum granularity that lets a reader verify an arbitrary byte
+/// range of a payload without hashing the rest of it.
+pub fn crc32c_blocks(data: &[u8], block: usize) -> Vec<u32> {
+    data.chunks(block.max(1)).map(crc32c).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +91,16 @@ mod tests {
         h.update(&data[..100]);
         h.update(&data[100..]);
         assert_eq!(h.finish(), crc32c(&data));
+    }
+
+    #[test]
+    fn block_table_matches_oneshot_per_chunk() {
+        let data: Vec<u8> = (0..=255).cycle().take(1000).collect();
+        let table = crc32c_blocks(&data, 256);
+        assert_eq!(table.len(), 4, "ceil(1000/256) blocks");
+        assert_eq!(table[0], crc32c(&data[..256]));
+        assert_eq!(table[3], crc32c(&data[768..]), "short final block");
+        assert!(crc32c_blocks(&[], 256).is_empty());
     }
 
     #[test]

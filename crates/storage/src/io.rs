@@ -138,6 +138,16 @@ impl<R: Read> Read for Throttled<R> {
     }
 }
 
+/// Seeking repositions the stream without transferring data, so it passes
+/// through unmetered — only bytes actually read or written count against
+/// the simulated bandwidth. This is what lets range reads seek across the
+/// parts of a section they skip.
+impl<T: std::io::Seek> std::io::Seek for Throttled<T> {
+    fn seek(&mut self, pos: std::io::SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}
+
 /// Deterministic fault injection for crash-consistency testing.
 ///
 /// The commit protocol in [`crate::commit`] registers a *kill point* at

@@ -53,7 +53,7 @@ pub fn atom_dir(universal_dir: &Path, param: &str) -> PathBuf {
 }
 
 /// The three files of an atom checkpoint (paper §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomFile {
     /// fp32 master weights.
     Fp32,

@@ -18,7 +18,9 @@ pub mod io;
 pub mod layout;
 pub mod retention;
 
-pub use container::{Container, ContainerIndex, Section, SectionInfo};
+pub use container::{
+    read_section_range, Container, ContainerIndex, Section, SectionInfo, RANGE_CRC_BLOCK,
+};
 pub use io::Device;
 pub use retention::{prune, InFlightGuard, PruneReport, RetentionPolicy};
 

@@ -8,6 +8,7 @@ use std::path::{Path, PathBuf};
 
 use ucp_collectives::Cluster;
 use ucp_core::convert::{convert_to_universal, ConvertOptions, ConvertStats};
+use ucp_core::load::{LoadOptions, LoadSession};
 use ucp_core::manifest::UcpManifest;
 
 use crate::engine::{RankEngine, TrainConfig};
@@ -88,6 +89,10 @@ pub struct RunResult {
 pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
     plan.config.validate().map_err(TrainError::Config)?;
     let world = plan.config.parallel.world_size();
+    // One load session for the whole fan-out: ranks needing the same atom
+    // ranges (all DP replicas of a (tp, pp) slice) share the cached bytes
+    // instead of each re-reading them.
+    let session = open_resume_session(&plan.resume)?;
     let results = Cluster::run(world, |comm| -> Result<RunResult, String> {
         let t_load = std::time::Instant::now();
         let mut engine = match &plan.resume {
@@ -95,9 +100,11 @@ pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
             ResumeMode::Native { dir, step } => {
                 RankEngine::resume_native(plan.config.clone(), comm, dir, *step)
             }
-            ResumeMode::Universal { dir, step } => {
-                RankEngine::resume_universal(plan.config.clone(), comm, dir, *step)
-            }
+            ResumeMode::Universal { .. } => RankEngine::resume_universal_session(
+                plan.config.clone(),
+                comm,
+                session.as_ref().expect("session opened for Universal"),
+            ),
         }
         .map_err(|e| e.to_string())?;
         let load_secs = t_load.elapsed().as_secs_f64();
@@ -142,6 +149,7 @@ pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
 pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
     plan.config.validate().map_err(TrainError::Config)?;
     let world = plan.config.parallel.world_size();
+    let session = open_resume_session(&plan.resume)?;
     let results = Cluster::run(world, |comm| -> Result<RunResult, String> {
         let t_load = std::time::Instant::now();
         let mut engine = match &plan.resume {
@@ -149,9 +157,11 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
             ResumeMode::Native { dir, step } => {
                 RankEngine::resume_native(plan.config.clone(), comm, dir, *step)
             }
-            ResumeMode::Universal { dir, step } => {
-                RankEngine::resume_universal(plan.config.clone(), comm, dir, *step)
-            }
+            ResumeMode::Universal { .. } => RankEngine::resume_universal_session(
+                plan.config.clone(),
+                comm,
+                session.as_ref().expect("session opened for Universal"),
+            ),
         }
         .map_err(|e| e.to_string())?;
         let load_secs = t_load.elapsed().as_secs_f64();
@@ -211,6 +221,18 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
     });
 
     collect_results(results)
+}
+
+/// Open the shared [`LoadSession`] a universal resume needs (`None` for
+/// the other modes). Opening it before the cluster fan-out is what lets
+/// every rank load through one atom cache.
+fn open_resume_session(resume: &ResumeMode) -> Result<Option<LoadSession>, TrainError> {
+    match resume {
+        ResumeMode::Universal { dir, step } => Ok(Some(
+            LoadSession::open(dir, *step, LoadOptions::default()).map_err(TrainError::Ucp)?,
+        )),
+        _ => Ok(None),
+    }
 }
 
 /// Merge per-rank results, surfacing the most informative error.

@@ -12,13 +12,14 @@
 //! all-reduce + slice bitwise).
 
 use std::path::Path;
+use std::sync::Arc;
 
 use ucp_collectives::{Comm, Group};
 use ucp_core::checkpoint::{
     load_optim_states, save_model_states, save_model_states_durable, save_optim_states,
     save_optim_states_durable, CommonState, OptimShard,
 };
-use ucp_core::load::load_universal;
+use ucp_core::load::{LoadOptions, LoadSession};
 use ucp_model::{GradStore, ModelConfig, Partition, Stage, StageIn, StageLayout, StageOut};
 use ucp_optim::{clip_scale, AdamConfig, AdamState, LrSchedule};
 use ucp_parallel::{FlatLayout, ParallelConfig, RankCoord};
@@ -273,12 +274,29 @@ impl<'a> RankEngine<'a> {
     }
 
     /// Resume from a *universal* checkpoint under an arbitrary new
-    /// strategy (the headline capability).
+    /// strategy (the headline capability). Opens a private load session;
+    /// when several ranks resume together, share one with
+    /// [`RankEngine::resume_universal_session`] so they share an atom
+    /// cache.
     pub fn resume_universal(
         cfg: TrainConfig,
         comm: &'a Comm,
         base: &Path,
         step: u64,
+    ) -> Result<RankEngine<'a>, TrainError> {
+        let session =
+            LoadSession::open(base, step, LoadOptions::default()).map_err(TrainError::Ucp)?;
+        Self::resume_universal_session(cfg, comm, &session)
+    }
+
+    /// [`RankEngine::resume_universal`] against an already-open
+    /// [`LoadSession`]. Ranks loading through the same session read each
+    /// atom byte range from disk once and serve the rest from the shared
+    /// cache.
+    pub fn resume_universal_session(
+        cfg: TrainConfig,
+        comm: &'a Comm,
+        session: &LoadSession,
     ) -> Result<RankEngine<'a>, TrainError> {
         cfg.validate().map_err(TrainError::Config)?;
         let coord = cfg.parallel.coord(comm.rank());
@@ -295,9 +313,10 @@ impl<'a> RankEngine<'a> {
             sp: 0,
             tp: coord.tp,
         });
-        let (manifest, state) =
-            load_universal(base, step, &plan_parallel, plan_rank, cfg.alignment)
-                .map_err(TrainError::Ucp)?;
+        let manifest = session.manifest().clone();
+        let state = session
+            .load_rank(&plan_parallel, plan_rank, cfg.alignment)
+            .map_err(TrainError::Ucp)?;
         if manifest.model != cfg.model {
             return Err(TrainError::Config(
                 "model architecture differs from universal checkpoint".into(),
@@ -308,7 +327,7 @@ impl<'a> RankEngine<'a> {
         let rng = DetRng::new(cfg.seed);
         let mut stage = Stage::new(cfg.model.clone(), Self::stage_layout(&cfg, coord), &rng);
         for (name, t) in &state.model_params {
-            stage.params.insert(name.clone(), t.cast(cfg.dtype));
+            stage.params.insert(name.as_ref(), t.cast(cfg.dtype));
         }
         let adam = AdamState {
             exp_avg: state.exp_avg,
@@ -320,7 +339,7 @@ impl<'a> RankEngine<'a> {
             comm,
             coord,
             stage,
-            layout: state.layout,
+            layout: Arc::try_unwrap(state.layout).unwrap_or_else(|a| (*a).clone()),
             master: state.fp32,
             adam,
             iteration: manifest.iteration,

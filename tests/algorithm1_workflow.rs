@@ -150,7 +150,10 @@ fn reshard_roundtrip_is_bitwise_exact() {
                 let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT).unwrap();
                 let state = load_with_plan(&universal, &plan).unwrap();
                 for (name, t) in state.model_params {
-                    per_param_shards.entry(name).or_default().push(t);
+                    per_param_shards
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(t);
                 }
             }
             for (name, shards) in per_param_shards {

@@ -1,0 +1,237 @@
+//! The fragment-ranged load path: byte-range reads must be
+//! indistinguishable from whole-file reads (bitwise), fall back cleanly on
+//! v1 containers, share bytes across DP replicas through the session atom
+//! cache, and stay fsck-clean on both container versions.
+
+use std::sync::Mutex;
+
+use ucp_repro::core::convert::{convert_to_universal, ConvertOptions};
+use ucp_repro::core::fsck::{fsck, FsckOptions};
+use ucp_repro::core::load::{
+    gen_ucp_metadata, load_with_plan_opts, LoadOptions, LoadSession, RankState, DEFAULT_ALIGNMENT,
+};
+use ucp_repro::model::ModelConfig;
+use ucp_repro::parallel::{ParallelConfig, ZeroStage};
+use ucp_repro::storage::{layout, Container};
+use ucp_repro::tensor::DType;
+use ucp_repro::trainer::{train_run, ResumeMode, TrainConfig, TrainPlan};
+
+/// The cache-accounting test reads the global telemetry recorder, so the
+/// tests in this binary run one at a time.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ucp_it_ranged_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Train, checkpoint at step 2, and convert; returns the base dir.
+fn universal_checkpoint(parallel: ParallelConfig, name: &str, dtype: DType) -> std::path::PathBuf {
+    let dir = scratch(name);
+    let mut cfg = TrainConfig::quick(ModelConfig::gpt3_tiny(), parallel, 71);
+    cfg.dtype = dtype;
+    train_run(&TrainPlan {
+        config: cfg,
+        until_iteration: 2,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(2),
+        checkpoint_dir: Some(dir.clone()),
+    })
+    .unwrap();
+    convert_to_universal(&dir, 2, &ConvertOptions::default()).unwrap();
+    dir
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_states_identical(a: &RankState, b: &RankState, ctx: &str) {
+    assert_eq!(bits(&a.fp32), bits(&b.fp32), "{ctx}: fp32 chunk differs");
+    assert_eq!(bits(&a.exp_avg), bits(&b.exp_avg), "{ctx}: exp_avg differs");
+    assert_eq!(
+        bits(&a.exp_avg_sq),
+        bits(&b.exp_avg_sq),
+        "{ctx}: exp_avg_sq differs"
+    );
+    assert_eq!(a.model_params.len(), b.model_params.len(), "{ctx}");
+    for ((na, ta), (nb, tb)) in a.model_params.iter().zip(&b.model_params) {
+        assert_eq!(na, nb, "{ctx}: param order differs");
+        assert!(ta.bitwise_eq(tb), "{ctx}: model param {na} differs");
+    }
+}
+
+/// Load every rank of `target` both ways and demand bitwise equality.
+fn check_equivalence(base: &std::path::Path, target: ParallelConfig) {
+    let universal = layout::universal_dir(base, 2);
+    let manifest = ucp_repro::core::manifest::UcpManifest::load(&universal).unwrap();
+    for rank in 0..target.world_size() {
+        let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT).unwrap();
+        let ranged = load_with_plan_opts(
+            &universal,
+            &plan,
+            &LoadOptions {
+                ranged: true,
+                ..LoadOptions::with_workers(2)
+            },
+        )
+        .unwrap();
+        let full = load_with_plan_opts(
+            &universal,
+            &plan,
+            &LoadOptions {
+                ranged: false,
+                ..LoadOptions::with_workers(2)
+            },
+        )
+        .unwrap();
+        let ctx = format!("target {} rank {rank}", target.label());
+        assert_states_identical(&ranged, &full, &ctx);
+    }
+}
+
+#[test]
+fn ranged_reads_match_whole_file_reads_across_reshard_matrix() {
+    let _g = serial();
+    let source = ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1);
+    let dir = universal_checkpoint(source, "equiv", DType::F32);
+    for target in [
+        ParallelConfig::new(1, 1, 1, 1, ZeroStage::Zero1),
+        ParallelConfig::new(1, 1, 4, 1, ZeroStage::Zero2),
+        ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1),
+        ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1),
+        ParallelConfig::new(4, 1, 1, 1, ZeroStage::Zero3),
+        ParallelConfig::new(1, 4, 1, 1, ZeroStage::Zero1),
+    ] {
+        check_equivalence(&dir, target);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ranged_reads_match_under_reduced_precision_training() {
+    // A bf16 training run produces the same fp32 master/optimizer atoms;
+    // the ranged path must agree with the full path there too, and the
+    // checkpoint must actually resume training.
+    let _g = serial();
+    let source = ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1);
+    let dir = universal_checkpoint(source, "bf16", DType::BF16);
+    check_equivalence(&dir, ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1));
+    check_equivalence(&dir, ParallelConfig::new(4, 1, 1, 1, ZeroStage::Zero1));
+
+    let mut target_cfg = TrainConfig::quick(
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero2),
+        71,
+    );
+    target_cfg.dtype = DType::F16;
+    let run = train_run(&TrainPlan {
+        config: target_cfg,
+        until_iteration: 4,
+        resume: ResumeMode::Universal {
+            dir: dir.clone(),
+            step: 2,
+        },
+        checkpoint_every: None,
+        checkpoint_dir: None,
+    })
+    .unwrap();
+    assert!(run.losses.iter().all(|(_, l)| l.is_finite()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Rewrite every `.ucpt` file under `dir` as a version-1 container
+/// (whole-payload CRC, no block table), returning how many were converted.
+fn downgrade_containers_to_v1(dir: &std::path::Path) -> usize {
+    let mut converted = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            converted += downgrade_containers_to_v1(&path);
+        } else if path.extension().is_some_and(|e| e == "ucpt") {
+            let c = Container::read_file(&path).unwrap();
+            let mut bytes = Vec::new();
+            c.write_to_v1(&mut bytes).unwrap();
+            std::fs::write(&path, bytes).unwrap();
+            converted += 1;
+        }
+    }
+    converted
+}
+
+#[test]
+fn v1_atoms_fall_back_to_whole_section_reads() {
+    let _g = serial();
+    let source = ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1);
+    let dir = universal_checkpoint(source, "v1compat", DType::F32);
+
+    // The freshly converted (v2) tree is fsck-clean.
+    let report = fsck(&dir, &FsckOptions { repair: false }).unwrap();
+    assert!(report.clean(), "v2 tree dirty: {:?}", report.problems);
+    assert!(report.files_verified > 0);
+
+    // Capture the expected state, then downgrade every atom to v1.
+    let universal = layout::universal_dir(&dir, 2);
+    let manifest = ucp_repro::core::manifest::UcpManifest::load(&universal).unwrap();
+    let target = ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1);
+    let before: Vec<RankState> = (0..target.world_size())
+        .map(|rank| {
+            let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT).unwrap();
+            load_with_plan_opts(&universal, &plan, &LoadOptions::default()).unwrap()
+        })
+        .collect();
+    let converted = downgrade_containers_to_v1(&universal);
+    assert!(converted > 0, "test premise: some atoms to downgrade");
+
+    // Ranged loads transparently fall back to whole-section reads on v1
+    // and produce the identical state; fsck still verifies the tree.
+    for (rank, expected) in before.iter().enumerate() {
+        let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT).unwrap();
+        let loaded = load_with_plan_opts(&universal, &plan, &LoadOptions::default()).unwrap();
+        assert_states_identical(&loaded, expected, &format!("v1 fallback rank {rank}"));
+        check_equivalence(&dir, target);
+    }
+    let report = fsck(&dir, &FsckOptions { repair: false }).unwrap();
+    assert!(report.clean(), "v1 tree dirty: {:?}", report.problems);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn session_cache_shares_bytes_across_dp_replicas() {
+    let _g = serial();
+    let source = ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1);
+    let dir = universal_checkpoint(source, "cache", DType::F32);
+
+    let rec = ucp_repro::telemetry::global();
+    rec.reset();
+    rec.set_enabled(true);
+    let session = LoadSession::open(&dir, 2, LoadOptions::default()).unwrap();
+    let target = ParallelConfig::new(1, 1, 4, 1, ZeroStage::Zero1);
+    for rank in 0..target.world_size() {
+        session.load_rank(&target, rank, DEFAULT_ALIGNMENT).unwrap();
+    }
+    let report = rec.report("ranged_load_test");
+    rec.set_enabled(false);
+
+    let counter = |name: &str| report.counter(name).unwrap_or(0);
+    let (read, needed) = (counter("load/bytes_read"), counter("load/bytes_needed"));
+    assert!(counter("load/cache_misses") > 0, "first replica must read");
+    assert!(
+        counter("load/cache_hits") > 0,
+        "later DP replicas must hit the session cache"
+    );
+    assert!(counter("load/cache_hit_bytes") > 0);
+    assert!(read > 0 && needed > 0);
+    assert!(
+        read < needed,
+        "cache sharing should make bytes read ({read}) less than bytes \
+         needed ({needed}) when four DP replicas load the same slice"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

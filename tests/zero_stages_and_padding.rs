@@ -96,7 +96,7 @@ fn parameters_straddle_chunks_at_high_dp() {
         let loaded = state
             .model_params
             .iter()
-            .find(|(n, _)| n == &slot.name)
+            .find(|(n, _)| n.as_ref() == slot.name)
             .map(|(_, t)| t)
             .unwrap();
         assert_eq!(
