@@ -45,6 +45,18 @@ USAGE:
       straggler ranking; --json emits that analysis as JSON.
   ucp trace --trace-in <trace.json> [--summary] [--json]
       Analyze a previously recorded trace instead of running a workload.
+  ucp chaos --dir <work-dir> --model <preset> --tp T --pp P --dp D [--sp S]
+      [--iters I] [--save-every K] [--seed S] [--kill-steps 2,3,4]
+      [--kinds panic,hang] [--targets 1x1x2;1x1x1] [--deadline-ms MS]
+      [--report-out <path>]
+      Sweep a rank-kill schedule: for every kill step x fault kind, train
+      under the source topology, kill a rank at that step, and let the
+      supervisor resume from the latest committed checkpoint under the
+      next degraded topology (--targets, `TPxPPxDP` triples separated by
+      ';'). Each cell checks the resumed loss trajectory is bitwise-equal
+      to a fault-free run from the same checkpoint and that `fsck` stays
+      clean. --report-out writes a ucp-chaos-v1 JSON report; exits
+      non-zero if any cell fails to recover or diverges.
   ucp help
       Show this message.
 
@@ -113,6 +125,19 @@ pub struct Parsed {
     pub no_repair: bool,
     /// `--json` (fsck): print the machine-readable report.
     pub json: bool,
+    /// `--kill-steps` (chaos): comma-separated step boundaries to kill at.
+    pub kill_steps: Option<String>,
+    /// `--kinds` (chaos): comma-separated fault kinds (`panic`, `hang`,
+    /// `slow:<ms>`).
+    pub kinds: Option<String>,
+    /// `--targets` (chaos): `;`-separated degraded `TPxPPxDP[xSP]`
+    /// topologies.
+    pub targets: Option<String>,
+    /// `--deadline-ms` (chaos): collective watchdog deadline.
+    pub deadline_ms: Option<u64>,
+    /// `--report-out` (chaos): write the machine-readable chaos report
+    /// here.
+    pub report_out: Option<PathBuf>,
 }
 
 /// Parse a flag list.
@@ -157,6 +182,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--no-ranged-load" => p.no_ranged_load = true,
             "--no-repair" => p.no_repair = true,
             "--json" => p.json = true,
+            "--kill-steps" => p.kill_steps = Some(value(&mut i)?),
+            "--kinds" => p.kinds = Some(value(&mut i)?),
+            "--targets" => p.targets = Some(value(&mut i)?),
+            "--deadline-ms" => p.deadline_ms = Some(parse_num(&value(&mut i)?)?),
+            "--report-out" => p.report_out = Some(PathBuf::from(value(&mut i)?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -263,6 +293,30 @@ mod tests {
         assert_eq!(p.trace_in.unwrap(), PathBuf::from("/tmp/in.json"));
         assert!(p.summary);
         assert!(!parse(&sv(&[])).unwrap().summary);
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let p = parse(&sv(&[
+            "--dir",
+            "/c",
+            "--kill-steps",
+            "2,3,4",
+            "--kinds",
+            "panic,hang",
+            "--targets",
+            "1x1x2;1x1x1",
+            "--deadline-ms",
+            "1500",
+            "--report-out",
+            "/tmp/chaos.json",
+        ]))
+        .unwrap();
+        assert_eq!(p.kill_steps.as_deref(), Some("2,3,4"));
+        assert_eq!(p.kinds.as_deref(), Some("panic,hang"));
+        assert_eq!(p.targets.as_deref(), Some("1x1x2;1x1x1"));
+        assert_eq!(p.deadline_ms, Some(1500));
+        assert_eq!(p.report_out.unwrap(), PathBuf::from("/tmp/chaos.json"));
     }
 
     #[test]

@@ -12,6 +12,8 @@ use ucp_parallel::{ParallelConfig, ZeroStage};
 use ucp_storage::{layout, retention, Container, Device};
 use ucp_trainer::{train_run, train_run_overlapped, ResumeMode, TrainConfig, TrainPlan};
 
+use serde_json::Value;
+
 use crate::args::Parsed;
 use crate::resolve_step;
 
@@ -712,5 +714,301 @@ pub fn diff(p: &Parsed) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{differing} differences found"))
+    }
+}
+
+/// `ucp chaos`: sweep a rank-kill schedule and verify elastic recovery.
+///
+/// Every cell of the (kill step × fault kind × degraded target) matrix
+/// trains fresh under the source topology, kills the highest rank at the
+/// scheduled step, and lets the supervisor resume from the latest
+/// committed checkpoint under the cell's degraded topology. The cell
+/// passes when the run completes, the resumed loss trajectory is
+/// bitwise-equal to a fault-free run from the same checkpoint, and
+/// `fsck` finds the tree clean.
+pub fn chaos(p: &Parsed) -> Result<(), String> {
+    use std::time::{Duration, Instant};
+    use ucp_trainer::supervisor::{FaultKind, RankFault, SupervisorOptions};
+
+    let dir = require_dir(p)?;
+    let source = target_parallel(p)?;
+    let model = model_preset(p.model.as_deref())?;
+    model.validate(source.tp)?;
+    if source.world_size() < 2 {
+        return Err("chaos needs a source topology with at least 2 ranks".into());
+    }
+    let seed = p.seed.unwrap_or(42);
+    let iters = p.iters.unwrap_or(6);
+    let save_every = p.save_every.unwrap_or(2).max(1);
+    let deadline = Duration::from_millis(p.deadline_ms.unwrap_or(2000));
+
+    let kill_steps: Vec<u64> = match p.kill_steps.as_deref() {
+        None => vec![3],
+        Some(spec) => spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().map_err(|_| format!("bad kill step '{s}'")))
+            .collect::<Result<_, _>>()?,
+    };
+    let kinds: Vec<(String, FaultKind)> = p
+        .kinds
+        .as_deref()
+        .unwrap_or("panic,hang")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s {
+            "panic" => Ok((s.to_string(), FaultKind::Panic)),
+            "hang" => Ok((s.to_string(), FaultKind::Hang)),
+            _ => match s.strip_prefix("slow:") {
+                Some(ms) => ms
+                    .parse()
+                    .map(|ms| (s.to_string(), FaultKind::SlowMs(ms)))
+                    .map_err(|_| format!("bad slow ms in '{s}'")),
+                None => Err(format!("unknown fault kind '{s}'")),
+            },
+        })
+        .collect::<Result<_, _>>()?;
+    let targets: Vec<ParallelConfig> = match p.targets.as_deref() {
+        None => vec![source],
+        Some(spec) => spec
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(parse_topology)
+            .collect::<Result<_, _>>()?,
+    };
+    for t in &targets {
+        model.validate(t.tp)?;
+    }
+
+    metrics_begin(p);
+    trace_begin(p);
+    println!(
+        "chaos sweep: source {}, {} kill step(s) x {} kind(s) x {} target(s), deadline {:?}",
+        source.label(),
+        kill_steps.len(),
+        kinds.len(),
+        targets.len(),
+        deadline
+    );
+
+    let mut cells = Vec::new();
+    let mut failed = 0usize;
+    for &step in &kill_steps {
+        for (kind_label, kind) in &kinds {
+            for (ti, &target) in targets.iter().enumerate() {
+                let cell_dir = dir.join(format!("cell_s{step}_{kind_label}_t{ti}"));
+                let _ = std::fs::remove_dir_all(&cell_dir);
+                let kill_rank = source.world_size() - 1;
+                let plan = ucp_trainer::TrainPlan {
+                    config: TrainConfig::quick(model.clone(), source, seed),
+                    until_iteration: iters,
+                    resume: ResumeMode::Fresh,
+                    checkpoint_every: Some(save_every),
+                    checkpoint_dir: Some(cell_dir.clone()),
+                };
+                let opts = SupervisorOptions {
+                    deadline,
+                    max_restarts: 2,
+                    ladder: vec![target],
+                    faults: vec![RankFault {
+                        rank: kill_rank,
+                        step,
+                        kind: *kind,
+                    }],
+                };
+                let t0 = Instant::now();
+                let cell = match ucp_trainer::supervise(&plan, &opts) {
+                    Err(e) => {
+                        failed += 1;
+                        ChaosCell {
+                            kill_step: step,
+                            kind: kind_label.clone(),
+                            target: target.label(),
+                            survived: false,
+                            error: Some(e.to_string()),
+                            ..ChaosCell::default()
+                        }
+                    }
+                    Ok(report) => {
+                        let restarts = report.restarts.len();
+                        let resume_step = report.restarts.first().and_then(|r| r.resume_step);
+                        // A slow rank under the deadline must NOT restart;
+                        // a kill must recover in exactly one cycle.
+                        let expect_restarts = usize::from(!matches!(kind, FaultKind::SlowMs(_)));
+                        // Fault-free reference from the same checkpoint
+                        // under the topology the final segment ran with.
+                        let final_parallel = if restarts > 0 { target } else { source };
+                        let reference = ucp_trainer::train_run(&ucp_trainer::TrainPlan {
+                            config: TrainConfig::quick(model.clone(), final_parallel, seed),
+                            until_iteration: iters,
+                            resume: match resume_step {
+                                Some(s) => ResumeMode::Universal {
+                                    dir: cell_dir.clone(),
+                                    step: s,
+                                },
+                                None => ResumeMode::Fresh,
+                            },
+                            checkpoint_every: None,
+                            checkpoint_dir: None,
+                        })
+                        .map_err(|e| format!("reference run: {e}"))?;
+                        let resumed = &report.final_segment().losses;
+                        let bitwise_equal =
+                            resumed.len() == reference.losses.len()
+                                && resumed.iter().zip(&reference.losses).all(
+                                    |((ia, la), (ib, lb))| ia == ib && la.to_bits() == lb.to_bits(),
+                                );
+                        let fsck_clean = ucp_core::fsck::fsck(
+                            &cell_dir,
+                            &ucp_core::fsck::FsckOptions { repair: false },
+                        )
+                        .map(|r| r.clean())
+                        .unwrap_or(false);
+                        let ok = restarts == expect_restarts && bitwise_equal && fsck_clean;
+                        if !ok {
+                            failed += 1;
+                        }
+                        ChaosCell {
+                            kill_step: step,
+                            kind: kind_label.clone(),
+                            target: target.label(),
+                            survived: true,
+                            error: None,
+                            restarts,
+                            resume_step,
+                            lost_steps: report.restarts.first().map(|r| r.lost_steps),
+                            recovery_ms: report.restarts.first().map(|r| r.recovery_ms),
+                            bitwise_equal,
+                            fsck_clean,
+                            ok,
+                        }
+                    }
+                };
+                println!(
+                    "cell step={step} kind={kind_label} target={}: {}",
+                    target.label(),
+                    if cell.ok {
+                        format!(
+                            "ok (resumed from {:?}, {:.1}s)",
+                            cell.resume_step,
+                            t0.elapsed().as_secs_f64()
+                        )
+                    } else {
+                        format!("FAILED: {}", to_json_or_debug(&cell.to_value()))
+                    }
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let report = Value::Object(vec![
+        ("schema".into(), Value::String("ucp-chaos-v1".into())),
+        (
+            "model".into(),
+            match &p.model {
+                Some(m) => Value::String(m.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("source".into(), Value::String(source.label())),
+        ("iters".into(), Value::UInt(iters)),
+        ("save_every".into(), Value::UInt(save_every)),
+        (
+            "deadline_ms".into(),
+            Value::UInt(deadline.as_millis() as u64),
+        ),
+        (
+            "cells".into(),
+            Value::Array(cells.iter().map(ChaosCell::to_value).collect()),
+        ),
+        ("total".into(), Value::UInt(cells.len() as u64)),
+        ("failed".into(), Value::UInt(failed as u64)),
+    ]);
+    if let Some(path) = &p.report_out {
+        let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        ucp_storage::commit::atomic_write(path, text.as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("chaos report written to {}", path.display());
+    }
+    trace_end(p)?;
+    metrics_end(p, "chaos")?;
+    if failed > 0 {
+        return Err(format!("{failed}/{} chaos cell(s) failed", cells.len()));
+    }
+    println!(
+        "all {} chaos cell(s) recovered and match bitwise",
+        cells.len()
+    );
+    Ok(())
+}
+
+/// One cell of the chaos matrix, reported as `ucp-chaos-v1` JSON.
+#[derive(Debug, Default)]
+struct ChaosCell {
+    kill_step: u64,
+    kind: String,
+    target: String,
+    survived: bool,
+    error: Option<String>,
+    restarts: usize,
+    resume_step: Option<u64>,
+    lost_steps: Option<u64>,
+    recovery_ms: Option<u64>,
+    bitwise_equal: bool,
+    fsck_clean: bool,
+    ok: bool,
+}
+
+impl ChaosCell {
+    fn to_value(&self) -> Value {
+        let opt_u64 = |v: Option<u64>| match v {
+            Some(n) => Value::UInt(n),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("kill_step".into(), Value::UInt(self.kill_step)),
+            ("kind".into(), Value::String(self.kind.clone())),
+            ("target".into(), Value::String(self.target.clone())),
+            ("survived".into(), Value::Bool(self.survived)),
+            (
+                "error".into(),
+                match &self.error {
+                    Some(e) => Value::String(e.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("restarts".into(), Value::UInt(self.restarts as u64)),
+            ("resume_step".into(), opt_u64(self.resume_step)),
+            ("lost_steps".into(), opt_u64(self.lost_steps)),
+            ("recovery_ms".into(), opt_u64(self.recovery_ms)),
+            ("bitwise_equal".into(), Value::Bool(self.bitwise_equal)),
+            ("fsck_clean".into(), Value::Bool(self.fsck_clean)),
+            ("ok".into(), Value::Bool(self.ok)),
+        ])
+    }
+}
+
+fn to_json_or_debug(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|e| format!("<unprintable: {e}>"))
+}
+
+/// Parse a `TPxPPxDP[xSP]` topology triple like `1x1x2`.
+fn parse_topology(spec: &str) -> Result<ParallelConfig, String> {
+    let parts: Vec<usize> = spec
+        .split('x')
+        .map(|n| {
+            n.trim()
+                .parse()
+                .map_err(|_| format!("bad topology '{spec}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    match parts.as_slice() {
+        [tp, pp, dp] => Ok(ParallelConfig::new(*tp, *pp, *dp, 1, ZeroStage::Zero1)),
+        [tp, pp, dp, sp] => Ok(ParallelConfig::new(*tp, *pp, *dp, *sp, ZeroStage::Zero1)),
+        _ => Err(format!("topology '{spec}' must be TPxPPxDP or TPxPPxDPxSP")),
     }
 }

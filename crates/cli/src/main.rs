@@ -8,6 +8,8 @@
 //! ucp train   --dir <ckpt-base> --model <preset> --tp T --pp P --dp D [--iters I]
 //! ucp inspect --dir <ckpt-base> [--step N]
 //! ucp plan    --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--zero Z] --rank R
+//! ucp chaos   --dir <work-dir> --model <preset> --tp T --pp P --dp D
+//!             [--kill-steps 2,3,4] [--kinds panic,hang] [--targets 1x1x2;1x1x1]
 //! ```
 //!
 //! `convert`, `load`, and `train` accept `--metrics-out <path>` to dump a
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "spec" => commands::spec(&parsed),
         "diff" => commands::diff(&parsed),
         "trace" => commands::trace(&parsed),
+        "chaos" => commands::chaos(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             return ExitCode::SUCCESS;

@@ -1,14 +1,86 @@
 //! Cluster construction: spawn one thread per rank and wire the fabric.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
 use crossbeam::channel::unbounded;
 
-use crate::comm::{Comm, Payload};
+use crate::comm::{ClusterState, Comm, Payload};
+
+/// Fallback watchdog deadline when neither [`ClusterOptions`] nor the
+/// `UCP_COMM_DEADLINE_MS` environment variable says otherwise. Generous on
+/// purpose: a healthy collective on the in-process fabric completes in
+/// microseconds, so this only ever fires on a genuinely hung rank.
+pub const DEFAULT_COMM_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Tuning knobs for [`Cluster::try_run_with`].
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// How long a blocking receive may wait on one peer before the
+    /// watchdog declares it hung ([`crate::CommError::Timeout`]).
+    pub deadline: Duration,
+}
+
+impl Default for ClusterOptions {
+    /// Deadline from `UCP_COMM_DEADLINE_MS` when set (parsed once per
+    /// process), else [`DEFAULT_COMM_DEADLINE`].
+    fn default() -> ClusterOptions {
+        static ENV_MS: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+        let ms = ENV_MS.get_or_init(|| {
+            std::env::var("UCP_COMM_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        });
+        ClusterOptions {
+            deadline: ms.map_or(DEFAULT_COMM_DEADLINE, Duration::from_millis),
+        }
+    }
+}
+
+/// A structured account of the rank whose failure took a cluster down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFailure {
+    /// The first rank marked dead — the root cause, not a casualty of the
+    /// poison cascade.
+    pub rank: usize,
+    /// That rank's last step reported via [`Comm::set_step`] (0 if never
+    /// set).
+    pub step: u64,
+    /// The panic payload, stringified (`"<non-string panic payload>"` for
+    /// exotic payload types).
+    pub payload: String,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} failed at step {}: {}",
+            self.rank, self.step, self.payload
+        )
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// An in-process cluster of SPMD ranks.
 ///
 /// [`Cluster::run`] stands in for `mpirun`/`torchrun`: it spawns
 /// `world_size` threads, each executing `body` with its own [`Comm`], and
-/// collects the per-rank return values in rank order.
+/// collects the per-rank return values in rank order. [`Cluster::try_run`]
+/// is the supervised form: a rank panic comes back as a structured
+/// [`RankFailure`] instead of tearing the caller down.
 pub struct Cluster;
 
 impl Cluster {
@@ -17,14 +89,51 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics if any rank's thread panics (the panic is propagated with the
-    /// rank id), mirroring a fatal NCCL abort taking down the job.
+    /// Panics if any rank's thread panics. The original panic payload and
+    /// the failing rank are preserved in the propagated message, mirroring
+    /// a fatal NCCL abort taking down the job.
     pub fn run<T, F>(world_size: usize, body: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&Comm) -> T + Send + Sync,
     {
+        match Self::try_run(world_size, body) {
+            Ok(results) => results,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// [`Cluster::try_run_with`] under default [`ClusterOptions`].
+    pub fn try_run<T, F>(world_size: usize, body: F) -> Result<Vec<T>, RankFailure>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+    {
+        Self::try_run_with(world_size, &ClusterOptions::default(), body)
+    }
+
+    /// Run `body` on `world_size` ranks; if any rank panics, return a
+    /// [`RankFailure`] naming the first failed rank, its last reported
+    /// step, and the original panic payload.
+    ///
+    /// A panicking rank is marked dead in the shared [`ClusterState`]
+    /// *before* its channels drop, and the cluster is poisoned, so peers
+    /// blocked in collectives unwind promptly with typed
+    /// [`crate::CommError::PeerDead`] / [`crate::CommError::Timeout`]
+    /// errors instead of waiting forever. All threads are joined before
+    /// this returns — teardown is complete either way.
+    pub fn try_run_with<T, F>(
+        world_size: usize,
+        opts: &ClusterOptions,
+        body: F,
+    ) -> Result<Vec<T>, RankFailure>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Send + Sync,
+    {
         assert!(world_size > 0, "cluster needs at least one rank");
+
+        let state = Arc::new(ClusterState::new(world_size, opts.deadline));
 
         // Channel matrix: fabric[src][dst] is the (sender, receiver) pair
         // carrying src → dst traffic.
@@ -44,32 +153,100 @@ impl Cluster {
             .into_iter()
             .zip(receivers)
             .enumerate()
-            .map(|(rank, (tx_row, rx_row))| Comm::new(rank, world_size, tx_row, rx_row))
+            .map(|(rank, (tx_row, rx_row))| {
+                Comm::new(rank, world_size, tx_row, rx_row, state.clone())
+            })
             .collect();
 
         let body = &body;
-        crossbeam::thread::scope(|scope| {
+        let state_ref = &state;
+        let joined: Vec<(usize, std::thread::Result<T>)> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(world_size);
             for (rank, comm) in comms.drain(..).enumerate() {
+                let state = state_ref.clone();
                 handles.push((
                     rank,
                     scope.spawn(move |_| {
                         // Bind this thread to its rank's trace timeline
                         // (no-op while tracing is disabled).
                         ucp_telemetry::trace::register_rank(rank, "main");
-                        body(&comm)
+                        let out = catch_unwind(AssertUnwindSafe(|| body(&comm)));
+                        if out.is_err() {
+                            // Mark dead while `comm` is still alive: peers
+                            // must learn of the death before the channels
+                            // disconnect underneath them.
+                            state.mark_dead(rank);
+                        }
+                        drop(comm);
+                        match out {
+                            Ok(v) => Ok(v),
+                            Err(payload) => Err(payload),
+                        }
                     }),
                 ));
             }
             handles
                 .into_iter()
-                .map(|(rank, h)| match h.join() {
-                    Ok(v) => v,
-                    Err(_) => panic!("rank {rank} panicked"),
+                .map(|(rank, h)| {
+                    (
+                        rank,
+                        match h.join() {
+                            Ok(inner) => inner,
+                            // The spawn closure catches body panics, so a
+                            // join error means the harness itself died.
+                            Err(payload) => Err(payload),
+                        },
+                    )
                 })
                 .collect()
         })
-        .expect("cluster scope")
+        .expect("cluster scope");
+
+        let mut results = Vec::with_capacity(world_size);
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for (rank, outcome) in joined {
+            match outcome {
+                Ok(v) => results.push(v),
+                Err(payload) => failures.push((rank, payload_string(payload.as_ref()))),
+            }
+        }
+        if failures.is_empty() {
+            return Ok(results);
+        }
+        // Attribute the failure to the root cause, not a casualty of the
+        // poison cascade. Two signals, in order of trust:
+        //
+        // 1. a payload that is NOT a secondary comm error — a rank that
+        //    panicked on its own (e.g. an injected fault) rather than
+        //    because a peer vanished underneath it;
+        // 2. the first rank marked dead. This alone is not enough: when a
+        //    rank *hangs*, its peers trip the watchdog, panic on the typed
+        //    error, and get marked dead before the hung rank unwinds.
+        let secondary = |m: &str| {
+            m.contains("PeerDead")
+                || m.contains("Timeout")
+                || m.contains("Disconnected")
+                || m.contains("peer rank")
+                || m.contains("watchdog")
+                || m.contains("is dead")
+                || m.contains("disconnected")
+        };
+        let first_dead = state.first_dead().unwrap_or(failures[0].0);
+        let primary: Vec<&(usize, String)> =
+            failures.iter().filter(|(_, m)| !secondary(m)).collect();
+        let (rank, payload) = primary
+            .iter()
+            .find(|(r, _)| *r == first_dead)
+            .copied()
+            .or_else(|| primary.first().copied())
+            .or_else(|| failures.iter().find(|(r, _)| *r == first_dead))
+            .unwrap_or(&failures[0])
+            .clone();
+        Err(RankFailure {
+            rank,
+            step: state.step_of(rank),
+            payload,
+        })
     }
 }
 
@@ -260,5 +437,136 @@ mod tests {
                 comm.barrier(&pair).unwrap();
             }
         });
+    }
+
+    // ---- Failure handling ----------------------------------------------
+
+    use crate::CommError;
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn try_run_reports_rank_step_and_payload() {
+        let failure = Cluster::try_run(2, |comm| {
+            comm.set_step(7);
+            if comm.rank() == 1 {
+                panic!("injected fault on rank {}", comm.rank());
+            }
+            // Rank 0 blocks on its dead peer; the watchdog unwinds it.
+            let _ = comm.recv(1);
+        })
+        .unwrap_err();
+        assert_eq!(failure.rank, 1);
+        assert_eq!(failure.step, 7);
+        assert_eq!(failure.payload, "injected fault on rank 1");
+    }
+
+    #[test]
+    fn run_preserves_panic_payload_and_rank() {
+        let caught = std::panic::catch_unwind(|| {
+            Cluster::run(2, |comm| {
+                if comm.rank() == 1 {
+                    panic!("original cause");
+                }
+                let _ = comm.recv(1);
+            });
+        })
+        .unwrap_err();
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic message is a string")
+            .clone();
+        assert!(msg.contains("rank 1"), "message names the rank: {msg}");
+        assert!(
+            msg.contains("original cause"),
+            "message keeps the payload: {msg}"
+        );
+    }
+
+    #[test]
+    fn hung_peer_trips_timeout_within_deadline_on_all_blocked_ranks() {
+        let opts = ClusterOptions {
+            deadline: Duration::from_millis(200),
+        };
+        let started = Instant::now();
+        let out = Cluster::try_run_with(3, &opts, |comm| {
+            if comm.rank() == 0 {
+                // Hung leader: never joins the barrier, but stays alive
+                // until the poison broadcast reaches it.
+                while !comm.poisoned() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                return Ok(());
+            }
+            comm.barrier(&Group::world(3))
+        })
+        .expect("no rank panicked");
+        // Blocked ranks unwound well before a forever-block would show.
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "collectives did not unwind promptly"
+        );
+        assert!(out[0].is_ok());
+        let mut timeouts = 0;
+        for r in &out[1..] {
+            match r {
+                // The first watchdog to fire reports Timeout and poisons
+                // the cluster; a peer may then unwind with PeerDead.
+                Err(CommError::Timeout { peer: 0, waited_ms }) => {
+                    assert!(*waited_ms >= 200, "timeout fired early: {waited_ms} ms");
+                    timeouts += 1;
+                }
+                Err(CommError::PeerDead { peer: 0 }) => {}
+                other => panic!("expected a typed watchdog error, got {other:?}"),
+            }
+        }
+        assert!(timeouts >= 1, "at least one rank must report the timeout");
+    }
+
+    #[test]
+    fn no_collective_blocks_forever_once_a_rank_is_dead() {
+        let seen = Mutex::new(None);
+        let started = Instant::now();
+        let failure = Cluster::try_run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("dead rank");
+            }
+            // All collective shapes must unwind with a typed error, not
+            // hang: the dead mark lands before the channels disconnect.
+            let g = Group::world(2);
+            let err = comm
+                .barrier(&g)
+                .and_then(|_| comm.all_reduce_scalar(&g, 1.0).map(|_| ()))
+                .and_then(|_| comm.recv(1).map(|_| ()))
+                .unwrap_err();
+            *seen.lock().unwrap() = Some(err);
+        })
+        .unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "rank 0 blocked on a dead peer"
+        );
+        assert_eq!(failure.rank, 1);
+        assert_eq!(failure.payload, "dead rank");
+        let err = seen.lock().unwrap().clone().expect("rank 0 saw an error");
+        assert!(
+            matches!(err, CommError::PeerDead { peer: 1 }),
+            "expected PeerDead, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn slow_rank_under_deadline_is_not_a_failure() {
+        let opts = ClusterOptions {
+            deadline: Duration::from_millis(2_000),
+        };
+        let out = Cluster::try_run_with(2, &opts, |comm| {
+            if comm.rank() == 1 {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            comm.barrier(&Group::world(2))
+        })
+        .expect("no failure");
+        assert!(out.iter().all(|r| r.is_ok()));
     }
 }

@@ -1,11 +1,80 @@
 //! Per-rank communicators: point-to-point messaging and deterministic
 //! collectives built on top of it.
 
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use ucp_telemetry::trace;
 use ucp_tensor::Tensor;
 
 use crate::{group::Group, CommError, Result};
+
+/// Shared failure-detection state of one cluster: which ranks are dead,
+/// whether the cluster is poisoned, and each rank's last reported step.
+///
+/// A rank is *dead* once its body has panicked (marked before its channels
+/// drop, so peers see a typed [`CommError::PeerDead`] instead of a bare
+/// disconnect). Poison is the broadcast form of that knowledge: once set,
+/// every blocked `recv` unwinds at its next watchdog tick instead of
+/// waiting out traffic that will never come.
+pub(crate) struct ClusterState {
+    dead: Vec<AtomicBool>,
+    poisoned: AtomicBool,
+    /// First rank marked dead (`usize::MAX` = none); CAS'd once so the
+    /// root cause survives cascades.
+    first_dead: AtomicUsize,
+    /// Last step each rank reported via [`Comm::set_step`].
+    steps: Vec<AtomicU64>,
+    /// Watchdog deadline for blocking receives.
+    deadline: Duration,
+}
+
+impl ClusterState {
+    pub(crate) fn new(world_size: usize, deadline: Duration) -> ClusterState {
+        ClusterState {
+            dead: (0..world_size).map(|_| AtomicBool::new(false)).collect(),
+            poisoned: AtomicBool::new(false),
+            first_dead: AtomicUsize::new(usize::MAX),
+            steps: (0..world_size).map(|_| AtomicU64::new(0)).collect(),
+            deadline,
+        }
+    }
+
+    /// Mark `rank` dead and poison the cluster.
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::SeqCst);
+        let _ =
+            self.first_dead
+                .compare_exchange(usize::MAX, rank, Ordering::SeqCst, Ordering::SeqCst);
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::SeqCst)
+    }
+
+    /// The first rank marked dead, if any.
+    pub(crate) fn first_dead(&self) -> Option<usize> {
+        match self.first_dead.load(Ordering::SeqCst) {
+            usize::MAX => None,
+            r => Some(r),
+        }
+    }
+
+    pub(crate) fn step_of(&self, rank: usize) -> u64 {
+        self.steps[rank].load(Ordering::SeqCst)
+    }
+}
 
 /// A message payload exchanged between ranks.
 ///
@@ -74,6 +143,8 @@ pub struct Comm {
     senders: Vec<Sender<Payload>>,
     /// `receivers[src]` receives from rank `src`.
     receivers: Vec<Receiver<Payload>>,
+    /// Shared failure-detection state (dead ranks, poison, steps).
+    state: Arc<ClusterState>,
 }
 
 impl Comm {
@@ -82,12 +153,14 @@ impl Comm {
         world_size: usize,
         senders: Vec<Sender<Payload>>,
         receivers: Vec<Receiver<Payload>>,
+        state: Arc<ClusterState>,
     ) -> Comm {
         Comm {
             rank,
             world_size,
             senders,
             receivers,
+            state,
         }
     }
 
@@ -101,22 +174,83 @@ impl Comm {
         self.world_size
     }
 
+    /// True once any rank has failed (or a watchdog fired) and the cluster
+    /// is unwinding. Long-running compute loops should check this to bail
+    /// out promptly instead of producing work no peer will consume.
+    pub fn poisoned(&self) -> bool {
+        self.state.is_poisoned()
+    }
+
+    /// Record this rank's current training step for failure attribution:
+    /// [`crate::RankFailure::step`] reports the failing rank's last value.
+    pub fn set_step(&self, step: u64) {
+        self.state.steps[self.rank].store(step, Ordering::SeqCst);
+    }
+
+    /// The watchdog deadline blocking receives wait before giving up.
+    pub fn deadline(&self) -> Duration {
+        self.state.deadline
+    }
+
     // ---- Point-to-point -------------------------------------------------
 
     /// Raw channel send: no trace edge. The collective internals use this
     /// so their message traffic shows up only as the collective record,
     /// not as a storm of p2p edges.
     fn send_raw(&self, dst: usize, payload: Payload) -> Result<()> {
-        self.senders[dst]
-            .send(payload)
-            .map_err(|_| CommError::Disconnected { peer: dst })
+        if self.state.is_dead(dst) {
+            return Err(CommError::PeerDead { peer: dst });
+        }
+        self.senders[dst].send(payload).map_err(|_| {
+            if self.state.is_dead(dst) {
+                CommError::PeerDead { peer: dst }
+            } else {
+                CommError::Disconnected { peer: dst }
+            }
+        })
     }
 
     /// Raw channel receive: no trace edge (see [`Comm::send_raw`]).
+    ///
+    /// Blocking, but watched: the wait is sliced into short ticks so the
+    /// rank notices poison promptly, and gives up with a typed error after
+    /// the cluster deadline — [`CommError::PeerDead`] when the peer (or any
+    /// rank, once poisoned) is known dead, [`CommError::Timeout`] when the
+    /// peer is alive but stuck. A timeout poisons the cluster so every
+    /// other blocked rank unwinds too: no collective outlives the deadline.
     fn recv_raw(&self, src: usize) -> Result<Payload> {
-        self.receivers[src]
-            .recv()
-            .map_err(|_| CommError::Disconnected { peer: src })
+        let deadline = self.state.deadline;
+        let tick = (deadline / 16).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let start = Instant::now();
+        loop {
+            if self.state.is_dead(src) {
+                return Err(CommError::PeerDead { peer: src });
+            }
+            if self.state.is_poisoned() {
+                let peer = self.state.first_dead().unwrap_or(src);
+                return Err(CommError::PeerDead { peer });
+            }
+            match self.receivers[src].recv_timeout(tick) {
+                Ok(p) => return Ok(p),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(if self.state.is_dead(src) {
+                        CommError::PeerDead { peer: src }
+                    } else {
+                        CommError::Disconnected { peer: src }
+                    });
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let waited = start.elapsed();
+                    if waited >= deadline {
+                        self.state.poison();
+                        return Err(CommError::Timeout {
+                            peer: src,
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                    }
+                }
+            }
+        }
     }
 
     /// Send a payload to `dst`. Sending to self is allowed (buffered).

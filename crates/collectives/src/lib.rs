@@ -20,7 +20,7 @@ pub mod cluster;
 pub mod comm;
 pub mod group;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterOptions, RankFailure};
 pub use comm::{Comm, Payload};
 pub use group::Group;
 
@@ -39,6 +39,21 @@ pub enum CommError {
         /// The peer rank.
         peer: usize,
     },
+    /// A peer was marked dead by the cluster (its body panicked), or the
+    /// cluster was poisoned by a failure elsewhere and this rank is
+    /// unwinding instead of waiting on traffic that may never come.
+    PeerDead {
+        /// The dead peer (or the first dead rank when unwinding on poison).
+        peer: usize,
+    },
+    /// The watchdog deadline elapsed while waiting on a peer that is still
+    /// connected but not making progress (a hung rank).
+    Timeout {
+        /// The peer this rank was blocked on.
+        peer: usize,
+        /// How long the rank waited before giving up.
+        waited_ms: u64,
+    },
     /// The calling rank is not a member of the group it used.
     NotAMember {
         /// The calling rank.
@@ -48,6 +63,19 @@ pub enum CommError {
     InvalidGroup(String),
 }
 
+impl CommError {
+    /// True for errors that describe *another* rank's failure arriving at
+    /// this rank (disconnect, death, watchdog timeout) rather than a local
+    /// programming error. Supervisors use this to separate the root-cause
+    /// failure from the sympathetic unwinding of surviving ranks.
+    pub fn is_peer_failure(&self) -> bool {
+        matches!(
+            self,
+            CommError::Disconnected { .. } | CommError::PeerDead { .. } | CommError::Timeout { .. }
+        )
+    }
+}
+
 impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -55,6 +83,13 @@ impl std::fmt::Display for CommError {
                 write!(f, "payload kind mismatch: expected {expected}, got {got}")
             }
             CommError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            CommError::PeerDead { peer } => write!(f, "peer rank {peer} is dead"),
+            CommError::Timeout { peer, waited_ms } => {
+                write!(
+                    f,
+                    "watchdog timeout: no progress from rank {peer} after {waited_ms} ms"
+                )
+            }
             CommError::NotAMember { rank } => {
                 write!(f, "rank {rank} is not a member of the group")
             }

@@ -158,15 +158,43 @@ impl AtomCache {
                 let index = entry.index.as_ref().expect("index populated above");
                 let info = index.get(key).expect("section checked above");
                 // Payload span plus the CRC table entries covering it.
-                read_bytes += info.range_read_bytes(&gap)
+                let gap_bytes = info.range_read_bytes(&gap)
                     + if info.crc_block == 0 {
                         4
                     } else {
                         4 * ((gap.end as u64 * esize).div_ceil(info.crc_block as u64)
                             - gap.start as u64 * esize / info.crc_block as u64)
                     };
-                let tensor = index.read_section_range(&mut r, key, gap.clone())?;
-                entry.insert(gap.start, tensor.as_slice().to_vec());
+                let payload_len = info.payload_len;
+                match index.read_section_range(&mut r, key, gap.clone()) {
+                    Ok(tensor) => {
+                        read_bytes += gap_bytes;
+                        entry.insert(gap.start, tensor.as_slice().to_vec());
+                    }
+                    Err(ucp_storage::StorageError::ChecksumMismatch { what }) => {
+                        // Graceful degradation: a block-granular mismatch
+                        // may mean the *table* is damaged, not the data.
+                        // Re-read the whole section verified against its
+                        // independent whole-payload CRC; only if that
+                        // fails too is the atom truly corrupt.
+                        eprintln!(
+                            "warning: atom {name} {key}: ranged read failed \
+                             ({what}); falling back to a whole-section read"
+                        );
+                        if ucp_telemetry::enabled() {
+                            ucp_telemetry::count("load/ranged_fallback", 1);
+                        }
+                        let index = entry.index.as_ref().expect("index populated above");
+                        let full = index.read_section_lenient(&mut r, key)?;
+                        read_bytes += payload_len + 4;
+                        entry.intervals.clear();
+                        entry.insert(0, full.as_slice().to_vec());
+                        // The whole section is cached now; any remaining
+                        // gaps are covered.
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             if ucp_telemetry::enabled() {
                 ucp_telemetry::count("load/bytes_read", read_bytes);

@@ -119,17 +119,32 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
 
 /// Atomically publish a file whose contents are produced by `fill`
 /// streaming into a buffered writer.
+///
+/// On a genuine write failure (ENOSPC, permission errors, ...) the staged
+/// `.tmp` file is unlinked best-effort so failed writes do not leak
+/// stale staging files. *Injected crashes* from [`crate::io::fault`] are
+/// exempt: they simulate the process dying mid-commit, where nothing gets
+/// to clean up, and the crash-replay tests assert the remnant survives.
 pub fn atomic_write_with<F>(path: &Path, fill: F) -> Result<()>
 where
     F: FnOnce(&mut dyn Write) -> std::io::Result<()>,
 {
     let staged = AtomicFile::create(path)?;
-    {
-        let mut w = staged.writer();
-        fill(&mut w)?;
-        w.flush()?;
+    let result = (|| {
+        {
+            let mut w = staged.writer();
+            fill(&mut w)?;
+            w.flush()?;
+        }
+        staged.commit()
+    })();
+    if let Err(e) = &result {
+        let crashed = matches!(e, crate::StorageError::Io(io) if fault::is_injected(io));
+        if !crashed {
+            let _ = fs::remove_file(tmp_path(path));
+        }
     }
-    staged.commit()
+    result
 }
 
 #[cfg(test)]
@@ -210,6 +225,54 @@ mod tests {
         atomic_write(&path, b"x").unwrap();
         // write, fsync, rename, dirsync.
         assert_eq!(armed.hits(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_disk_full_write_cleans_up_tmp() {
+        let dir = temp_dir("enospc");
+        let path = dir.join("marker");
+        // A survivable failure (torn write, then ENOSPC) — unlike an
+        // injected crash, the process lives, so the staging file must go.
+        let armed = fault::arm(FaultPlan {
+            kill_after: Some(0),
+            truncate_to: Some(3),
+            full_disk: true,
+            scope: Some(dir.clone()),
+        });
+        let err = atomic_write(&path, b"global_step99").unwrap_err();
+        drop(armed);
+        assert!(err.to_string().contains("no space left"), "{err}");
+        match err {
+            crate::StorageError::Io(io) => assert!(!fault::is_injected(&io)),
+            other => panic!("expected an Io error, got {other:?}"),
+        }
+        assert!(!path.exists());
+        assert!(
+            !tmp_path(&path).exists(),
+            "failed write leaked the .tmp staging file"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_full_at_rename_cleans_tmp_and_keeps_old_contents() {
+        let dir = temp_dir("enospc_rename");
+        let path = dir.join("marker");
+        atomic_write(&path, b"old").unwrap();
+        // Kill point 2 is the rename gate; a genuine failure there must
+        // leave the published file untouched and remove the staging file.
+        let armed = fault::arm(FaultPlan {
+            kill_after: Some(2),
+            truncate_to: None,
+            full_disk: true,
+            scope: Some(dir.clone()),
+        });
+        let err = atomic_write(&path, b"new").unwrap_err();
+        drop(armed);
+        assert!(err.to_string().contains("no space left"), "{err}");
+        assert_eq!(fs::read(&path).unwrap(), b"old");
+        assert!(!tmp_path(&path).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -148,7 +148,8 @@ impl Container {
         for s in &self.sections {
             let payload = s.tensor.num_elements() * s.tensor.dtype().size_bytes();
             n += 2 + s.name.len() + 1 + 1 + 8 * s.tensor.shape().rank() + 8 + 4;
-            n += payload + 4 * payload.div_ceil(RANGE_CRC_BLOCK as usize);
+            // Payload, per-block CRC table, trailing whole-payload CRC.
+            n += payload + 4 * payload.div_ceil(RANGE_CRC_BLOCK as usize) + 4;
         }
         n
     }
@@ -193,6 +194,11 @@ impl Container {
                 for crc in crc32c_blocks(&payload, RANGE_CRC_BLOCK as usize) {
                     w.write_all(&crc.to_le_bytes())?;
                 }
+                // Whole-payload CRC, independent of the block table: the
+                // redundancy that lets a reader with a damaged table fall
+                // back to a verified whole-section read
+                // ([`ContainerIndex::read_section_lenient`]).
+                w.write_all(&crc32c(&payload).to_le_bytes())?;
             } else {
                 w.write_all(&payload)?;
                 w.write_all(&crc32c(&payload).to_le_bytes())?;
@@ -335,6 +341,12 @@ impl Container {
                                 what: format!("{name} (block {i})"),
                             });
                         }
+                    }
+                    let whole = read_u32(r)?;
+                    if crc32c(&payload) != whole {
+                        return Err(StorageError::ChecksumMismatch {
+                            what: format!("{name} (whole payload)"),
+                        });
                     }
                 }
             }
@@ -509,10 +521,14 @@ impl ContainerIndex {
                 0
             };
             let payload_offset = r.stream_position()?;
-            // Skip the payload and its checksum(s). A corrupt length must
-            // not wrap negative when cast for the relative seek.
+            // Skip the payload and its checksum(s): v2 carries a per-block
+            // table plus a trailing whole-payload CRC, v1 just the whole
+            // CRC. A corrupt length must not wrap negative when cast for
+            // the relative seek.
             let checksums = if crc_block > 0 {
-                block_count(payload_len, crc_block).checked_mul(4)
+                block_count(payload_len, crc_block)
+                    .checked_mul(4)
+                    .and_then(|t| t.checked_add(4))
             } else {
                 Some(4)
             };
@@ -642,6 +658,53 @@ impl ContainerIndex {
             .decode(&bytes, n)
             .ok_or_else(|| StorageError::Malformed(format!("section {section}: short payload")))?;
         let tensor = Tensor::from_vec(values, Shape::new([n]))
+            .map_err(|e| StorageError::Malformed(e.to_string()))?;
+        Ok(tensor.cast(info.dtype))
+    }
+
+    /// Read the *whole* payload of `section`, verified against its
+    /// whole-payload CRC only — the per-block table is skipped, not
+    /// trusted. This is the graceful-degradation path for a damaged block
+    /// table: the table and the trailing CRC are independent redundancy,
+    /// so a corrupt table with an intact payload still yields correct
+    /// bytes here (and a corrupt payload still fails).
+    /// Returns a 1-D tensor of the full section in the section dtype.
+    pub fn read_section_lenient<R: Read + Seek>(&self, r: &mut R, section: &str) -> Result<Tensor> {
+        let info = self.get(section).ok_or_else(|| {
+            StorageError::Malformed(format!("container has no section {section}"))
+        })?;
+        let total = info.num_elements();
+        let expected = total as u64 * info.dtype.size_bytes() as u64;
+        if info.payload_len != expected {
+            return Err(StorageError::Malformed(format!(
+                "section {section}: payload {} bytes, shape {} implies {expected}",
+                info.payload_len, info.shape
+            )));
+        }
+        r.seek(SeekFrom::Start(info.payload_offset))?;
+        let payload = read_bytes_bounded(r, info.payload_len as usize, section)?;
+        // Seek past the block table (v2); for v1 the next u32 already is
+        // the whole-payload CRC.
+        let table_bytes = if info.crc_block == 0 {
+            0
+        } else {
+            block_count(info.payload_len, info.crc_block) * 4
+        };
+        if table_bytes > 0 {
+            r.seek(SeekFrom::Current(table_bytes as i64))?;
+        }
+        let crc = read_u32(r)?;
+        if crc32c(&payload) != crc {
+            return Err(StorageError::ChecksumMismatch {
+                what: format!("{section} (whole payload)"),
+            });
+        }
+        self.count_range_read(payload.len() as u64 + 4);
+        let values = info
+            .dtype
+            .decode(&payload, total)
+            .ok_or_else(|| StorageError::Malformed(format!("section {section}: short payload")))?;
+        let tensor = Tensor::from_vec(values, Shape::new([total]))
             .map_err(|e| StorageError::Malformed(e.to_string()))?;
         Ok(tensor.cast(info.dtype))
     }
@@ -986,6 +1049,80 @@ mod tests {
             .read_section_range(&mut cur, "w", 2 * cb..3 * cb)
             .unwrap();
         assert_eq!(t.num_elements(), cb);
+    }
+
+    #[test]
+    fn lenient_read_survives_damaged_block_table() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        let info = index.get("w").unwrap().clone();
+        // Damage a block-table entry: the ranged read and strict full read
+        // fail, the lenient read still yields the correct bytes.
+        let table_off = (info.payload_offset + info.payload_len) as usize;
+        buf[table_off] ^= 1;
+        let mut cur = std::io::Cursor::new(&buf);
+        assert!(matches!(
+            index.read_section_range(&mut cur, "w", 0..10),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        assert!(Container::read_from(&mut buf.as_slice()).is_err());
+        let t = index.read_section_lenient(&mut cur, "w").unwrap();
+        let want = c.sections[0].tensor.flatten();
+        assert!(t.bitwise_eq(&want), "lenient read returned wrong bytes");
+    }
+
+    #[test]
+    fn lenient_read_still_fails_on_damaged_payload() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        let info = index.get("w").unwrap().clone();
+        buf[info.payload_offset as usize + 5] ^= 1;
+        let mut cur = std::io::Cursor::new(&buf);
+        assert!(matches!(
+            index.read_section_lenient(&mut cur, "w"),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_read_of_v1_section_verifies_whole_crc() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to_v1(&mut buf).unwrap();
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        let mut cur = std::io::Cursor::new(&buf);
+        let t = index.read_section_lenient(&mut cur, "h").unwrap();
+        assert!(t.bitwise_eq(&c.sections[1].tensor.flatten()));
+        // And corruption is still caught.
+        let info = index.get("h").unwrap().clone();
+        buf[info.payload_offset as usize] ^= 1;
+        let mut cur = std::io::Cursor::new(&buf);
+        assert!(index.read_section_lenient(&mut cur, "h").is_err());
+    }
+
+    #[test]
+    fn corrupt_trailing_whole_crc_fails_full_read_not_ranged() {
+        let c = big_sample();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let index = ContainerIndex::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        let info = index.get("w").unwrap().clone();
+        let table_bytes = info.payload_len.div_ceil(info.crc_block as u64) * 4;
+        let whole_off = (info.payload_offset + info.payload_len + table_bytes) as usize;
+        buf[whole_off] ^= 1;
+        // The strict full read verifies the trailing CRC...
+        assert!(matches!(
+            Container::read_from(&mut buf.as_slice()),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        // ...while ranged reads never touch it.
+        let mut cur = std::io::Cursor::new(&buf);
+        let t = index.read_section_range(&mut cur, "w", 0..10).unwrap();
+        assert_eq!(t.num_elements(), 10);
     }
 
     #[test]

@@ -185,15 +185,21 @@ pub mod fault {
         /// across worker threads), so tests scope their plan to their
         /// own checkpoint directory to leave unrelated I/O untouched.
         pub scope: Option<PathBuf>,
+        /// When the fatal point fires, surface a genuine-looking disk-full
+        /// error (ENOSPC) instead of an injected *crash*. A crash kills
+        /// the process — nothing gets to clean up, so `.tmp` remnants are
+        /// correct. A disk-full error is survived by the process, so
+        /// error-path cleanup (e.g. unlinking the staging file) must run;
+        /// this knob lets tests exercise exactly that path.
+        pub full_disk: bool,
     }
 
     impl FaultPlan {
         /// Plan that counts kill points under `scope` without ever firing.
         pub fn count_only(scope: &Path) -> FaultPlan {
             FaultPlan {
-                kill_after: None,
-                truncate_to: None,
                 scope: Some(scope.to_path_buf()),
+                ..FaultPlan::default()
             }
         }
 
@@ -201,8 +207,8 @@ pub mod fault {
         pub fn kill_at(n: u64, scope: &Path) -> FaultPlan {
             FaultPlan {
                 kill_after: Some(n),
-                truncate_to: None,
                 scope: Some(scope.to_path_buf()),
+                ..FaultPlan::default()
             }
         }
     }
@@ -228,6 +234,7 @@ pub mod fault {
                     "kill_after" => plan.kill_after = value.trim().parse().ok(),
                     "truncate" => plan.truncate_to = value.trim().parse().ok(),
                     "scope" => plan.scope = Some(PathBuf::from(value.trim())),
+                    "full_disk" => plan.full_disk = matches!(value.trim(), "1" | "true"),
                     _ => return None,
                 }
             }
@@ -274,8 +281,25 @@ pub mod fault {
     }
 
     /// Whether `e` is an injected crash (vs a genuine I/O failure).
+    /// Injected *disk-full* errors ([`FaultPlan::full_disk`]) are
+    /// deliberately not "injected" in this sense: they model a survivable
+    /// failure, so error-path cleanup must treat them as real.
     pub fn is_injected(e: &std::io::Error) -> bool {
         e.to_string().contains("injected crash at kill point")
+    }
+
+    /// The error a [`FaultPlan::full_disk`] strike surfaces as: shaped
+    /// like a real ENOSPC so production error paths cannot tell it apart.
+    pub fn disk_full(point: &str) -> std::io::Error {
+        std::io::Error::other(format!("no space left on device (at {point})"))
+    }
+
+    fn strike_error(plan: &FaultPlan, point: &str) -> std::io::Error {
+        if plan.full_disk {
+            disk_full(point)
+        } else {
+            injected_crash(point)
+        }
     }
 
     /// Count one kill point for `path`; `Some` if the plan says die here.
@@ -299,7 +323,7 @@ pub mod fault {
     /// Register a non-write kill point (fsync, rename, dir sync) on `path`.
     pub fn gate(point: &str, path: &Path) -> std::io::Result<()> {
         match strike(path) {
-            Some(_) => Err(injected_crash(point)),
+            Some(plan) => Err(strike_error(&plan, point)),
             None => Ok(()),
         }
     }
@@ -339,7 +363,7 @@ pub mod fault {
                     // Push whatever landed through any buffering so the
                     // on-disk state matches a crash mid-write.
                     let _ = self.inner.flush();
-                    Err(injected_crash("data write"))
+                    Err(strike_error(&plan, "data write"))
                 }
             }
         }

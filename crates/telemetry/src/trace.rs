@@ -64,6 +64,8 @@ pub enum TraceCat {
     Load,
     /// Point-to-point send/recv edges.
     Comm,
+    /// Elastic-recovery phases (detect, teardown, convert, resume).
+    Recovery,
 }
 
 impl TraceCat {
@@ -76,6 +78,7 @@ impl TraceCat {
             TraceCat::Convert => "convert",
             TraceCat::Load => "load",
             TraceCat::Comm => "comm",
+            TraceCat::Recovery => "recovery",
         }
     }
 
@@ -88,6 +91,7 @@ impl TraceCat {
             "convert" => TraceCat::Convert,
             "load" => TraceCat::Load,
             "comm" => TraceCat::Comm,
+            "recovery" => TraceCat::Recovery,
             _ => return None,
         })
     }

@@ -226,7 +226,7 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
 /// Open the shared [`LoadSession`] a universal resume needs (`None` for
 /// the other modes). Opening it before the cluster fan-out is what lets
 /// every rank load through one atom cache.
-fn open_resume_session(resume: &ResumeMode) -> Result<Option<LoadSession>, TrainError> {
+pub(crate) fn open_resume_session(resume: &ResumeMode) -> Result<Option<LoadSession>, TrainError> {
     match resume {
         ResumeMode::Universal { dir, step } => Ok(Some(
             LoadSession::open(dir, *step, LoadOptions::default()).map_err(TrainError::Ucp)?,
@@ -236,7 +236,7 @@ fn open_resume_session(resume: &ResumeMode) -> Result<Option<LoadSession>, Train
 }
 
 /// Merge per-rank results, surfacing the most informative error.
-fn collect_results(
+pub(crate) fn collect_results(
     results: Vec<std::result::Result<RunResult, String>>,
 ) -> Result<RunResult, TrainError> {
     let mut out: Option<RunResult> = None;
@@ -255,11 +255,14 @@ fn collect_results(
         }
     }
     if !errors.is_empty() {
-        // When one rank fails, its peers observe secondary "disconnected"
-        // errors; surface the root cause, not the symptom.
+        // When one rank fails, its peers observe secondary peer-failure
+        // errors (disconnects, dead marks, watchdog timeouts); surface the
+        // root cause, not the symptom.
+        let secondary =
+            |m: &str| m.contains("disconnected") || m.contains("is dead") || m.contains("watchdog");
         let (rank, msg) = errors
             .iter()
-            .find(|(_, m)| !m.contains("disconnected"))
+            .find(|(_, m)| !secondary(m))
             .unwrap_or(&errors[0]);
         return Err(TrainError::Config(format!("rank {rank}: {msg}")));
     }

@@ -19,6 +19,7 @@ pub mod data;
 pub mod driver;
 pub mod engine;
 pub mod snapshot;
+pub mod supervisor;
 
 pub use comm_group::CommGroup;
 pub use driver::{
@@ -27,6 +28,9 @@ pub use driver::{
 };
 pub use engine::{IterStats, PipelineSchedule, RankEngine, TrainConfig};
 pub use snapshot::{CheckpointSnapshot, PendingSave};
+pub use supervisor::{
+    parse_faults, supervise, FaultKind, RankFault, RestartEvent, SuperviseReport, SupervisorOptions,
+};
 
 /// Trainer errors.
 #[derive(Debug)]

@@ -1,0 +1,590 @@
+//! Elastic recovery: rank-fault injection and a restart supervisor.
+//!
+//! The paper's motivating failure scenario is a rank dying mid-run and the
+//! job resuming on whatever capacity survives, under a *different*
+//! parallelism strategy. This module closes that loop in-process:
+//!
+//! - a deterministic **rank-fault injector** ([`RankFault`], mirroring the
+//!   storage crate's `FaultPlan`): panic / hang / slow-down a chosen rank
+//!   at a chosen step boundary, armed programmatically or via the
+//!   `UCP_RANK_FAULTS` environment variable;
+//! - a **supervisor** ([`supervise`]) that runs a training plan under
+//!   [`Cluster::try_run_with`], and on a [`RankFailure`] tears the cluster
+//!   down, consults the checkpoint directory for the latest committed
+//!   step, degrades the topology to the next rung of a caller-provided
+//!   ladder, converts the checkpoint to universal form if needed, and
+//!   resumes — repeating until the plan completes or the restart budget is
+//!   exhausted.
+//!
+//! Because resuming replays the loss trajectory deterministically, a
+//! supervised run that survives faults is bitwise-comparable to a
+//! fault-free run from the same checkpoint — the invariant
+//! `tests/elastic_recovery.rs` asserts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use ucp_collectives::{Cluster, ClusterOptions, Comm, RankFailure};
+use ucp_core::convert::ConvertOptions;
+use ucp_parallel::ParallelConfig;
+use ucp_storage::layout;
+use ucp_telemetry::trace::{self, TraceCat};
+
+use crate::driver::{collect_results, open_resume_session, ResumeMode, RunResult, TrainPlan};
+use crate::engine::RankEngine;
+use crate::TrainError;
+
+/// What an injected fault does to its rank at the step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic immediately — a hard crash the peers observe as a typed
+    /// `PeerDead` within one watchdog tick.
+    Panic,
+    /// Stop participating in collectives without dying. Peers detect the
+    /// hang via the watchdog deadline; once the cluster is poisoned the
+    /// hung rank unwinds too (so the in-process harness can join it).
+    Hang,
+    /// Sleep this many milliseconds, then continue. A slow rank under the
+    /// deadline is *not* a failure — the negative control.
+    SlowMs(u64),
+}
+
+/// One scheduled rank fault: `kind` fires on `rank` just before it
+/// executes training iteration `step` (0-based, i.e. after `step`
+/// iterations have completed). Each fault fires at most once per
+/// [`supervise`] call, so a fault at a replayed step does not re-kill the
+/// resumed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankFault {
+    /// Rank the fault targets (in the topology active when it fires).
+    pub rank: usize,
+    /// Iteration boundary at which it fires.
+    pub step: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl RankFault {
+    /// Parse one `rank=R,step=S,kind=K` clause (`K` ∈ `panic` | `hang` |
+    /// `slow:<ms>`).
+    fn parse(clause: &str) -> Result<RankFault, String> {
+        let (mut rank, mut step, mut kind) = (None, None, None);
+        for part in clause.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            match key.trim() {
+                "rank" => {
+                    rank = Some(
+                        value
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad rank {value:?}: {e}"))?,
+                    )
+                }
+                "step" => {
+                    step = Some(
+                        value
+                            .trim()
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad step {value:?}: {e}"))?,
+                    )
+                }
+                "kind" => {
+                    let value = value.trim();
+                    kind = Some(match value {
+                        "panic" => FaultKind::Panic,
+                        "hang" => FaultKind::Hang,
+                        _ => match value.strip_prefix("slow:") {
+                            Some(ms) => FaultKind::SlowMs(
+                                ms.parse().map_err(|e| format!("bad slow ms {ms:?}: {e}"))?,
+                            ),
+                            None => return Err(format!("unknown fault kind {value:?}")),
+                        },
+                    })
+                }
+                other => return Err(format!("unknown fault field {other:?}")),
+            }
+        }
+        Ok(RankFault {
+            rank: rank.ok_or("fault clause missing rank=")?,
+            step: step.ok_or("fault clause missing step=")?,
+            kind: kind.ok_or("fault clause missing kind=")?,
+        })
+    }
+}
+
+/// Environment variable holding `;`-separated fault clauses, e.g.
+/// `UCP_RANK_FAULTS="rank=1,step=3,kind=panic;rank=0,step=5,kind=hang"`.
+pub const RANK_FAULTS_ENV: &str = "UCP_RANK_FAULTS";
+
+/// Parse [`RANK_FAULTS_ENV`] (empty vec when unset).
+pub fn faults_from_env() -> Result<Vec<RankFault>, String> {
+    let Ok(spec) = std::env::var(RANK_FAULTS_ENV) else {
+        return Ok(Vec::new());
+    };
+    parse_faults(&spec)
+}
+
+/// Parse a `;`-separated fault schedule string.
+pub fn parse_faults(spec: &str) -> Result<Vec<RankFault>, String> {
+    spec.split(';')
+        .map(str::trim)
+        .filter(|c| !c.is_empty())
+        .map(RankFault::parse)
+        .collect()
+}
+
+/// A fault plus its once-only trigger state, shared across restarts.
+struct ArmedFault {
+    fault: RankFault,
+    fired: AtomicBool,
+}
+
+/// The injection hook: called by the supervised training loop at every
+/// step boundary, on every rank. Panics (by design) when a `Panic` or
+/// `Hang` fault fires — [`Cluster::try_run_with`] converts the unwind into
+/// a structured [`RankFailure`].
+fn fault_point(armed: &[ArmedFault], comm: &Comm, step: u64) {
+    for a in armed {
+        if a.fault.rank != comm.rank() || a.fault.step != step {
+            continue;
+        }
+        if a.fired.swap(true, Ordering::SeqCst) {
+            continue; // already fired in an earlier segment
+        }
+        match a.fault.kind {
+            FaultKind::Panic => {
+                panic!("injected fault: rank {} panics at step {step}", comm.rank())
+            }
+            FaultKind::Hang => {
+                // Stop participating. Peers blocked on this rank trip the
+                // watchdog deadline and poison the cluster; only then does
+                // this rank unwind (a real hang would never return, but the
+                // in-process harness must join every thread).
+                let tick = Duration::from_millis(2);
+                while !comm.poisoned() {
+                    std::thread::sleep(tick);
+                }
+                panic!("injected fault: rank {} hung at step {step}", comm.rank())
+            }
+            FaultKind::SlowMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        }
+    }
+}
+
+/// Supervisor policy: watchdog deadline, restart budget, and the
+/// degraded-topology ladder consumed one rung per restart.
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Watchdog deadline for every supervised cluster run.
+    pub deadline: Duration,
+    /// Restarts allowed before the supervisor gives up.
+    pub max_restarts: usize,
+    /// Topologies to fall back to, in order, one per restart (e.g.
+    /// TP2×PP2×DP2 → TP2×PP2×DP1 → TP1×PP2). When the ladder is
+    /// exhausted the last active topology is retried.
+    pub ladder: Vec<ParallelConfig>,
+    /// Faults to inject (merged with [`RANK_FAULTS_ENV`] at
+    /// [`supervise`] entry).
+    pub faults: Vec<RankFault>,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> SupervisorOptions {
+        SupervisorOptions {
+            deadline: ClusterOptions::default().deadline,
+            max_restarts: 3,
+            ladder: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// One recovery cycle: what failed, and how the run resumed.
+#[derive(Debug, Clone)]
+pub struct RestartEvent {
+    /// Root-cause rank of the failure.
+    pub rank: usize,
+    /// Step the failing rank had reached.
+    pub step: u64,
+    /// Stringified panic payload.
+    pub payload: String,
+    /// Checkpoint step the run resumed from (`None` = fresh restart, no
+    /// committed checkpoint existed).
+    pub resume_step: Option<u64>,
+    /// Steps of progress lost (failing step − resumed step).
+    pub lost_steps: u64,
+    /// Topology of the resumed segment.
+    pub parallel: ParallelConfig,
+    /// Wall-clock milliseconds from observing the failure to having the
+    /// resume plan ready (teardown + retention lookup + convert).
+    pub recovery_ms: u64,
+}
+
+/// The outcome of a supervised run.
+#[derive(Debug, Clone)]
+pub struct SuperviseReport {
+    /// Per-segment results; the last segment is the one that completed
+    /// the plan.
+    pub segments: Vec<RunResult>,
+    /// One entry per recovery cycle, in order.
+    pub restarts: Vec<RestartEvent>,
+}
+
+impl SuperviseReport {
+    /// The completed final segment.
+    pub fn final_segment(&self) -> &RunResult {
+        self.segments.last().expect("supervise returns >=1 segment")
+    }
+}
+
+/// Run `plan` under supervision: inject scheduled faults, and on each
+/// rank failure resume from the latest committed checkpoint under the
+/// next topology of the ladder. Returns when the plan's
+/// `until_iteration` is reached or errors once the restart budget is
+/// spent.
+pub fn supervise(
+    plan: &TrainPlan,
+    opts: &SupervisorOptions,
+) -> Result<SuperviseReport, TrainError> {
+    let mut faults: Vec<RankFault> = opts.faults.clone();
+    faults.extend(faults_from_env().map_err(TrainError::Config)?);
+    let armed: Vec<ArmedFault> = faults
+        .into_iter()
+        .map(|fault| ArmedFault {
+            fault,
+            fired: AtomicBool::new(false),
+        })
+        .collect();
+
+    let mut current = plan.clone();
+    let mut ladder = opts.ladder.iter();
+    let mut report = SuperviseReport {
+        segments: Vec::new(),
+        restarts: Vec::new(),
+    };
+    loop {
+        match supervised_segment(&current, opts.deadline, &armed) {
+            Ok(result) => {
+                report.segments.push(result);
+                return Ok(report);
+            }
+            Err(SegmentError::Hard(e)) => return Err(e),
+            Err(SegmentError::Failure(failure)) => {
+                let t_recover = Instant::now();
+                let _detect = trace::span(TraceCat::Recovery, "recover");
+                if ucp_telemetry::enabled() {
+                    ucp_telemetry::count("recovery/failures", 1);
+                }
+                if report.restarts.len() >= opts.max_restarts {
+                    return Err(TrainError::Config(format!(
+                        "supervisor: restart budget ({}) exhausted; last failure: {failure}",
+                        opts.max_restarts
+                    )));
+                }
+                let dir = current.checkpoint_dir.clone().ok_or_else(|| {
+                    TrainError::Config(format!(
+                        "supervisor: no checkpoint_dir to recover from after: {failure}"
+                    ))
+                })?;
+                if let Some(next) = ladder.next() {
+                    current.config.parallel = *next;
+                }
+                let resume_step = recovery_resume(&dir, &mut current)?;
+                let lost_steps = failure.step.saturating_sub(resume_step.unwrap_or(0));
+                let recovery_ms = t_recover.elapsed().as_millis() as u64;
+                if ucp_telemetry::enabled() {
+                    ucp_telemetry::count("recovery/restarts", 1);
+                    ucp_telemetry::count("recovery/lost_steps", lost_steps);
+                    ucp_telemetry::observe("recovery/recovery_ms", recovery_ms);
+                }
+                eprintln!(
+                    "supervisor: rank {} failed at step {} ({}); resuming {} under {}",
+                    failure.rank,
+                    failure.step,
+                    failure.payload,
+                    match resume_step {
+                        Some(s) => format!("from committed step {s}"),
+                        None => "fresh (no committed checkpoint)".to_string(),
+                    },
+                    current.config.parallel.label(),
+                );
+                report.restarts.push(RestartEvent {
+                    rank: failure.rank,
+                    step: failure.step,
+                    payload: failure.payload,
+                    resume_step,
+                    lost_steps,
+                    parallel: current.config.parallel,
+                    recovery_ms,
+                });
+            }
+        }
+    }
+}
+
+/// Point `current.resume` at the latest committed checkpoint under
+/// `dir`, converting it to universal form first if that has not happened
+/// yet. Returns the resume step (`None` → fresh restart).
+fn recovery_resume(
+    dir: &std::path::Path,
+    current: &mut TrainPlan,
+) -> Result<Option<u64>, TrainError> {
+    match layout::read_latest(dir) {
+        Some(step) => {
+            let universal = layout::universal_dir(dir, step);
+            if !layout::manifest_path(&universal).exists() {
+                let _convert = trace::span(TraceCat::Recovery, "convert");
+                crate::driver::convert_checkpoint(dir, step, &ConvertOptions::default())?;
+            }
+            current.resume = ResumeMode::Universal {
+                dir: dir.to_path_buf(),
+                step,
+            };
+            Ok(Some(step))
+        }
+        None => {
+            current.resume = ResumeMode::Fresh;
+            Ok(None)
+        }
+    }
+}
+
+enum SegmentError {
+    /// A rank died; recoverable.
+    Failure(RankFailure),
+    /// A non-failure error (bad config, unreadable checkpoint, ...).
+    Hard(TrainError),
+}
+
+/// One supervised cluster run: [`crate::train_run`] with the watchdog
+/// deadline applied and [`fault_point`] consulted at every step boundary.
+/// The training math is identical to `train_run` — the hook only sleeps
+/// or panics — so surviving segments stay bitwise-comparable to
+/// unsupervised runs.
+fn supervised_segment(
+    plan: &TrainPlan,
+    deadline: Duration,
+    armed: &[ArmedFault],
+) -> Result<RunResult, SegmentError> {
+    plan.config
+        .validate()
+        .map_err(|e| SegmentError::Hard(TrainError::Config(e)))?;
+    let world = plan.config.parallel.world_size();
+    let session = open_resume_session(&plan.resume).map_err(SegmentError::Hard)?;
+    let cluster_opts = ClusterOptions { deadline };
+    let results =
+        Cluster::try_run_with(world, &cluster_opts, |comm| -> Result<RunResult, String> {
+            let _resume = trace::span(TraceCat::Recovery, "segment");
+            let t_load = Instant::now();
+            let mut engine = match &plan.resume {
+                ResumeMode::Fresh => RankEngine::fresh(plan.config.clone(), comm),
+                ResumeMode::Native { dir, step } => {
+                    RankEngine::resume_native(plan.config.clone(), comm, dir, *step)
+                }
+                ResumeMode::Universal { .. } => RankEngine::resume_universal_session(
+                    plan.config.clone(),
+                    comm,
+                    session.as_ref().expect("session opened for Universal"),
+                ),
+            }
+            .map_err(|e| e.to_string())?;
+            let load_secs = t_load.elapsed().as_secs_f64();
+
+            let start_iteration = engine.iteration;
+            let mut losses = Vec::new();
+            let mut metrics = Vec::new();
+            let mut save_secs = 0.0f64;
+            while engine.iteration < plan.until_iteration {
+                let it = engine.iteration;
+                comm.set_step(it);
+                fault_point(armed, comm, it);
+                let loss = engine.train_iteration().map_err(|e| e.to_string())?;
+                losses.push((it + 1, loss));
+                metrics.extend(engine.last_stats);
+                if let (Some(every), Some(dir)) = (plan.checkpoint_every, &plan.checkpoint_dir) {
+                    if engine.iteration % every == 0 {
+                        let t0 = Instant::now();
+                        engine.save_checkpoint(dir).map_err(|e| e.to_string())?;
+                        save_secs += t0.elapsed().as_secs_f64();
+                    }
+                }
+            }
+            Ok(RunResult {
+                losses,
+                start_iteration,
+                save_secs,
+                load_secs,
+                metrics,
+            })
+        });
+    match results {
+        Ok(per_rank) => collect_results(per_rank).map_err(SegmentError::Hard),
+        Err(failure) => Err(SegmentError::Failure(failure)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fault_schedules() {
+        let faults = parse_faults(
+            "rank=1,step=3,kind=panic; rank=0,step=5,kind=hang;rank=2,step=1,kind=slow:250",
+        )
+        .unwrap();
+        assert_eq!(
+            faults,
+            vec![
+                RankFault {
+                    rank: 1,
+                    step: 3,
+                    kind: FaultKind::Panic
+                },
+                RankFault {
+                    rank: 0,
+                    step: 5,
+                    kind: FaultKind::Hang
+                },
+                RankFault {
+                    rank: 2,
+                    step: 1,
+                    kind: FaultKind::SlowMs(250)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn panic_fault_triggers_degraded_resume() {
+        use ucp_model::ModelConfig;
+        use ucp_parallel::{ParallelConfig, ZeroStage};
+
+        let dir = std::env::temp_dir().join(format!(
+            "ucp_supervisor_panic_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = crate::TrainConfig::quick(
+            ModelConfig::gpt3_tiny(),
+            ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+            21,
+        );
+        let plan = TrainPlan {
+            config: cfg,
+            until_iteration: 6,
+            resume: ResumeMode::Fresh,
+            checkpoint_every: Some(2),
+            checkpoint_dir: Some(dir.clone()),
+        };
+        let opts = SupervisorOptions {
+            deadline: Duration::from_secs(5),
+            max_restarts: 2,
+            ladder: vec![ParallelConfig::single()],
+            faults: vec![RankFault {
+                rank: 1,
+                step: 3,
+                kind: FaultKind::Panic,
+            }],
+        };
+        let report = supervise(&plan, &opts).unwrap();
+        assert_eq!(report.restarts.len(), 1, "exactly one recovery cycle");
+        let restart = &report.restarts[0];
+        assert_eq!(restart.rank, 1);
+        assert_eq!(restart.step, 3);
+        assert!(restart.payload.contains("injected fault"), "{restart:?}");
+        // Checkpoints landed at steps 2 (then the kill hit before step 3
+        // finished): the resume starts from the last committed step.
+        assert_eq!(restart.resume_step, Some(2));
+        assert_eq!(restart.lost_steps, 1);
+        assert_eq!(restart.parallel, ParallelConfig::single());
+        let last = report.final_segment();
+        assert_eq!(last.start_iteration, 2);
+        assert_eq!(last.losses.last().unwrap().0, 6);
+        assert!(last.losses.iter().all(|(_, l)| l.is_finite()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_an_error() {
+        use ucp_model::ModelConfig;
+        use ucp_parallel::ParallelConfig;
+
+        let dir = std::env::temp_dir().join(format!(
+            "ucp_supervisor_budget_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = crate::TrainConfig::quick(ModelConfig::gpt3_tiny(), ParallelConfig::single(), 5);
+        let plan = TrainPlan {
+            config: cfg,
+            until_iteration: 4,
+            resume: ResumeMode::Fresh,
+            checkpoint_every: Some(2),
+            checkpoint_dir: Some(dir.clone()),
+        };
+        // Two scheduled kills but a budget of one restart.
+        let opts = SupervisorOptions {
+            deadline: Duration::from_secs(5),
+            max_restarts: 1,
+            ladder: Vec::new(),
+            faults: vec![
+                RankFault {
+                    rank: 0,
+                    step: 1,
+                    kind: FaultKind::Panic,
+                },
+                RankFault {
+                    rank: 0,
+                    step: 3,
+                    kind: FaultKind::Panic,
+                },
+            ],
+        };
+        let err = supervise(&plan, &opts).unwrap_err();
+        assert!(
+            err.to_string().contains("restart budget"),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_fault_is_not_a_failure() {
+        use ucp_model::ModelConfig;
+        use ucp_parallel::ParallelConfig;
+
+        let cfg = crate::TrainConfig::quick(ModelConfig::gpt3_tiny(), ParallelConfig::single(), 9);
+        let plan = TrainPlan::simple(cfg, 3);
+        let opts = SupervisorOptions {
+            deadline: Duration::from_secs(5),
+            faults: vec![RankFault {
+                rank: 0,
+                step: 1,
+                kind: FaultKind::SlowMs(30),
+            }],
+            ..SupervisorOptions::default()
+        };
+        let report = supervise(&plan, &opts).unwrap();
+        assert!(report.restarts.is_empty());
+        assert_eq!(report.final_segment().losses.len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_fault_schedules() {
+        assert!(parse_faults("rank=1,step=3").is_err()); // missing kind
+        assert!(parse_faults("rank=1,step=3,kind=explode").is_err());
+        assert!(parse_faults("rank=x,step=3,kind=panic").is_err());
+        assert!(parse_faults("rank=1,step=3,kind=slow:fast").is_err());
+        assert!(parse_faults("bogus").is_err());
+        assert!(parse_faults("").unwrap().is_empty());
+    }
+}

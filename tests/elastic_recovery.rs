@@ -1,0 +1,342 @@
+//! Elastic recovery chaos matrix (PR 5 acceptance).
+//!
+//! For every scheduled rank kill — panic AND hang variants — across three
+//! kill steps and two degraded target topologies, the supervisor must
+//! auto-resume from the latest committed checkpoint, the post-resume loss
+//! trajectory must be bitwise-equal to a fault-free reference run from
+//! that step, no collective may block past the watchdog deadline, and
+//! `ucp fsck` must find the tree clean after every recovery.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ucp_repro::core::fsck::{fsck, FsckOptions};
+use ucp_repro::model::ModelConfig;
+use ucp_repro::parallel::{ParallelConfig, ZeroStage};
+use ucp_repro::trainer::supervisor::{supervise, FaultKind, RankFault, SupervisorOptions};
+use ucp_repro::trainer::{train_run, ResumeMode, RunResult, TrainConfig, TrainPlan};
+
+const ITERS: u64 = 6;
+const SAVE_EVERY: u64 = 2;
+const SEED: u64 = 4242;
+const DEADLINE: Duration = Duration::from_secs(1);
+
+/// Serializes the tests in this file: the recovery-counter test reads
+/// the process-global telemetry recorder, which a concurrently running
+/// supervised recovery from another test would also increment.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ucp_elastic_recovery_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn source_topology() -> ParallelConfig {
+    // 4 ranks: TP2 x PP1 x DP2.
+    ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1)
+}
+
+fn degraded_targets() -> Vec<ParallelConfig> {
+    vec![
+        // Lose the second DP replica: TP2 x PP1 x DP1 (2 ranks).
+        ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1),
+        // Lose a whole TP pair too: TP1 x PP1 x DP2 (2 ranks).
+        ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+    ]
+}
+
+/// The chaos matrix: 3 kill steps x {panic, hang} x 2 degraded targets.
+/// Every cell replays a fault-free reference from its own checkpoint
+/// tree and compares loss trajectories bit for bit.
+#[test]
+fn chaos_matrix_recovers_bitwise_under_reduced_parallelism() {
+    let _guard = test_guard();
+    let source = source_topology();
+    let kill_rank = source.world_size() - 1;
+    let mut cells_run = 0usize;
+    for kill_step in [3u64, 4, 5] {
+        for kind in [FaultKind::Panic, FaultKind::Hang] {
+            for (ti, target) in degraded_targets().into_iter().enumerate() {
+                let kind_label = match kind {
+                    FaultKind::Panic => "panic",
+                    FaultKind::Hang => "hang",
+                    FaultKind::SlowMs(_) => unreachable!(),
+                };
+                let dir = tmp(&format!("s{kill_step}_{kind_label}_t{ti}"));
+                let plan = TrainPlan {
+                    config: TrainConfig::quick(ModelConfig::gpt3_tiny(), source, SEED),
+                    until_iteration: ITERS,
+                    resume: ResumeMode::Fresh,
+                    checkpoint_every: Some(SAVE_EVERY),
+                    checkpoint_dir: Some(dir.clone()),
+                };
+                let opts = SupervisorOptions {
+                    deadline: DEADLINE,
+                    max_restarts: 2,
+                    ladder: vec![target],
+                    faults: vec![RankFault {
+                        rank: kill_rank,
+                        step: kill_step,
+                        kind,
+                    }],
+                };
+                let t0 = Instant::now();
+                let report = supervise(&plan, &opts).unwrap_or_else(|e| {
+                    panic!("cell s{kill_step}/{kind_label}/t{ti} did not recover: {e}")
+                });
+                let elapsed = t0.elapsed();
+                // No collective may block past the watchdog deadline: even
+                // the hang cells must finish in bounded time (training +
+                // recovery + one deadline), far under this ceiling.
+                assert!(
+                    elapsed < Duration::from_secs(120),
+                    "cell s{kill_step}/{kind_label}/t{ti} took {elapsed:?}"
+                );
+
+                assert_eq!(report.restarts.len(), 1, "exactly one recovery cycle");
+                let restart = &report.restarts[0];
+                assert_eq!(restart.rank, kill_rank);
+                assert_eq!(restart.step, kill_step);
+                assert!(
+                    restart.payload.contains("injected fault"),
+                    "unexpected payload: {}",
+                    restart.payload
+                );
+                assert_eq!(restart.parallel, target);
+                // Checkpoints land at steps 2, 4, 6; the latest committed
+                // step before the kill is the resume point.
+                let expected_resume = (kill_step / SAVE_EVERY) * SAVE_EVERY;
+                assert_eq!(restart.resume_step, Some(expected_resume));
+                assert_eq!(restart.lost_steps, kill_step - expected_resume);
+
+                // Post-resume trajectory must be bitwise-equal to a
+                // fault-free run resumed from the same committed
+                // checkpoint under the same degraded topology.
+                let reference = train_run(&TrainPlan {
+                    config: TrainConfig::quick(ModelConfig::gpt3_tiny(), target, SEED),
+                    until_iteration: ITERS,
+                    resume: ResumeMode::Universal {
+                        dir: dir.clone(),
+                        step: expected_resume,
+                    },
+                    checkpoint_every: None,
+                    checkpoint_dir: None,
+                })
+                .unwrap();
+                let resumed = &report.final_segment().losses;
+                assert_eq!(resumed.len(), reference.losses.len());
+                for ((ia, la), (ib, lb)) in resumed.iter().zip(&reference.losses) {
+                    assert_eq!(ia, ib);
+                    assert_eq!(
+                        la.to_bits(),
+                        lb.to_bits(),
+                        "cell s{kill_step}/{kind_label}/t{ti} iteration {ia}: \
+                         resumed {la} != reference {lb}"
+                    );
+                }
+
+                // The tree must be fsck-clean after the recovery.
+                let fsck_report = fsck(&dir, &FsckOptions { repair: false }).unwrap();
+                assert!(
+                    fsck_report.clean(),
+                    "cell s{kill_step}/{kind_label}/t{ti} left a dirty tree: {fsck_report:?}"
+                );
+                cells_run += 1;
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    assert_eq!(cells_run, 12);
+}
+
+/// A kill before the first committed checkpoint restarts fresh under the
+/// degraded topology — no checkpoint means losing all progress, not
+/// deadlocking or giving up.
+#[test]
+fn kill_before_first_checkpoint_restarts_fresh() {
+    let _guard = test_guard();
+    let dir = tmp("fresh_restart");
+    let source = source_topology();
+    let target = ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1);
+    let plan = TrainPlan {
+        config: TrainConfig::quick(ModelConfig::gpt3_tiny(), source, SEED),
+        until_iteration: 4,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(4),
+        checkpoint_dir: Some(dir.clone()),
+    };
+    let opts = SupervisorOptions {
+        deadline: DEADLINE,
+        max_restarts: 2,
+        ladder: vec![target],
+        faults: vec![RankFault {
+            rank: 0,
+            step: 1,
+            kind: FaultKind::Panic,
+        }],
+    };
+    let report = supervise(&plan, &opts).unwrap();
+    assert_eq!(report.restarts.len(), 1);
+    assert_eq!(report.restarts[0].resume_step, None);
+    assert_eq!(report.restarts[0].lost_steps, 1);
+    // The fresh restart under the degraded topology matches a plain fresh
+    // run bitwise.
+    let reference = train_run(&TrainPlan::simple(
+        TrainConfig::quick(ModelConfig::gpt3_tiny(), target, SEED),
+        4,
+    ))
+    .unwrap();
+    let resumed = &report.final_segment().losses;
+    assert_eq!(resumed.len(), reference.losses.len());
+    for ((ia, la), (ib, lb)) in resumed.iter().zip(&reference.losses) {
+        assert_eq!(ia, ib);
+        assert_eq!(la.to_bits(), lb.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two sequential faults consume two rungs of the ladder: the run first
+/// degrades TP2xPP1xDP2 -> TP2xPP1xDP1, is killed again, and finishes on
+/// the final single-rank rung — the paper's repeated-shrink scenario.
+#[test]
+fn repeated_failures_walk_down_the_ladder() {
+    let _guard = test_guard();
+    let dir = tmp("ladder_walk");
+    let source = source_topology();
+    let rung1 = ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1);
+    let rung2 = ParallelConfig::single();
+    let plan = TrainPlan {
+        config: TrainConfig::quick(ModelConfig::gpt3_tiny(), source, SEED),
+        until_iteration: 8,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(2),
+        checkpoint_dir: Some(dir.clone()),
+    };
+    let opts = SupervisorOptions {
+        deadline: DEADLINE,
+        max_restarts: 3,
+        ladder: vec![rung1, rung2],
+        faults: vec![
+            RankFault {
+                rank: 3,
+                step: 3,
+                kind: FaultKind::Panic,
+            },
+            // Fires in the rung1 segment (2 ranks), killing rank 1.
+            RankFault {
+                rank: 1,
+                step: 5,
+                kind: FaultKind::Hang,
+            },
+        ],
+    };
+    let report = supervise(&plan, &opts).unwrap();
+    assert_eq!(report.restarts.len(), 2);
+    assert_eq!(report.restarts[0].parallel, rung1);
+    assert_eq!(report.restarts[0].resume_step, Some(2));
+    assert_eq!(report.restarts[1].parallel, rung2);
+    assert_eq!(report.restarts[1].resume_step, Some(4));
+    let last = report.final_segment();
+    assert_eq!(last.start_iteration, 4);
+    assert_eq!(last.losses.last().unwrap().0, 8);
+    // Reference: fault-free single-rank run from the step-4 universal
+    // checkpoint the second recovery produced.
+    let reference = train_run(&TrainPlan {
+        config: TrainConfig::quick(ModelConfig::gpt3_tiny(), rung2, SEED),
+        until_iteration: 8,
+        resume: ResumeMode::Universal {
+            dir: dir.clone(),
+            step: 4,
+        },
+        checkpoint_every: None,
+        checkpoint_dir: None,
+    })
+    .unwrap();
+    for ((ia, la), (ib, lb)) in last.losses.iter().zip(&reference.losses) {
+        assert_eq!(ia, ib);
+        assert_eq!(la.to_bits(), lb.to_bits());
+    }
+    assert!(fsck(&dir, &FsckOptions { repair: false }).unwrap().clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The telemetry recovery counters are recorded when the global recorder
+/// is enabled during a supervised recovery.
+#[test]
+fn recovery_counters_are_recorded() {
+    let _guard = test_guard();
+    let dir = tmp("telemetry");
+    let plan = TrainPlan {
+        config: TrainConfig::quick(
+            ModelConfig::gpt3_tiny(),
+            ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+            SEED,
+        ),
+        until_iteration: 6,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(2),
+        checkpoint_dir: Some(dir.clone()),
+    };
+    let opts = SupervisorOptions {
+        deadline: DEADLINE,
+        max_restarts: 2,
+        ladder: vec![ParallelConfig::single()],
+        faults: vec![RankFault {
+            rank: 1,
+            step: 3,
+            kind: FaultKind::Panic,
+        }],
+    };
+    let rec = ucp_repro::telemetry::global();
+    rec.reset();
+    rec.set_enabled(true);
+    let report = supervise(&plan, &opts).unwrap();
+    let metrics = rec.report("elastic_recovery_test");
+    rec.set_enabled(false);
+    assert_eq!(report.restarts.len(), 1);
+    let counter = |name: &str| {
+        metrics
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    assert_eq!(counter("recovery/failures"), 1);
+    assert_eq!(counter("recovery/restarts"), 1);
+    assert_eq!(counter("recovery/lost_steps"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `UCP_RANK_FAULTS` clause syntax parses into the same schedule the
+/// programmatic API takes ([`supervise`] merges both sources).
+#[test]
+fn parse_faults_roundtrip_matches_env_syntax() {
+    let faults =
+        ucp_repro::trainer::parse_faults("rank=3,step=4,kind=hang;rank=0,step=2,kind=slow:50")
+            .unwrap();
+    assert_eq!(
+        faults,
+        vec![
+            RankFault {
+                rank: 3,
+                step: 4,
+                kind: FaultKind::Hang
+            },
+            RankFault {
+                rank: 0,
+                step: 2,
+                kind: FaultKind::SlowMs(50)
+            },
+        ]
+    );
+}

@@ -202,6 +202,81 @@ fn v1_atoms_fall_back_to_whole_section_reads() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Every fp32 atom container under `dir`, largest payload first.
+fn fp32_atoms(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.file_name().is_some_and(|n| n == "fp32.ucpt") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort_by_key(|p| std::cmp::Reverse(std::fs::metadata(p).unwrap().len()));
+    found
+}
+
+#[test]
+fn damaged_block_table_falls_back_to_whole_section_read() {
+    let _g = serial();
+    let source = ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1);
+    let dir = universal_checkpoint(source, "tablefault", DType::F32);
+    let universal = layout::universal_dir(&dir, 2);
+    let manifest = ucp_repro::core::manifest::UcpManifest::load(&universal).unwrap();
+    let target = ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1);
+    let before: Vec<RankState> = (0..target.world_size())
+        .map(|rank| {
+            let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT).unwrap();
+            load_with_plan_opts(&universal, &plan, &LoadOptions::default()).unwrap()
+        })
+        .collect();
+
+    // Damage a block-*table* entry of the biggest fp32 atom; the payload
+    // itself stays intact.
+    let atom = fp32_atoms(&universal).into_iter().next().unwrap();
+    let mut bytes = std::fs::read(&atom).unwrap();
+    let index =
+        ucp_repro::storage::ContainerIndex::read_from(&mut std::io::Cursor::new(&bytes)).unwrap();
+    let info = index.get("fp32").unwrap().clone();
+    assert!(info.crc_block > 0, "test premise: v2 atom with a table");
+    let table_off = (info.payload_offset + info.payload_len) as usize;
+    bytes[table_off] ^= 1;
+    std::fs::write(&atom, &bytes).unwrap();
+
+    // Ranged loads fall back to a verified whole-section read and still
+    // produce the exact pre-corruption bytes, counting the fallback.
+    let rec = ucp_repro::telemetry::global();
+    rec.reset();
+    rec.set_enabled(true);
+    for (rank, expected) in before.iter().enumerate() {
+        let plan = gen_ucp_metadata(&manifest, &target, rank, DEFAULT_ALIGNMENT).unwrap();
+        let loaded = load_with_plan_opts(&universal, &plan, &LoadOptions::default()).unwrap();
+        assert_states_identical(&loaded, expected, &format!("table-fallback rank {rank}"));
+    }
+    let report = rec.report("table_fallback");
+    rec.set_enabled(false);
+    assert!(
+        report.counter("load/ranged_fallback").unwrap_or(0) > 0,
+        "fallback must be counted"
+    );
+
+    // Damaging the payload itself defeats both the table and the
+    // whole-payload CRC: the load must now fail, not fabricate data.
+    bytes[table_off] ^= 1; // restore the table
+    bytes[info.payload_offset as usize + 3] ^= 1; // corrupt the data
+    std::fs::write(&atom, &bytes).unwrap();
+    let plan = gen_ucp_metadata(&manifest, &target, 0, DEFAULT_ALIGNMENT).unwrap();
+    assert!(
+        load_with_plan_opts(&universal, &plan, &LoadOptions::default()).is_err(),
+        "corrupt payload must fail the load"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn session_cache_shares_bytes_across_dp_replicas() {
     let _g = serial();

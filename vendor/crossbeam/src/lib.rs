@@ -30,6 +30,9 @@ pub mod channel {
     /// Error returned when all senders have disconnected.
     pub type RecvError = mpsc::RecvError;
     pub type TryRecvError = mpsc::TryRecvError;
+    /// Error returned by [`Receiver::recv_timeout`]: either the wait timed
+    /// out or all senders have disconnected.
+    pub type RecvTimeoutError = mpsc::RecvTimeoutError;
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
