@@ -1,0 +1,133 @@
+//! The parallel atom-fetch pool must be invisible except for speed: any
+//! pool width produces bitwise-identical rank state and identical
+//! `load/bytes_read` accounting to the serial path, including through a
+//! bandwidth-throttled device.
+
+use ucp_bench::report::scratch_dir;
+use ucp_core::convert::ConvertOptions;
+use ucp_core::load::{LoadOptions, LoadSession, RankState, DEFAULT_ALIGNMENT};
+use ucp_model::ModelConfig;
+use ucp_parallel::{ParallelConfig, ZeroStage};
+use ucp_storage::Device;
+use ucp_trainer::{convert_checkpoint, train_run, ResumeMode, TrainConfig, TrainPlan};
+
+/// Train a tiny TP2×PP2 source and convert it to a universal checkpoint.
+fn universal_checkpoint(dir: &std::path::Path, step: u64) {
+    let source = ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1);
+    let cfg = TrainConfig::quick(ModelConfig::gpt3_tiny(), source, 97);
+    train_run(&TrainPlan {
+        config: cfg,
+        until_iteration: step,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(step),
+        checkpoint_dir: Some(dir.to_path_buf()),
+    })
+    .expect("source training run");
+    convert_checkpoint(dir, step, &ConvertOptions::default()).expect("conversion");
+}
+
+/// Load every rank of `target` through one session on `device`, returning
+/// the states plus the session's `load/bytes_read` and `storage/open`
+/// counters.
+fn session_load(
+    dir: &std::path::Path,
+    step: u64,
+    target: &ParallelConfig,
+    device: Device,
+) -> (Vec<RankState>, u64, u64) {
+    let rec = ucp_telemetry::global();
+    rec.reset();
+    rec.set_enabled(true);
+    let opts = LoadOptions {
+        workers: 2,
+        device,
+        ranged: true,
+    };
+    let session = LoadSession::open(dir, step, opts).expect("open universal checkpoint");
+    let states = (0..target.world_size())
+        .map(|rank| {
+            session
+                .load_rank(target, rank, DEFAULT_ALIGNMENT)
+                .expect("load rank")
+        })
+        .collect();
+    let report = rec.report("parallel_fetch");
+    rec.set_enabled(false);
+    (
+        states,
+        report.counter("load/bytes_read").unwrap_or(0),
+        report.counter("storage/open").unwrap_or(0),
+    )
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_states_identical(label: &str, a: &RankState, b: &RankState) {
+    assert_eq!(bits(&a.fp32), bits(&b.fp32), "{label}: fp32 chunk differs");
+    assert_eq!(
+        bits(&a.exp_avg),
+        bits(&b.exp_avg),
+        "{label}: exp_avg chunk differs"
+    );
+    assert_eq!(
+        bits(&a.exp_avg_sq),
+        bits(&b.exp_avg_sq),
+        "{label}: exp_avg_sq chunk differs"
+    );
+    assert_eq!(a.model_params.len(), b.model_params.len(), "{label}");
+    for ((an, at), (bn, bt)) in a.model_params.iter().zip(&b.model_params) {
+        assert_eq!(an, bn, "{label}: param order differs");
+        assert_eq!(
+            bits(at.as_slice()),
+            bits(bt.as_slice()),
+            "{label}: param {an} differs"
+        );
+    }
+}
+
+/// Pool widths {1, 2, 8} all reconstruct the exact serial-path state and
+/// account the exact serial-path bytes, for a DP-heavy target (atom-cache
+/// sharing) and a TP-heavy target (re-sharded ranges), through a 64 MiB/s
+/// throttled device.
+#[test]
+fn fetch_pool_widths_are_bitwise_invisible() {
+    let dir = scratch_dir("parallel_fetch");
+    let step = 2;
+    universal_checkpoint(&dir, step);
+
+    for target in [
+        ParallelConfig::new(1, 1, 4, 1, ZeroStage::Zero1),
+        ParallelConfig::new(4, 1, 1, 1, ZeroStage::Zero1),
+    ] {
+        let label = format!("tp{}_pp{}_dp{}", target.tp, target.pp, target.dp);
+        // Serial reference: a throttled device with no explicit pool runs
+        // one fetch worker (parallel workers would each get their own
+        // throttle clock and multiply the simulated bandwidth).
+        let serial = Device::with_mibps(64);
+        assert_eq!(serial.fetch_pool(), 1);
+        let (ref_states, ref_bytes, ref_opens) = session_load(&dir, step, &target, serial);
+        assert!(ref_bytes > 0, "{label}: serial path read nothing");
+        assert!(ref_opens > 0, "{label}: no storage/open ticks recorded");
+
+        for pool in [1usize, 2, 8] {
+            let device = Device::with_mibps(64).with_fetch_workers(pool);
+            assert_eq!(device.fetch_pool(), pool);
+            let (states, bytes, _) = session_load(&dir, step, &target, device);
+            assert_eq!(
+                states.len(),
+                ref_states.len(),
+                "{label} pool={pool}: rank count"
+            );
+            for (rank, (a, b)) in ref_states.iter().zip(&states).enumerate() {
+                assert_states_identical(&format!("{label} pool={pool} rank={rank}"), a, b);
+            }
+            assert_eq!(
+                bytes, ref_bytes,
+                "{label} pool={pool}: load/bytes_read diverged from serial"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -57,6 +57,17 @@ USAGE:
       to a fault-free run from the same checkpoint and that `fsck` stays
       clean. --report-out writes a ucp-chaos-v1 JSON report; exits
       non-zero if any cell fails to recover or diverges.
+  ucp bench [--fast] [--out <BENCH_ops.json>]
+      Run the hot-path microbenchmark (CRC kernels, section-range read,
+      fig13 ranged load) and write a ucp-metrics-v1 report (default
+      BENCH_ops.json). --fast shrinks payloads and skips the fig13 probe
+      for quick local iteration; CI gates on full runs.
+  ucp bench --check [--baseline <path>] [--current <path>] [--tolerance T]
+      Compare a current microbench report (default BENCH_ops.json)
+      against the committed baseline (default results/BENCH_baseline.json)
+      and exit non-zero when any gated metric regresses beyond the noise
+      tolerance (default 0.25). Prints a baseline-vs-current markdown
+      table; CI appends it to the job summary.
   ucp help
       Show this message.
 
@@ -138,6 +149,16 @@ pub struct Parsed {
     /// `--report-out` (chaos): write the machine-readable chaos report
     /// here.
     pub report_out: Option<PathBuf>,
+    /// `--fast` (bench): shrink payloads and skip the fig13 probe.
+    pub fast: bool,
+    /// `--out` (bench): where to write the microbench report.
+    pub out: Option<PathBuf>,
+    /// `--check` (bench): compare current vs. baseline instead of running.
+    pub check: bool,
+    /// `--baseline` (bench --check): committed baseline report path.
+    pub baseline: Option<PathBuf>,
+    /// `--current` (bench --check): current report path.
+    pub current: Option<PathBuf>,
 }
 
 /// Parse a flag list.
@@ -187,6 +208,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--targets" => p.targets = Some(value(&mut i)?),
             "--deadline-ms" => p.deadline_ms = Some(parse_num(&value(&mut i)?)?),
             "--report-out" => p.report_out = Some(PathBuf::from(value(&mut i)?)),
+            "--fast" => p.fast = true,
+            "--out" => p.out = Some(PathBuf::from(value(&mut i)?)),
+            "--check" => p.check = true,
+            "--baseline" => p.baseline = Some(PathBuf::from(value(&mut i)?)),
+            "--current" => p.current = Some(PathBuf::from(value(&mut i)?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -317,6 +343,30 @@ mod tests {
         assert_eq!(p.targets.as_deref(), Some("1x1x2;1x1x1"));
         assert_eq!(p.deadline_ms, Some(1500));
         assert_eq!(p.report_out.unwrap(), PathBuf::from("/tmp/chaos.json"));
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let p = parse(&sv(&[
+            "--check",
+            "--baseline",
+            "results/BENCH_baseline.json",
+            "--current",
+            "BENCH_ops.json",
+            "--tolerance",
+            "0.3",
+        ]))
+        .unwrap();
+        assert!(p.check);
+        assert_eq!(
+            p.baseline.unwrap(),
+            PathBuf::from("results/BENCH_baseline.json")
+        );
+        assert_eq!(p.current.unwrap(), PathBuf::from("BENCH_ops.json"));
+        assert_eq!(p.tolerance, Some(0.3));
+        let p = parse(&sv(&["--fast", "--out", "/tmp/b.json"])).unwrap();
+        assert!(p.fast && !p.check);
+        assert_eq!(p.out.unwrap(), PathBuf::from("/tmp/b.json"));
     }
 
     #[test]

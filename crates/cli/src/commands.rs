@@ -717,6 +717,53 @@ pub fn diff(p: &Parsed) -> Result<(), String> {
     }
 }
 
+/// `ucp bench`: run the hot-path microbenchmark, or with `--check`
+/// compare a current report against the committed baseline.
+///
+/// The run mode writes a `ucp-metrics-v1` report (default
+/// `BENCH_ops.json`); the check mode derives the gated metrics (CRC GB/s,
+/// section-range read GB/s, fig13 load wall time) from both reports,
+/// prints a baseline-vs-current markdown table, and fails when any metric
+/// regresses beyond the noise tolerance (default 25%).
+pub fn bench(p: &Parsed) -> Result<(), String> {
+    if p.check {
+        let baseline_path = p
+            .baseline
+            .clone()
+            .unwrap_or_else(|| "results/BENCH_baseline.json".into());
+        let current_path = p.current.clone().unwrap_or_else(|| "BENCH_ops.json".into());
+        let read = |path: &std::path::Path| -> Result<ucp_telemetry::Report, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            ucp_telemetry::Report::from_json(&text)
+                .map_err(|e| format!("parsing {}: {e}", path.display()))
+        };
+        let baseline = read(&baseline_path)?;
+        let current = read(&current_path)?;
+        let tolerance = p.tolerance.unwrap_or(ucp_bench::DEFAULT_TOLERANCE);
+        let (rows, ok) = ucp_bench::check(&baseline, &current, tolerance);
+        print!("{}", ucp_bench::render_markdown(&rows));
+        if ok {
+            println!("perf gate: PASS (tolerance {}%)", tolerance * 100.0);
+            Ok(())
+        } else {
+            Err(format!(
+                "perf gate: FAIL — metric regressed beyond {}% tolerance \
+                 (baseline {})",
+                tolerance * 100.0,
+                baseline_path.display()
+            ))
+        }
+    } else {
+        let report = ucp_bench::micro::run(p.fast);
+        let out = p.out.clone().unwrap_or_else(|| "BENCH_ops.json".into());
+        ucp_storage::commit::atomic_write(&out, report.to_json().as_bytes())
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("microbench report written to {}", out.display());
+        Ok(())
+    }
+}
+
 /// `ucp chaos`: sweep a rank-kill schedule and verify elastic recovery.
 ///
 /// Every cell of the (kill step × fault kind × degraded target) matrix

@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "diff" => commands::diff(&parsed),
         "trace" => commands::trace(&parsed),
         "chaos" => commands::chaos(&parsed),
+        "bench" => commands::bench(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             return ExitCode::SUCCESS;

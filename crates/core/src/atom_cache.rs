@@ -24,10 +24,30 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use ucp_storage::layout::{self, AtomFile};
-use ucp_storage::{ContainerIndex, Device};
+use ucp_storage::{ContainerIndex, Device, RangeScratch};
 use ucp_tensor::{DType, Shape};
 
+use crate::util::par_map;
 use crate::{Result, UcpError};
+
+/// Tick the file-open counter (`storage/open`): cache-miss fetches open
+/// one handle per pool worker, so the counter makes handle churn visible.
+fn count_open() {
+    if ucp_telemetry::enabled() {
+        ucp_telemetry::count("storage/open", 1);
+    }
+}
+
+/// What fetching one coalesced gap produced.
+enum GapOutcome {
+    /// Decoded values, plus the bytes the fetch cost on disk (payload
+    /// span + CRC table entries).
+    Fetched(Vec<f32>, u64),
+    /// Block-granular checksum mismatch — not fatal: the orchestrator
+    /// falls back to one whole-section read verified against the
+    /// independent whole-payload CRC.
+    Mismatch(String),
+}
 
 /// Decoded, disjoint, non-adjacent element intervals of one atom section,
 /// plus the container index needed to fetch more of it.
@@ -79,6 +99,7 @@ impl AtomCache {
         let key = file.state_key();
 
         if entry.index.is_none() {
+            count_open();
             let f = std::fs::File::open(&path)?;
             let mut r = device.reader(std::io::BufReader::new(f));
             entry.index = Some(ContainerIndex::read_from(&mut r)?);
@@ -151,49 +172,88 @@ impl AtomCache {
 
         if !coalesced.is_empty() {
             let _sp = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Load, "atom_fetch");
-            let f = std::fs::File::open(&path)?;
-            let mut r = device.reader(std::io::BufReader::new(f));
-            let mut read_bytes = 0u64;
-            for gap in coalesced {
-                let index = entry.index.as_ref().expect("index populated above");
-                let info = index.get(key).expect("section checked above");
-                // Payload span plus the CRC table entries covering it.
-                let gap_bytes = info.range_read_bytes(&gap)
-                    + if info.crc_block == 0 {
-                        4
-                    } else {
-                        4 * ((gap.end as u64 * esize).div_ceil(info.crc_block as u64)
-                            - gap.start as u64 * esize / info.crc_block as u64)
-                    };
-                let payload_len = info.payload_len;
-                match index.read_section_range(&mut r, key, gap.clone()) {
-                    Ok(tensor) => {
-                        read_bytes += gap_bytes;
-                        entry.insert(gap.start, tensor.as_slice().to_vec());
-                    }
-                    Err(ucp_storage::StorageError::ChecksumMismatch { what }) => {
-                        // Graceful degradation: a block-granular mismatch
-                        // may mean the *table* is damaged, not the data.
-                        // Re-read the whole section verified against its
-                        // independent whole-payload CRC; only if that
-                        // fails too is the atom truly corrupt.
-                        eprintln!(
-                            "warning: atom {name} {key}: ranged read failed \
-                             ({what}); falling back to a whole-section read"
-                        );
-                        if ucp_telemetry::enabled() {
-                            ucp_telemetry::count("load/ranged_fallback", 1);
+            let payload_len = info.payload_len;
+
+            // Fan the coalesced gaps out over the device's fetch pool.
+            // Each worker holds one file handle and one scratch buffer for
+            // its whole stripe of gaps; every gap is attempted regardless
+            // of pool size, so decoded state and `load/bytes_read` are
+            // identical from the serial path to any pool width.
+            let pool = device.fetch_pool().min(coalesced.len()).max(1);
+            let index = entry.index.as_ref().expect("index populated above");
+            let info = index.get(key).expect("section checked above");
+            let gaps = &coalesced;
+            let stripes = par_map(pool, pool, |w| {
+                count_open();
+                let f = std::fs::File::open(&path)?;
+                let mut r = device.reader(std::io::BufReader::new(f));
+                let mut scratch = RangeScratch::default();
+                let mut out = Vec::new();
+                for (i, gap) in gaps.iter().enumerate().skip(w).step_by(pool) {
+                    // Payload span plus the CRC table entries covering it.
+                    let gap_bytes = info.range_read_bytes(gap)
+                        + if info.crc_block == 0 {
+                            4
+                        } else {
+                            4 * ((gap.end as u64 * esize).div_ceil(info.crc_block as u64)
+                                - gap.start as u64 * esize / info.crc_block as u64)
+                        };
+                    match index.read_section_range_with(&mut r, key, gap.clone(), &mut scratch) {
+                        Ok(tensor) => out.push((
+                            i,
+                            GapOutcome::Fetched(tensor.as_slice().to_vec(), gap_bytes),
+                        )),
+                        Err(ucp_storage::StorageError::ChecksumMismatch { what }) => {
+                            out.push((i, GapOutcome::Mismatch(what)));
                         }
-                        let index = entry.index.as_ref().expect("index populated above");
-                        let full = index.read_section_lenient(&mut r, key)?;
-                        read_bytes += payload_len + 4;
-                        entry.intervals.clear();
-                        entry.insert(0, full.as_slice().to_vec());
-                        // The whole section is cached now; any remaining
-                        // gaps are covered.
-                        break;
+                        Err(e) => return Err(e.into()),
                     }
-                    Err(e) => return Err(e.into()),
+                }
+                Ok(out)
+            })?;
+            let mut outcomes: Vec<Option<GapOutcome>> =
+                (0..coalesced.len()).map(|_| None).collect();
+            for (i, o) in stripes.into_iter().flatten() {
+                outcomes[i] = Some(o);
+            }
+            let mut read_bytes: u64 = outcomes
+                .iter()
+                .map(|o| match o {
+                    Some(GapOutcome::Fetched(_, b)) => *b,
+                    _ => 0,
+                })
+                .sum();
+            let mismatch = outcomes.iter().find_map(|o| match o {
+                Some(GapOutcome::Mismatch(what)) => Some(what.clone()),
+                _ => None,
+            });
+            if let Some(what) = mismatch {
+                // Graceful degradation: a block-granular mismatch may mean
+                // the *table* is damaged, not the data. Re-read the whole
+                // section verified against its independent whole-payload
+                // CRC; only if that fails too is the atom truly corrupt.
+                eprintln!(
+                    "warning: atom {name} {key}: ranged read failed \
+                     ({what}); falling back to a whole-section read"
+                );
+                if ucp_telemetry::enabled() {
+                    ucp_telemetry::count("load/ranged_fallback", 1);
+                }
+                count_open();
+                let f = std::fs::File::open(&path)?;
+                let mut r = device.reader(std::io::BufReader::new(f));
+                let full = {
+                    let index = entry.index.as_ref().expect("index populated above");
+                    index.read_section_lenient(&mut r, key)?
+                };
+                read_bytes += payload_len + 4;
+                entry.intervals.clear();
+                entry.insert(0, full.as_slice().to_vec());
+            } else {
+                for (gap, o) in coalesced.iter().zip(outcomes) {
+                    if let Some(GapOutcome::Fetched(vals, _)) = o {
+                        entry.insert(gap.start, vals);
+                    }
                 }
             }
             if ucp_telemetry::enabled() {

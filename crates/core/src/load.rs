@@ -247,6 +247,9 @@ fn validate_target(model: &ModelConfig, target: &ParallelConfig) -> Result<()> {
 fn read_atom(universal_dir: &Path, name: &str, file: AtomFile, device: &Device) -> Result<Tensor> {
     let path = layout::atom_path(universal_dir, name, file);
     let t = ucp_telemetry::enabled().then(std::time::Instant::now);
+    if t.is_some() {
+        ucp_telemetry::count("storage/open", 1);
+    }
     let f = std::fs::File::open(&path)?;
     let mut r = device.reader(std::io::BufReader::new(f));
     let c = Container::read_from(&mut r)?;

@@ -41,7 +41,7 @@ use std::path::Path;
 use ucp_tensor::{DType, Shape, Tensor};
 
 use crate::commit::AtomicFile;
-use crate::crc::{crc32c, crc32c_blocks, Crc32c};
+use crate::crc::{crc32c, BlockCrc, Crc32c};
 use crate::{Result, StorageError};
 
 const MAGIC: &[u8; 4] = b"UCPT";
@@ -56,6 +56,12 @@ const MAX_HEADER_LEN: usize = 256 * 1024 * 1024;
 
 /// Block size for streaming payloads through the CRC hasher.
 const CRC_BLOCK: usize = 64 * 1024;
+
+/// Elements encoded per chunk when streaming a section payload out: the
+/// writer never materializes a payload-sized buffer, only this much.
+/// 16 Ki elements is 64 KiB of fp32 — big enough to amortize the write
+/// syscall, small enough to stay cache-resident.
+const ENCODE_CHUNK_ELEMS: usize = 16 * 1024;
 
 /// CRC block size (bytes) new v2 sections are written with. Small enough
 /// that a tensor-parallel slice of an inner dimension maps to whole blocks
@@ -89,14 +95,49 @@ fn block_count(payload_len: u64, crc_block: u32) -> u64 {
 /// can exhaust memory.
 fn read_bytes_bounded<R: Read>(r: &mut R, len: usize, what: &str) -> Result<Vec<u8>> {
     let mut buf = Vec::new();
-    r.take(len as u64).read_to_end(&mut buf)?;
+    read_bytes_bounded_into(r, len, what, &mut buf)?;
+    Ok(buf)
+}
+
+/// [`read_bytes_bounded`] into a caller-owned buffer, so repeated reads
+/// (e.g. one per coalesced gap of a ranged load) reuse the same allocation
+/// instead of churning a fresh `Vec` per call. The buffer is cleared but
+/// keeps its capacity; growth is still driven by actual arriving data, not
+/// the declared length.
+fn read_bytes_bounded_into<R: Read>(
+    r: &mut R,
+    len: usize,
+    what: &str,
+    buf: &mut Vec<u8>,
+) -> Result<()> {
+    buf.clear();
+    r.take(len as u64).read_to_end(buf)?;
     if buf.len() != len {
         return Err(StorageError::Malformed(format!(
             "{what}: declared {len} bytes, file ends after {}",
             buf.len()
         )));
     }
-    Ok(buf)
+    Ok(())
+}
+
+/// Reusable buffers for [`ContainerIndex::read_section_range_with`]: one
+/// for block-aligned payload data, one for the CRC-table slice. A caller
+/// issuing many range reads (the atom cache's gap loop, a fetch-pool
+/// worker) holds one of these per thread and amortizes the allocations to
+/// the high-water mark of its largest read.
+#[derive(Debug, Default)]
+pub struct RangeScratch {
+    data: Vec<u8>,
+    table: Vec<u8>,
+}
+
+/// Tick the file-open counter: every `File::open` on a container path goes
+/// through here so `storage/open` reflects real handle churn.
+fn count_open() {
+    if ucp_telemetry::enabled() {
+        ucp_telemetry::count("storage/open", 1);
+    }
 }
 
 /// A named tensor inside a container.
@@ -174,6 +215,10 @@ impl Container {
         w.write_all(header)?;
         w.write_all(&crc32c(header).to_le_bytes())?;
         w.write_all(&(self.sections.len() as u32).to_le_bytes())?;
+        // One scratch buffer reused across all sections: payloads are
+        // encoded and hashed in fixed-size chunks, so the writer's memory
+        // high-water mark is one chunk, not the largest section.
+        let mut scratch = Vec::with_capacity(ENCODE_CHUNK_ELEMS * 4);
         for s in &self.sections {
             let name = s.name.as_bytes();
             w.write_all(&(name.len() as u16).to_le_bytes())?;
@@ -184,24 +229,40 @@ impl Container {
             for d in dims {
                 w.write_all(&(*d as u64).to_le_bytes())?;
             }
-            let mut payload =
-                Vec::with_capacity(s.tensor.num_elements() * s.tensor.dtype().size_bytes());
-            s.tensor.dtype().encode(s.tensor.as_slice(), &mut payload);
-            w.write_all(&(payload.len() as u64).to_le_bytes())?;
+            let dtype = s.tensor.dtype();
+            let payload_len = (s.tensor.num_elements() * dtype.size_bytes()) as u64;
+            w.write_all(&payload_len.to_le_bytes())?;
             if version >= 2 {
                 w.write_all(&RANGE_CRC_BLOCK.to_le_bytes())?;
-                w.write_all(&payload)?;
-                for crc in crc32c_blocks(&payload, RANGE_CRC_BLOCK as usize) {
+            }
+            // Stream the payload: each chunk of elements is encoded into
+            // the scratch buffer, written out, and fed to the hashers in a
+            // single pass — the block-CRC table and the whole-payload CRC
+            // come out of the same traversal that wrote the bytes.
+            let mut block = BlockCrc::new(RANGE_CRC_BLOCK as usize);
+            let mut whole = Crc32c::new();
+            for values in s.tensor.as_slice().chunks(ENCODE_CHUNK_ELEMS) {
+                scratch.clear();
+                dtype.encode(values, &mut scratch);
+                w.write_all(&scratch)?;
+                if version >= 2 {
+                    block.update(&scratch);
+                } else {
+                    whole.update(&scratch);
+                }
+            }
+            if version >= 2 {
+                let (table, whole) = block.finish();
+                for crc in table {
                     w.write_all(&crc.to_le_bytes())?;
                 }
                 // Whole-payload CRC, independent of the block table: the
                 // redundancy that lets a reader with a damaged table fall
                 // back to a verified whole-section read
                 // ([`ContainerIndex::read_section_lenient`]).
-                w.write_all(&crc32c(&payload).to_le_bytes())?;
+                w.write_all(&whole.to_le_bytes())?;
             } else {
-                w.write_all(&payload)?;
-                w.write_all(&crc32c(&payload).to_le_bytes())?;
+                w.write_all(&whole.finish().to_le_bytes())?;
             }
         }
         Ok(())
@@ -275,41 +336,27 @@ impl Container {
             } else {
                 None
             };
-            // Stream the payload through the hasher in fixed-size blocks:
-            // the checksum is computed in the same pass as the read, and
-            // the buffer only grows as real file bytes arrive, so a
-            // corrupt length can never force a giant up-front allocation.
-            // v1 hashes the whole payload into one checksum; v2 restarts
-            // the hasher every `crc_block` bytes, building the table to
-            // compare against the one stored after the payload.
+            // Stream the payload through the hashers in fixed-size blocks:
+            // checksums are computed in the same pass as the read, and the
+            // buffer only grows as real file bytes arrive, so a corrupt
+            // length can never force a giant up-front allocation. v1 hashes
+            // the whole payload into one checksum; v2 feeds the combined
+            // [`BlockCrc`] hasher, which yields the per-block table *and*
+            // the whole-payload CRC without rescanning the payload.
             let mut payload = Vec::with_capacity(payload_len.min(1 << 20));
             let mut block = [0u8; CRC_BLOCK];
             let mut remaining = payload_len;
-            let mut h = Crc32c::new();
-            let mut fill = 0usize;
-            let mut computed_table = Vec::new();
+            let mut whole_hasher = Crc32c::new();
+            let mut block_hasher = crc_block.map(BlockCrc::new);
             let timing = ucp_telemetry::enabled();
             let mut crc_ns = 0u64;
             while remaining > 0 {
                 let n = CRC_BLOCK.min(remaining);
                 r.read_exact(&mut block[..n])?;
                 let t = timing.then(std::time::Instant::now);
-                match crc_block {
-                    None => h.update(&block[..n]),
-                    Some(cb) => {
-                        let mut rest = &block[..n];
-                        while !rest.is_empty() {
-                            let take = (cb - fill).min(rest.len());
-                            h.update(&rest[..take]);
-                            fill += take;
-                            if fill == cb {
-                                computed_table.push(h.finish());
-                                h = Crc32c::new();
-                                fill = 0;
-                            }
-                            rest = &rest[take..];
-                        }
-                    }
+                match &mut block_hasher {
+                    None => whole_hasher.update(&block[..n]),
+                    Some(h) => h.update(&block[..n]),
                 }
                 if let Some(t) = t {
                     crc_ns += t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
@@ -321,17 +368,16 @@ impl Container {
                 ucp_telemetry::observe("storage/crc_ns", crc_ns);
                 ucp_telemetry::count("storage/crc_bytes", payload_len as u64);
             }
-            match crc_block {
+            match block_hasher {
                 None => {
                     let crc = read_u32(r)?;
-                    if h.finish() != crc {
+                    if whole_hasher.finish() != crc {
                         return Err(StorageError::ChecksumMismatch { what: name });
                     }
                 }
-                Some(cb) => {
-                    if fill > 0 {
-                        computed_table.push(h.finish());
-                    }
+                Some(h) => {
+                    let (computed_table, computed_whole) = h.finish();
+                    let cb = crc_block.unwrap_or(1);
                     let n_blocks = block_count(payload_len as u64, cb as u32) as usize;
                     debug_assert_eq!(computed_table.len(), n_blocks);
                     for (i, computed) in computed_table.iter().enumerate() {
@@ -343,7 +389,7 @@ impl Container {
                         }
                     }
                     let whole = read_u32(r)?;
-                    if crc32c(&payload) != whole {
+                    if computed_whole != whole {
                         return Err(StorageError::ChecksumMismatch {
                             what: format!("{name} (whole payload)"),
                         });
@@ -406,6 +452,7 @@ impl Container {
 
     /// Read from a file path.
     pub fn read_file(path: &Path) -> Result<Container> {
+        count_open();
         let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
         Container::read_from(&mut r)
     }
@@ -567,6 +614,7 @@ impl ContainerIndex {
 
     /// Read the index from a file.
     pub fn read_file(path: &Path) -> Result<ContainerIndex> {
+        count_open();
         let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
         ContainerIndex::read_from(&mut r)
     }
@@ -590,6 +638,19 @@ impl ContainerIndex {
         r: &mut R,
         section: &str,
         elems: Range<usize>,
+    ) -> Result<Tensor> {
+        self.read_section_range_with(r, section, elems, &mut RangeScratch::default())
+    }
+
+    /// [`ContainerIndex::read_section_range`] with caller-owned scratch
+    /// buffers: repeated calls (one per coalesced gap of a ranged load)
+    /// reuse the same allocations instead of churning fresh `Vec`s.
+    pub fn read_section_range_with<R: Read + Seek>(
+        &self,
+        r: &mut R,
+        section: &str,
+        elems: Range<usize>,
+        scratch: &mut RangeScratch,
     ) -> Result<Tensor> {
         let info = self.get(section).ok_or_else(|| {
             StorageError::Malformed(format!("container has no section {section}"))
@@ -617,19 +678,19 @@ impl ContainerIndex {
         }
         let bstart = elems.start * esize;
         let bend = elems.end * esize;
-        let bytes = if info.crc_block == 0 {
+        let bytes: &[u8] = if info.crc_block == 0 {
             // v1: no block table — read and verify the whole payload,
             // then slice the requested bytes out of it.
             r.seek(SeekFrom::Start(info.payload_offset))?;
-            let payload = read_bytes_bounded(r, info.payload_len as usize, section)?;
+            read_bytes_bounded_into(r, info.payload_len as usize, section, &mut scratch.data)?;
             let crc = read_u32(r)?;
-            if crc32c(&payload) != crc {
+            if crc32c(&scratch.data) != crc {
                 return Err(StorageError::ChecksumMismatch {
                     what: section.to_string(),
                 });
             }
-            self.count_range_read(payload.len() as u64 + 4);
-            payload[bstart..bend].to_vec()
+            self.count_range_read(scratch.data.len() as u64 + 4);
+            &scratch.data[bstart..bend]
         } else {
             let cb = info.crc_block as usize;
             let b0 = bstart / cb;
@@ -637,25 +698,26 @@ impl ContainerIndex {
             let data_off = info.payload_offset + (b0 * cb) as u64;
             let data_len = (b1 * cb).min(info.payload_len as usize) - b0 * cb;
             r.seek(SeekFrom::Start(data_off))?;
-            let data = read_bytes_bounded(r, data_len, section)?;
+            read_bytes_bounded_into(r, data_len, section, &mut scratch.data)?;
             r.seek(SeekFrom::Start(
                 info.payload_offset + info.payload_len + (b0 * 4) as u64,
             ))?;
-            let table = read_bytes_bounded(r, (b1 - b0) * 4, "block crc table")?;
-            for (i, chunk) in data.chunks(cb).enumerate() {
-                let stored = u32::from_le_bytes(table[i * 4..i * 4 + 4].try_into().unwrap());
+            read_bytes_bounded_into(r, (b1 - b0) * 4, "block crc table", &mut scratch.table)?;
+            for (i, chunk) in scratch.data.chunks(cb).enumerate() {
+                let stored =
+                    u32::from_le_bytes(scratch.table[i * 4..i * 4 + 4].try_into().unwrap());
                 if crc32c(chunk) != stored {
                     return Err(StorageError::ChecksumMismatch {
                         what: format!("{section} (block {})", b0 + i),
                     });
                 }
             }
-            self.count_range_read((data_len + table.len()) as u64);
-            data[bstart - b0 * cb..bend - b0 * cb].to_vec()
+            self.count_range_read((data_len + scratch.table.len()) as u64);
+            &scratch.data[bstart - b0 * cb..bend - b0 * cb]
         };
         let values = info
             .dtype
-            .decode(&bytes, n)
+            .decode(bytes, n)
             .ok_or_else(|| StorageError::Malformed(format!("section {section}: short payload")))?;
         let tensor = Tensor::from_vec(values, Shape::new([n]))
             .map_err(|e| StorageError::Malformed(e.to_string()))?;
@@ -721,6 +783,7 @@ impl ContainerIndex {
 /// `section` through a verified range read (see
 /// [`ContainerIndex::read_section_range`]).
 pub fn read_section_range(path: &Path, section: &str, elems: Range<usize>) -> Result<Tensor> {
+    count_open();
     let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
     let index = ContainerIndex::read_from(&mut r)?;
     index.read_section_range(&mut r, section, elems)

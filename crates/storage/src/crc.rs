@@ -1,15 +1,31 @@
 //! CRC-32C (Castagnoli) checksums for checkpoint integrity.
+//!
+//! The hot loops here sit on the checkpoint critical path: every payload
+//! byte written or verified flows through them, once for the per-block
+//! table and once for the whole-payload checksum. The update kernel uses
+//! *slicing-by-8* — eight interleaved 256-entry tables consuming 8 input
+//! bytes per step — which runs several times faster than the classic
+//! byte-at-a-time loop (the CI perf gate asserts ≥ 3×; see
+//! `results/BENCH_baseline.json`). The byte-wise loop survives as a
+//! `#[cfg(test)]` reference oracle that the property tests compare
+//! against.
 
 /// The Castagnoli polynomial (reflected form).
 const POLY: u32 = 0x82F6_3B78;
 
-/// Lazily-built lookup table.
-fn table() -> &'static [u32; 256] {
+/// Input bytes consumed per slicing step.
+const SLICE: usize = 8;
+
+/// Lazily-built slicing-by-8 lookup tables. `TABLES[0]` is the classic
+/// byte-at-a-time table; `TABLES[k][b]` is the CRC of byte `b` followed by
+/// `k` zero bytes, which lets eight table lookups advance the state over
+/// eight input bytes at once.
+fn tables() -> &'static [[u32; 256]; SLICE] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; SLICE]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; SLICE];
+        for (i, e) in t[0].iter_mut().enumerate() {
             let mut crc = i as u32;
             for _ in 0..8 {
                 crc = if crc & 1 != 0 {
@@ -20,8 +36,39 @@ fn table() -> &'static [u32; 256] {
             }
             *e = crc;
         }
+        for k in 1..SLICE {
+            for b in 0..256 {
+                let prev = t[k - 1][b];
+                t[k][b] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
+        }
         t
     })
+}
+
+/// Advance `state` over `bytes` with the slicing-by-8 kernel. The state is
+/// the *internal* (pre-inversion) CRC register, so updates compose across
+/// arbitrary split points.
+#[inline]
+fn update_state(mut state: u32, bytes: &[u8]) -> u32 {
+    let t = tables();
+    let mut chunks = bytes.chunks_exact(SLICE);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ state;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        state = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ t[0][((state ^ u32::from(b)) & 0xFF) as usize];
+    }
+    state
 }
 
 /// Streaming CRC-32C hasher.
@@ -44,10 +91,7 @@ impl Crc32c {
 
     /// Absorb bytes.
     pub fn update(&mut self, bytes: &[u8]) {
-        let t = table();
-        for &b in bytes {
-            self.state = (self.state >> 8) ^ t[((self.state ^ u32::from(b)) & 0xFF) as usize];
-        }
+        self.state = update_state(self.state, bytes);
     }
 
     /// Final checksum.
@@ -58,9 +102,7 @@ impl Crc32c {
 
 /// One-shot checksum.
 pub fn crc32c(bytes: &[u8]) -> u32 {
-    let mut h = Crc32c::new();
-    h.update(bytes);
-    h.finish()
+    !update_state(!0, bytes)
 }
 
 /// Per-block checksums: one CRC-32C per `block`-byte chunk of `data` (the
@@ -71,9 +113,74 @@ pub fn crc32c_blocks(data: &[u8], block: usize) -> Vec<u32> {
     data.chunks(block.max(1)).map(crc32c).collect()
 }
 
+/// Single-pass combined hasher for the v2 section layout: feeds each byte
+/// once and yields both the per-`block` CRC table and the independent
+/// whole-payload CRC. The container codec streams payloads through this in
+/// fixed-size chunks, so neither writing nor verifying a section ever
+/// materializes the payload just to hash it twice.
+#[derive(Debug)]
+pub struct BlockCrc {
+    block: usize,
+    fill: usize,
+    block_hasher: Crc32c,
+    whole_hasher: Crc32c,
+    table: Vec<u32>,
+}
+
+impl BlockCrc {
+    /// Hasher producing a table at `block`-byte granularity.
+    pub fn new(block: usize) -> BlockCrc {
+        BlockCrc {
+            block: block.max(1),
+            fill: 0,
+            block_hasher: Crc32c::new(),
+            whole_hasher: Crc32c::new(),
+            table: Vec::new(),
+        }
+    }
+
+    /// Absorb payload bytes (any chunking; block boundaries are tracked
+    /// internally).
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.whole_hasher.update(bytes);
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let take = (self.block - self.fill).min(rest.len());
+            self.block_hasher.update(&rest[..take]);
+            self.fill += take;
+            if self.fill == self.block {
+                self.table.push(self.block_hasher.finish());
+                self.block_hasher = Crc32c::new();
+                self.fill = 0;
+            }
+            rest = &rest[take..];
+        }
+    }
+
+    /// Finish: the per-block CRC table (final short block included) and
+    /// the whole-payload CRC.
+    pub fn finish(mut self) -> (Vec<u32>, u32) {
+        if self.fill > 0 {
+            self.table.push(self.block_hasher.finish());
+        }
+        (self.table, self.whole_hasher.finish())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-slicing byte-at-a-time loop, kept as the reference oracle
+    /// the optimized kernel is validated against.
+    fn crc32c_bytewise(bytes: &[u8]) -> u32 {
+        let t = &tables()[0];
+        let mut state = !0u32;
+        for &b in bytes {
+            state = (state >> 8) ^ t[((state ^ u32::from(b)) & 0xFF) as usize];
+        }
+        !state
+    }
 
     #[test]
     fn known_vectors() {
@@ -82,6 +189,24 @@ mod tests {
         assert_eq!(crc32c(b"123456789"), 0xE306_9283);
         assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
         assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        // The iSCSI "32 bytes incrementing" and "32 bytes decrementing"
+        // vectors, also from RFC 3720 §B.4.
+        let inc: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&inc), 0x46DD_794E);
+        let dec: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&dec), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn known_vectors_match_bytewise_oracle() {
+        for data in [
+            &b""[..],
+            &b"123456789"[..],
+            &[0u8; 32][..],
+            &[0xFFu8; 32][..],
+        ] {
+            assert_eq!(crc32c(data), crc32c_bytewise(data));
+        }
     }
 
     #[test]
@@ -91,6 +216,19 @@ mod tests {
         h.update(&data[..100]);
         h.update(&data[100..]);
         assert_eq!(h.finish(), crc32c(&data));
+    }
+
+    #[test]
+    fn unaligned_lengths_and_offsets_agree_with_oracle() {
+        // Exercise every remainder length and a misaligned start, so both
+        // the 8-byte kernel and the byte-wise tail are covered.
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 7 + 13) as u8).collect();
+        for start in 0..9 {
+            for end in start..data.len() {
+                let s = &data[start..end];
+                assert_eq!(crc32c(s), crc32c_bytewise(s), "slice {start}..{end}");
+            }
+        }
     }
 
     #[test]
@@ -104,10 +242,78 @@ mod tests {
     }
 
     #[test]
+    fn block_crc_single_pass_matches_two_pass() {
+        let data: Vec<u8> = (0..=255).cycle().take(1000).collect();
+        for chunking in [1usize, 7, 64, 256, 300, 1000] {
+            let mut h = BlockCrc::new(256);
+            for chunk in data.chunks(chunking) {
+                h.update(chunk);
+            }
+            let (table, whole) = h.finish();
+            assert_eq!(table, crc32c_blocks(&data, 256), "chunking {chunking}");
+            assert_eq!(whole, crc32c(&data), "chunking {chunking}");
+        }
+        let (table, whole) = BlockCrc::new(256).finish();
+        assert!(table.is_empty());
+        assert_eq!(whole, 0);
+    }
+
+    #[test]
     fn single_bit_flip_changes_checksum() {
         let mut data = vec![7u8; 64];
         let base = crc32c(&data);
         data[33] ^= 0x10;
         assert_ne!(crc32c(&data), base);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Slicing-by-8 one-shot, the streaming hasher over arbitrary
+            /// `update()` split points, and the byte-wise reference oracle
+            /// all agree on arbitrary inputs.
+            #[test]
+            fn prop_sliced_streaming_and_bytewise_agree(
+                data in prop::collection::vec((0u16..256).prop_map(|v| v as u8), 0..2048),
+                splits in prop::collection::vec(0.0f64..1.0, 0..6),
+            ) {
+                let oracle = crc32c_bytewise(&data);
+                prop_assert_eq!(crc32c(&data), oracle);
+
+                let mut cuts: Vec<usize> = splits
+                    .iter()
+                    .map(|f| (f * data.len() as f64) as usize)
+                    .collect();
+                cuts.push(0);
+                cuts.push(data.len());
+                cuts.sort_unstable();
+                cuts.dedup();
+                let mut h = Crc32c::new();
+                for w in cuts.windows(2) {
+                    h.update(&data[w[0]..w[1]]);
+                }
+                prop_assert_eq!(h.finish(), oracle);
+            }
+
+            /// The single-pass block hasher matches the per-chunk oracle
+            /// for any block size and any update chunking.
+            #[test]
+            fn prop_block_crc_matches_oracle(
+                data in prop::collection::vec((0u16..256).prop_map(|v| v as u8), 0..1500),
+                block in 1usize..512,
+                chunking in 1usize..300,
+            ) {
+                let mut h = BlockCrc::new(block);
+                for chunk in data.chunks(chunking) {
+                    h.update(chunk);
+                }
+                let (table, whole) = h.finish();
+                let want: Vec<u32> = data.chunks(block).map(crc32c_bytewise).collect();
+                prop_assert_eq!(table, want);
+                prop_assert_eq!(whole, crc32c_bytewise(&data));
+            }
+        }
     }
 }

@@ -17,6 +17,10 @@ pub struct Device {
     pub read_bps: Option<u64>,
     /// Sequential write bandwidth in bytes/s (`None` = unlimited).
     pub write_bps: Option<u64>,
+    /// Concurrent range-fetch workers the load path may run against this
+    /// device (`None` = pick from the bandwidth profile; see
+    /// [`Device::fetch_pool`]).
+    pub fetch_workers: Option<usize>,
 }
 
 impl Device {
@@ -31,6 +35,29 @@ impl Device {
         Device {
             read_bps: Some(bps),
             write_bps: Some(bps),
+            ..Device::default()
+        }
+    }
+
+    /// This device with an explicit range-fetch pool size (clamped to at
+    /// least 1).
+    pub fn with_fetch_workers(mut self, workers: usize) -> Device {
+        self.fetch_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Concurrent range-fetch workers the load path should use. An
+    /// explicit [`Device::fetch_workers`] always wins. Otherwise the
+    /// bandwidth profile decides: a throttled device gets 1 (each worker
+    /// owns an independent throttle clock, so parallel workers would
+    /// multiply the simulated bandwidth instead of sharing it), an
+    /// unlimited device gets a small pool that overlaps syscall latency
+    /// with CRC verification and decode.
+    pub fn fetch_pool(&self) -> usize {
+        match self.fetch_workers {
+            Some(n) => n.max(1),
+            None if self.read_bps.is_some() => 1,
+            None => 4,
         }
     }
 
@@ -445,11 +472,22 @@ mod tests {
         let dev = Device {
             read_bps: Some(u64::MAX),
             write_bps: None,
+            ..Device::default()
         };
         let data = vec![1u8; 1000];
         let mut r = dev.reader(&data[..]);
         let mut sink = Vec::new();
         r.read_to_end(&mut sink).unwrap();
         assert_eq!(r.bytes_transferred(), 1000);
+    }
+
+    #[test]
+    fn fetch_pool_follows_profile() {
+        // Unlimited → small default pool; throttled → serial (workers
+        // would each get their own throttle clock); explicit wins always.
+        assert_eq!(Device::unlimited().fetch_pool(), 4);
+        assert_eq!(Device::with_mibps(64).fetch_pool(), 1);
+        assert_eq!(Device::with_mibps(64).with_fetch_workers(8).fetch_pool(), 8);
+        assert_eq!(Device::unlimited().with_fetch_workers(0).fetch_pool(), 1);
     }
 }

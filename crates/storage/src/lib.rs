@@ -19,7 +19,8 @@ pub mod layout;
 pub mod retention;
 
 pub use container::{
-    read_section_range, Container, ContainerIndex, Section, SectionInfo, RANGE_CRC_BLOCK,
+    read_section_range, Container, ContainerIndex, RangeScratch, Section, SectionInfo,
+    RANGE_CRC_BLOCK,
 };
 pub use io::Device;
 pub use retention::{prune, InFlightGuard, PruneReport, RetentionPolicy};
