@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate the training stall added by the born-universal save pipeline.
+
+Reads two ucp-metrics-v1 reports from overlapped training runs — a
+baseline with the universal save pipeline disabled (native checkpoints
+only) and a run with the pipeline on — and compares the time training
+actually blocks on checkpointing: the snapshot copy, the drain of the
+previous background writer, and the marker publish. Atom assembly runs on
+the background writer threads, so turning the pipeline on may grow the
+blocking total by at most 10% plus an absolute noise slack.
+
+Also sanity-checks that the pipeline run really ran the pipeline (its
+assembly spans and atom counters are present and non-zero) and merges
+both runs' stall numbers into BENCH_ci.json when asked.
+
+Usage: check_save_stall.py baseline.json pipeline.json table.md [BENCH_ci.json]
+"""
+
+import json
+import sys
+
+# Spans on the training critical path: everything else about a save runs
+# on the background writer threads. The end-of-run writer join
+# (save/final_drain) is shutdown latency — there is no training left to
+# overlap with — so it is reported but not gated.
+BLOCKING_SPANS = ("save/snapshot", "save/drain", "save/publish")
+# Spans that prove the pipeline ran (all on the writer threads).
+PIPELINE_SPANS = ("save/exchange", "save/assemble", "save/atoms", "save/manifest",
+                  "save/publish_universal")
+REL_SLACK = 1.10  # pipeline blocking may be at most 10% over baseline...
+ABS_SLACK = 0.25  # ...plus this many seconds, since tiny CI runs are noise-bound
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    assert report["schema"] == "ucp-metrics-v1", f"{path}: bad schema tag"
+    spans = {s["path"]: s["total_secs"] for s in report["spans"]}
+    counters = {c["name"]: c["value"] for c in report["counters"]}
+    return report, spans, counters
+
+
+def blocking_total(spans, path):
+    missing = [s for s in BLOCKING_SPANS if s not in spans]
+    assert not missing, f"{path}: missing blocking spans {missing}"
+    return sum(spans[s] for s in BLOCKING_SPANS)
+
+
+def main(baseline_path, pipeline_path, table_path, merge_path=None):
+    _, base_spans, _ = load(baseline_path)
+    _, pipe_spans, pipe_counters = load(pipeline_path)
+
+    for span in PIPELINE_SPANS:
+        assert span in pipe_spans, f"{pipeline_path}: pipeline span {span} missing"
+    for name in ("save/universal_atoms", "save/universal_bytes"):
+        assert pipe_counters.get(name, 0) > 0, f"counter {name} missing or zero"
+
+    base_total = blocking_total(base_spans, baseline_path)
+    pipe_total = blocking_total(pipe_spans, pipeline_path)
+    budget = base_total * REL_SLACK + ABS_SLACK
+
+    rows = ["| span | baseline (native only) | pipeline (born-universal) |",
+            "|---|---|---|"]
+    for s in BLOCKING_SPANS:
+        rows.append(f"| {s} | {base_spans[s]:.4f}s | {pipe_spans[s]:.4f}s |")
+    rows.append(f"| **blocking total** | **{base_total:.4f}s** | **{pipe_total:.4f}s** |")
+    background = sum(pipe_spans[s] for s in PIPELINE_SPANS)
+    rows.append(f"| assembly (background) | — | {background:.4f}s |")
+    rows.append(f"| final drain (shutdown) | {base_spans.get('save/final_drain', 0):.4f}s "
+                f"| {pipe_spans.get('save/final_drain', 0):.4f}s |")
+    with open(table_path, "w") as f:
+        f.write("\n".join(rows) + "\n")
+
+    print(f"blocking: baseline {base_total:.4f}s, pipeline {pipe_total:.4f}s "
+          f"(budget {budget:.4f}s); assembly off-path {background:.4f}s, "
+          f"{pipe_counters['save/universal_atoms']} atoms / "
+          f"{pipe_counters['save/universal_bytes']} B published at save time")
+    assert pipe_total <= budget, (
+        f"born-universal pipeline stalls training: blocking went "
+        f"{base_total:.4f}s -> {pipe_total:.4f}s (budget {budget:.4f}s = "
+        f"{REL_SLACK}x + {ABS_SLACK}s)")
+
+    if merge_path:
+        with open(merge_path) as f:
+            merged = json.load(f)
+        delta_pct = 0 if base_total == 0 else (pipe_total / base_total - 1) * 100
+        merged["counters"].extend([
+            {"name": "save_stall/baseline_blocking_usecs",
+             "value": int(base_total * 1e6)},
+            {"name": "save_stall/pipeline_blocking_usecs",
+             "value": int(pipe_total * 1e6)},
+            {"name": "save_stall/delta_pct", "value": round(delta_pct)},
+        ])
+        with open(merge_path, "w") as f:
+            json.dump(merged, f, indent=2, sort_keys=True)
+        print(f"merged save-stall delta ({delta_pct:+.1f}%) into {merge_path}")
+    print("save-stall gate ok")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:5])

@@ -18,8 +18,15 @@ USAGE:
       --no-ranged-load reads whole atom files instead (the pre-v2
       behavior). Prints bytes read vs. bytes needed and cache hit rates.
   ucp train --dir <ckpt-base> --model <preset> --tp T --pp P --dp D [--sp S]
-      [--iters I] [--save-every K] [--seed S]
+      [--iters I] [--save-every K] [--seed S] [--overlapped]
+      [--no-universal-save]
       Run the training simulator with periodic native checkpointing.
+      --overlapped snapshots each checkpoint in memory and persists it on
+      background writer threads; the writers also run the born-universal
+      save pipeline, so latest_universal is published at save time and a
+      reconfigured resume needs no convert pass. --no-universal-save
+      keeps the overlapped native writers but skips the pipeline
+      (resume under a new strategy then requires `ucp convert`).
   ucp inspect --dir <ckpt-base> [--step N]
       Summarize a checkpoint: strategy, flat layout, atoms and patterns.
   ucp plan --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--zero Z] --rank R
@@ -127,6 +134,11 @@ pub struct Parsed {
     pub save_every: Option<u64>,
     /// `--seed` (train).
     pub seed: Option<u64>,
+    /// `--overlapped` (train): background snapshot-persist writers.
+    pub overlapped: bool,
+    /// `--no-universal-save` (train --overlapped): skip the born-universal
+    /// save pipeline, native checkpoints only.
+    pub no_universal_save: bool,
     /// `--mibps` (load): simulated device bandwidth in MiB/s.
     pub mibps: Option<u64>,
     /// `--no-ranged-load` (load): read whole atom files instead of
@@ -199,6 +211,8 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--iters" => p.iters = Some(parse_num(&value(&mut i)?)?),
             "--save-every" => p.save_every = Some(parse_num(&value(&mut i)?)?),
             "--seed" => p.seed = Some(parse_num(&value(&mut i)?)?),
+            "--overlapped" => p.overlapped = true,
+            "--no-universal-save" => p.no_universal_save = true,
             "--mibps" => p.mibps = Some(parse_num(&value(&mut i)?)?),
             "--no-ranged-load" => p.no_ranged_load = true,
             "--no-repair" => p.no_repair = true,
@@ -283,6 +297,16 @@ mod tests {
         assert_eq!(p.save_every, Some(2));
         assert_eq!(p.seed, Some(7));
         assert_eq!(p.mibps, Some(800));
+        assert!(!p.overlapped && !p.no_universal_save);
+    }
+
+    #[test]
+    fn parses_overlapped_save_flags() {
+        let p = parse(&sv(&["--dir", "/c", "--overlapped"])).unwrap();
+        assert!(p.overlapped);
+        assert!(!p.no_universal_save);
+        let p = parse(&sv(&["--dir", "/c", "--overlapped", "--no-universal-save"])).unwrap();
+        assert!(p.overlapped && p.no_universal_save);
     }
 
     #[test]

@@ -10,7 +10,10 @@ use ucp_core::manifest::UcpManifest;
 use ucp_model::ModelConfig;
 use ucp_parallel::{ParallelConfig, ZeroStage};
 use ucp_storage::{layout, retention, Container, Device};
-use ucp_trainer::{train_run, train_run_overlapped, ResumeMode, TrainConfig, TrainPlan};
+use ucp_trainer::{
+    train_run, train_run_overlapped, train_run_overlapped_with, OverlappedOptions, ResumeMode,
+    TrainConfig, TrainPlan,
+};
 
 use serde_json::Value;
 
@@ -239,7 +242,15 @@ pub fn train(p: &Parsed) -> Result<(), String> {
     };
     metrics_begin(p);
     trace_begin(p);
-    let result = train_run(&plan).map_err(|e| format!("{e:?}"))?;
+    let result = if p.overlapped {
+        let opts = OverlappedOptions {
+            universal_save: !p.no_universal_save,
+        };
+        train_run_overlapped_with(&plan, &opts)
+    } else {
+        train_run(&plan)
+    }
+    .map_err(|e| format!("{e:?}"))?;
     for (iter, loss) in &result.losses {
         println!("iter {iter}: loss {loss:.6}");
     }
@@ -248,6 +259,15 @@ pub fn train(p: &Parsed) -> Result<(), String> {
         result.save_secs,
         dir.display()
     );
+    if p.overlapped && !p.no_universal_save {
+        match layout::read_latest_universal(&dir) {
+            Some(step) => println!(
+                "universal checkpoint published at save time: step {step} (resume under any \
+                 strategy without `ucp convert`)"
+            ),
+            None => println!("no universal checkpoint published (no save boundary reached)"),
+        }
+    }
     trace_end(p)?;
     metrics_end(p, "train")
 }

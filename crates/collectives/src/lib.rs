@@ -18,10 +18,12 @@
 
 pub mod cluster;
 pub mod comm;
+pub mod exchange;
 pub mod group;
 
 pub use cluster::{Cluster, ClusterOptions, RankFailure};
 pub use comm::{Comm, Payload};
+pub use exchange::Endpoint;
 pub use group::Group;
 
 /// Errors surfaced by the communication layer.

@@ -1,0 +1,636 @@
+//! Incremental per-parameter atom builders — Algorithm 1 as a streaming
+//! library, shared by the offline [`crate::convert`] pass and the
+//! born-universal save pipeline in the trainer.
+//!
+//! The offline converter materializes every (tp, pp) slice before the TP
+//! union. A [`StageAssembler`] inverts that: it accepts one rank's
+//! extracted flat fragments at a time (in ascending `(tp, zero-index)`
+//! order, the order the save pipeline delivers them) and scatters each
+//! fragment straight into the consolidated true-shape buffer through the
+//! [`Partition::shard_segments`] run map. Alignment padding runs have no
+//! destination (`src_offset == None`) and are dropped on the way in, so no
+//! separate `StripPadding` pass is needed. `params_to_average` keeps one
+//! buffer per TP rank and finalizes with the same f64-accumulate-in-rank-
+//! order mean as [`crate::ops::union_tp`], so the written atoms are
+//! bitwise identical to the offline result by construction: both paths
+//! move the same f32 values and commit them through [`write_atom_file`].
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use ucp_model::{param_specs, LayerRole, Partition, ShardSegment};
+use ucp_storage::layout::{self, AtomFile};
+use ucp_storage::Container;
+use ucp_tensor::{Shape, Tensor};
+
+use crate::checkpoint::CommonState;
+use crate::language::UcpSpec;
+use crate::manifest::{AtomMeta, UcpManifest};
+use crate::ops::Fragment;
+use crate::pattern::{FragmentSpec, ParamPattern};
+use crate::util::par_map;
+use crate::{Result, UcpError};
+
+/// Serialize one atom checkpoint (header + single state section) and
+/// commit it durably. This is the only writer of atom files: the offline
+/// converter and the save pipeline both go through it, which is what makes
+/// their on-disk trees byte-identical. Returns the encoded size; the
+/// write latency is recorded under `span_path`.
+pub fn write_atom_file(
+    universal_dir: &Path,
+    name: &str,
+    pattern: &ParamPattern,
+    file: AtomFile,
+    atom: Tensor,
+    span_path: &str,
+) -> Result<u64> {
+    let header = serde_json::to_string(&AtomMeta {
+        name: name.to_string(),
+        shape: atom.shape().clone(),
+        pattern: pattern.clone(),
+    })?;
+    let mut c = Container::new(header);
+    c.push(file.state_key(), atom);
+    let path = layout::atom_path(universal_dir, name, file);
+    let bytes = c.encoded_len() as u64;
+    let t = ucp_telemetry::enabled().then(Instant::now);
+    // Commit ordering: every atom must be durable before the manifest
+    // that references it is written, which in turn precedes the
+    // `latest_universal` marker.
+    c.write_file_durable(&path)?;
+    if let Some(t) = t {
+        ucp_telemetry::global().record_span(span_path, t.elapsed());
+    }
+    Ok(bytes)
+}
+
+/// Assemble the universal manifest from per-stage atom metadata. A
+/// pipeline-shared parameter (tied embeddings) is consolidated once per
+/// owning stage; sorting then deduplicating by name keeps one entry.
+pub fn build_manifest(common: &CommonState, mut atoms: Vec<AtomMeta>) -> UcpManifest {
+    atoms.sort_by(|a, b| a.name.cmp(&b.name));
+    atoms.dedup_by(|a, b| a.name == b.name);
+    UcpManifest {
+        version: UcpManifest::VERSION,
+        iteration: common.iteration,
+        seed: common.seed,
+        data_cursor: common.data_cursor,
+        adam_step: common.adam_step,
+        model: common.model.clone(),
+        source_label: common.parallel.label(),
+        params: atoms,
+    }
+}
+
+/// The atoms one pipeline stage produced: manifest entries plus volume
+/// accounting (the publisher merges these across stages).
+#[derive(Debug, Clone)]
+pub struct StageAtoms {
+    /// Manifest entries for the atoms this stage wrote.
+    pub metas: Vec<AtomMeta>,
+    /// Atom checkpoints written (one per parameter).
+    pub atoms_written: usize,
+    /// Total bytes of atom payloads written.
+    pub bytes_written: u64,
+}
+
+/// Per-state-key accumulation strategy, chosen by the parameter pattern.
+enum KeyAcc {
+    /// `fragment_params`: scatter fragments into the consolidated buffer
+    /// through the shard-segment run map (padding runs dropped).
+    Scatter(Vec<f32>),
+    /// `unique_params` / `replicated_params`: the tp-0 copy is the value;
+    /// later TP ranks are verified against it.
+    Replicate(Vec<f32>),
+    /// `params_to_average`: one full buffer per TP rank, averaged at
+    /// finalize with the exact `union_tp` arithmetic.
+    Average(Vec<Vec<f32>>),
+}
+
+struct ParamBuilder {
+    /// True consolidated shape (padding already absent).
+    shape: Shape,
+    pattern: ParamPattern,
+    /// Owned by a different pipeline stage (tied embedding on the first
+    /// stage): absorbed for completeness accounting but never written.
+    skip: bool,
+    /// Flattened per-TP-rank shard length (including alignment padding).
+    shard_len: usize,
+    /// Per-TP-rank run maps into the consolidated buffer (`Scatter` only).
+    segments: Vec<Vec<ShardSegment>>,
+    keys: [KeyAcc; 3],
+    /// Elements received per `[key][tp]`; complete at `shard_len` each.
+    got: [Vec<usize>; 3],
+}
+
+impl ParamBuilder {
+    fn new(shape: Shape, pattern: ParamPattern, skip: bool, tp: usize) -> Result<ParamBuilder> {
+        let numel = shape.num_elements();
+        type MkAcc = fn(usize, usize) -> KeyAcc;
+        let (shard_len, segments, mk): (usize, Vec<Vec<ShardSegment>>, MkAcc) = match &pattern {
+            ParamPattern::Unique => {
+                if tp != 1 {
+                    return Err(UcpError::Inconsistent(format!(
+                        "unique_params with {tp} shards"
+                    )));
+                }
+                (numel, Vec::new(), |n, _| KeyAcc::Replicate(vec![0.0; n]))
+            }
+            ParamPattern::Replicated => (numel, Vec::new(), |n, _| KeyAcc::Replicate(vec![0.0; n])),
+            ParamPattern::ToAverage => (numel, Vec::new(), |n, tp| {
+                KeyAcc::Average((0..tp).map(|_| vec![0.0; n]).collect())
+            }),
+            ParamPattern::Fragment(spec) => {
+                let partition = match spec {
+                    FragmentSpec::Dim { dim } => Partition::Shard { dim: *dim },
+                    FragmentSpec::PaddedDim { dim, multiple } => Partition::PaddedShard {
+                        dim: *dim,
+                        multiple: *multiple,
+                    },
+                    FragmentSpec::Grouped { dim, sections } => Partition::Grouped {
+                        dim: *dim,
+                        sections: sections.clone(),
+                    },
+                    FragmentSpec::Flat1D => {
+                        return Err(UcpError::Inconsistent(
+                            "flat fragments must go through union_flat".into(),
+                        ))
+                    }
+                };
+                let shard_len = partition.shard_shape(&shape, tp).num_elements();
+                let segments = (0..tp)
+                    .map(|r| partition.shard_segments(&shape, tp, r))
+                    .collect();
+                (shard_len, segments, |n, _| KeyAcc::Scatter(vec![0.0; n]))
+            }
+        };
+        Ok(ParamBuilder {
+            shape,
+            pattern,
+            skip,
+            shard_len,
+            segments,
+            keys: [mk(numel, tp), mk(numel, tp), mk(numel, tp)],
+            got: [vec![0; tp], vec![0; tp], vec![0; tp]],
+        })
+    }
+
+    fn apply(&mut self, ki: usize, tp: usize, frag: &Fragment, verify: bool) -> Result<()> {
+        let end = frag.param_offset + frag.data.len();
+        if end > self.shard_len {
+            return Err(UcpError::Inconsistent(format!(
+                "fragment ends at {end}, shard has {} elements",
+                self.shard_len
+            )));
+        }
+        match &mut self.keys[ki] {
+            KeyAcc::Scatter(buf) => scatter_segments(&self.segments[tp], frag, buf),
+            KeyAcc::Replicate(buf) => {
+                if tp == 0 {
+                    buf[frag.param_offset..end].copy_from_slice(&frag.data);
+                } else if verify {
+                    for (i, (a, b)) in buf[frag.param_offset..end]
+                        .iter()
+                        .zip(&frag.data)
+                        .enumerate()
+                    {
+                        if a.to_bits() != b.to_bits() {
+                            return Err(UcpError::Inconsistent(format!(
+                                "replicated_params copies diverge (rank 0 vs rank {tp}) \
+                                 at element {}",
+                                frag.param_offset + i
+                            )));
+                        }
+                    }
+                }
+            }
+            KeyAcc::Average(bufs) => bufs[tp][frag.param_offset..end].copy_from_slice(&frag.data),
+        }
+        self.got[ki][tp] += frag.data.len();
+        Ok(())
+    }
+
+    /// Materialize the three consolidated state buffers (consumes the
+    /// accumulators). `Average` reproduces `union_tp` exactly: f64
+    /// accumulation in TP-rank order, divide, cast.
+    fn into_states(self) -> [Vec<f32>; 3] {
+        self.keys.map(|k| match k {
+            KeyAcc::Scatter(buf) | KeyAcc::Replicate(buf) => buf,
+            KeyAcc::Average(bufs) => {
+                let n = bufs.len() as f64;
+                let mut acc = vec![0.0f64; bufs[0].len()];
+                for buf in &bufs {
+                    for (a, v) in acc.iter_mut().zip(buf) {
+                        *a += f64::from(*v);
+                    }
+                }
+                acc.into_iter().map(|v| (v / n) as f32).collect()
+            }
+        })
+    }
+}
+
+/// Copy a flat shard fragment into the consolidated buffer through the
+/// shard's run map. Runs are ascending in shard offset; padding runs
+/// (`src_offset == None`) have no bytes in the consolidated tensor.
+fn scatter_segments(segments: &[ShardSegment], frag: &Fragment, buf: &mut [f32]) {
+    let fs = frag.param_offset;
+    let fe = fs + frag.data.len();
+    for seg in segments {
+        let ss = seg.shard_offset;
+        let se = ss + seg.len;
+        if se <= fs {
+            continue;
+        }
+        if ss >= fe {
+            break;
+        }
+        let lo = fs.max(ss);
+        let hi = fe.min(se);
+        if let Some(src) = seg.src_offset {
+            let dst = src + (lo - ss);
+            buf[dst..dst + (hi - lo)].copy_from_slice(&frag.data[lo - fs..hi - fs]);
+        }
+    }
+}
+
+/// Incremental consolidation of one pipeline stage's parameters into
+/// universal atom checkpoints.
+///
+/// Feed it every `(tp, zero-index)` contribution of the stage via
+/// [`StageAssembler::absorb`] — in ascending TP order, because replicated
+/// parameters verify later copies against the tp-0 one — then call
+/// [`StageAssembler::finalize`] to write the atoms durably.
+pub struct StageAssembler {
+    universal_dir: PathBuf,
+    tp_degree: usize,
+    verify_replicas: bool,
+    last_tp: usize,
+    params: BTreeMap<String, ParamBuilder>,
+}
+
+impl StageAssembler {
+    /// Set up builders for every parameter of stage `pp` (named by
+    /// `params`, the stage's flat-layout slot order), deriving each
+    /// pattern from the model exactly as the offline converter does.
+    pub fn new(
+        universal_dir: &Path,
+        common: &CommonState,
+        pp: usize,
+        params: &[String],
+        verify_replicas: bool,
+    ) -> Result<StageAssembler> {
+        let parallel = common.parallel;
+        let derived = UcpSpec::from_model(&common.model, parallel.tp, &common.params_to_average);
+        let all_specs = param_specs(&common.model);
+        std::fs::create_dir_all(universal_dir)?;
+        let mut builders = BTreeMap::new();
+        for name in params {
+            let pattern = derived
+                .pattern_of(name)
+                .cloned()
+                .ok_or_else(|| UcpError::Inconsistent(format!("no pattern rule matches {name}")))?;
+            let spec = all_specs
+                .iter()
+                .find(|s| &s.name == name)
+                .ok_or_else(|| UcpError::Inconsistent(format!("unknown parameter {name}")))?;
+            // A tied embedding is assembled on both pipeline-end stages;
+            // only the last one writes it (matching the offline
+            // converter, where the ascending-pp loop makes the last
+            // stage's copy win), so the two assemblers never race on the
+            // same atom path.
+            let skip = matches!(spec.role, LayerRole::SharedEmbedding)
+                && parallel.pp > 1
+                && pp + 1 != parallel.pp;
+            builders.insert(
+                name.clone(),
+                ParamBuilder::new(spec.shape.clone(), pattern, skip, parallel.tp)?,
+            );
+        }
+        Ok(StageAssembler {
+            universal_dir: universal_dir.to_path_buf(),
+            tp_degree: parallel.tp,
+            verify_replicas,
+            last_tp: 0,
+            params: builders,
+        })
+    }
+
+    /// Absorb one rank's extracted flat fragments: `fragments` are
+    /// `(param name, state key index, fragment)` from that rank's ZeRO
+    /// chunk of TP slice `tp`. Contributions must arrive in ascending
+    /// `tp` order.
+    pub fn absorb(&mut self, tp: usize, fragments: Vec<(String, usize, Fragment)>) -> Result<()> {
+        if tp >= self.tp_degree {
+            return Err(UcpError::Inconsistent(format!(
+                "contribution from tp {tp}, stage has {} TP ranks",
+                self.tp_degree
+            )));
+        }
+        if tp < self.last_tp {
+            return Err(UcpError::Inconsistent(format!(
+                "contribution from tp {tp} after tp {}: replicated verification \
+                 requires ascending TP order",
+                self.last_tp
+            )));
+        }
+        self.last_tp = tp;
+        for (name, ki, frag) in fragments {
+            let b = self
+                .params
+                .get_mut(&name)
+                .ok_or_else(|| UcpError::Inconsistent(format!("fragment for unknown {name}")))?;
+            b.apply(ki, tp, &frag, self.verify_replicas)?;
+        }
+        Ok(())
+    }
+
+    /// Verify every parameter is fully covered, then write this stage's
+    /// atoms durably (parallel over parameters, write latency under
+    /// `span_path`). Skipped (other-stage-owned) parameters are checked
+    /// for completeness but not written.
+    pub fn finalize(self, workers: usize, span_path: &str) -> Result<StageAtoms> {
+        for (name, b) in &self.params {
+            for (ki, per_tp) in b.got.iter().enumerate() {
+                for (tp, &got) in per_tp.iter().enumerate() {
+                    if got != b.shard_len {
+                        return Err(UcpError::Inconsistent(format!(
+                            "atom {name} key {ki}: tp {tp} contributed {got} of {} elements",
+                            b.shard_len
+                        )));
+                    }
+                }
+            }
+        }
+        let universal = self.universal_dir;
+        let entries: Vec<(String, parking_lot::Mutex<Option<ParamBuilder>>)> = self
+            .params
+            .into_iter()
+            .filter(|(_, b)| !b.skip)
+            .map(|(n, b)| (n, parking_lot::Mutex::new(Some(b))))
+            .collect();
+        let written = par_map(entries.len(), workers, |i| {
+            let (name, slot) = &entries[i];
+            let b = slot.lock().take().expect("each parameter finalized once");
+            let shape = b.shape.clone();
+            let pattern = b.pattern.clone();
+            let states = b.into_states();
+            let mut bytes = 0u64;
+            for (file, data) in AtomFile::ALL.into_iter().zip(states) {
+                let atom = Tensor::from_vec(data, shape.clone()).map_err(UcpError::Tensor)?;
+                bytes += write_atom_file(&universal, name, &pattern, file, atom, span_path)?;
+            }
+            Ok((
+                AtomMeta {
+                    name: name.clone(),
+                    shape,
+                    pattern,
+                },
+                bytes,
+            ))
+        })?;
+        let mut out = StageAtoms {
+            metas: Vec::with_capacity(written.len()),
+            atoms_written: 0,
+            bytes_written: 0,
+        };
+        for (meta, bytes) in written {
+            out.atoms_written += 1;
+            out.bytes_written += bytes;
+            out.metas.push(meta);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{extract_flat, strip_padding, union_tp};
+    use ucp_model::{ModelConfig, ParamSpec};
+    use ucp_parallel::{FlatLayout, ParallelConfig, ZeroStage};
+    use ucp_tensor::DetRng;
+
+    fn common(parallel: ParallelConfig) -> CommonState {
+        CommonState {
+            iteration: 6,
+            seed: 17,
+            data_cursor: 48,
+            adam_step: 6,
+            model: ModelConfig::gpt3_tiny(),
+            parallel,
+            params_to_average: vec![],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ucp_assemble_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Feed a full TP×ZeRO fan-out of gpt3-tiny through the assembler and
+    /// check every written atom bitwise against the offline union path.
+    #[test]
+    fn assembled_atoms_match_offline_union_bitwise() {
+        let tp = 2;
+        let zero = 2;
+        let parallel = ParallelConfig::new(tp, 1, zero, 1, ZeroStage::Zero1);
+        let c = common(parallel);
+        let specs = param_specs(&c.model);
+        let rng = DetRng::new(5);
+        let full: Vec<(&ParamSpec, Tensor)> = specs
+            .iter()
+            .map(|s| {
+                let t = Tensor::randn(s.shape.clone(), 1.0, &rng.derive(&s.name));
+                (s, t)
+            })
+            .collect();
+        let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+
+        let dir = tmp("bitwise");
+        let mut asm = StageAssembler::new(&dir, &c, 0, &names, true).unwrap();
+        // Per TP rank: shard every param, flatten ZeRO-style, extract per
+        // zero index — the exact data flow of a training rank's snapshot.
+        let mut shards_by_name: BTreeMap<String, Vec<Tensor>> = BTreeMap::new();
+        for r in 0..tp {
+            let sharded: Vec<(String, Tensor)> = full
+                .iter()
+                .map(|(s, t)| (s.name.clone(), s.partition.shard(t, tp, r)))
+                .collect();
+            for (n, t) in &sharded {
+                shards_by_name.entry(n.clone()).or_default().push(t.clone());
+            }
+            let shapes: Vec<(String, ucp_tensor::Shape)> = sharded
+                .iter()
+                .map(|(n, t)| (n.clone(), t.shape().clone()))
+                .collect();
+            let layout = FlatLayout::build(&shapes, 8, zero);
+            let flat = layout.flatten(|name| {
+                sharded
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, t)| t)
+                    .expect("all stage params sharded")
+            });
+            for zi in 0..zero {
+                let chunk = &flat[layout.rank_range(zi)];
+                let mut frags = Vec::new();
+                for (ki, scale) in [1.0f32, 0.5, 0.25].into_iter().enumerate() {
+                    for (name, mut frag) in extract_flat(&layout, zi, chunk) {
+                        for v in &mut frag.data {
+                            *v *= scale;
+                        }
+                        frags.push((name, ki, frag));
+                    }
+                }
+                asm.absorb(r, frags).unwrap();
+            }
+        }
+        let stage = asm.finalize(2, "save/atom_write").unwrap();
+        assert_eq!(stage.atoms_written, specs.len());
+        assert!(stage.bytes_written > 0);
+
+        let derived = UcpSpec::from_model(&c.model, tp, &[]);
+        for spec in &specs {
+            let pattern = derived.pattern_of(&spec.name).unwrap();
+            for (ki, (file, scale)) in AtomFile::ALL
+                .into_iter()
+                .zip([1.0f32, 0.5, 0.25])
+                .enumerate()
+            {
+                let shards: Vec<Tensor> = shards_by_name[&spec.name]
+                    .iter()
+                    .map(|t| {
+                        let data = t.as_slice().iter().map(|v| v * scale).collect();
+                        Tensor::from_vec(data, t.shape().clone()).unwrap()
+                    })
+                    .collect();
+                let mut expect = union_tp(pattern, &shards, true).unwrap();
+                if matches!(
+                    pattern,
+                    ParamPattern::Fragment(FragmentSpec::PaddedDim { .. })
+                ) {
+                    expect = strip_padding(&expect, &spec.shape).unwrap();
+                }
+                let written = Container::read_file(&layout::atom_path(&dir, &spec.name, file))
+                    .unwrap()
+                    .get(file.state_key())
+                    .unwrap()
+                    .clone();
+                assert!(
+                    written.bitwise_eq(&expect),
+                    "{} key {ki} diverges from offline union",
+                    spec.name
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incomplete_stage_fails_finalize() {
+        let parallel = ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1);
+        let c = common(parallel);
+        let names = vec!["final_layernorm.weight".to_string()];
+        let dir = tmp("incomplete");
+        let asm = StageAssembler::new(&dir, &c, 0, &names, true).unwrap();
+        // No contributions at all: finalize must refuse.
+        let err = asm.finalize(1, "save/atom_write").unwrap_err();
+        assert!(err.to_string().contains("contributed 0"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicated_divergence_detected() {
+        let tp = 2;
+        let parallel = ParallelConfig::new(tp, 1, 1, 1, ZeroStage::Zero1);
+        let c = common(parallel);
+        let name = "final_layernorm.weight".to_string();
+        let spec_shape = param_specs(&c.model)
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap()
+            .shape
+            .clone();
+        let n = spec_shape.num_elements();
+        let dir = tmp("diverge");
+        let mut asm = StageAssembler::new(&dir, &c, 0, std::slice::from_ref(&name), true).unwrap();
+        let frag = |v: f32| Fragment {
+            param_offset: 0,
+            data: vec![v; n],
+        };
+        asm.absorb(0, vec![(name.clone(), 0, frag(1.0))]).unwrap();
+        let err = asm
+            .absorb(1, vec![(name.clone(), 0, frag(2.0))])
+            .unwrap_err();
+        assert!(err.to_string().contains("diverge"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn absorb_rejects_descending_tp_order() {
+        let parallel = ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1);
+        let c = common(parallel);
+        let dir = tmp("order");
+        let mut asm = StageAssembler::new(&dir, &c, 0, &[], true).unwrap();
+        asm.absorb(1, Vec::new()).unwrap();
+        let err = asm.absorb(0, Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("ascending TP order"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn to_average_matches_union_tp_arithmetic() {
+        // Drive the Average accumulator directly: three "TP" copies whose
+        // mean is not exactly representable; must bitwise-match union_tp.
+        let shape = Shape::new([4]);
+        let mut b = ParamBuilder::new(shape.clone(), ParamPattern::ToAverage, false, 3).unwrap();
+        let copies = [
+            vec![0.1f32, 1.7, -2.3, 0.0],
+            vec![0.3, -0.9, 5.5, 1.0],
+            vec![0.7, 2.2, 0.1, -1.0],
+        ];
+        for (tp, data) in copies.iter().enumerate() {
+            for ki in 0..3 {
+                b.apply(
+                    ki,
+                    tp,
+                    &Fragment {
+                        param_offset: 0,
+                        data: data.clone(),
+                    },
+                    true,
+                )
+                .unwrap();
+            }
+        }
+        let states = b.into_states();
+        let shards: Vec<Tensor> = copies
+            .iter()
+            .map(|d| Tensor::from_vec(d.clone(), shape.clone()).unwrap())
+            .collect();
+        let expect = union_tp(&ParamPattern::ToAverage, &shards, false).unwrap();
+        for s in states {
+            let t = Tensor::from_vec(s, shape.clone()).unwrap();
+            assert!(t.bitwise_eq(&expect));
+        }
+    }
+
+    #[test]
+    fn manifest_build_sorts_and_dedups() {
+        let parallel = ParallelConfig::new(1, 2, 1, 1, ZeroStage::Zero1);
+        let c = common(parallel);
+        let meta = |n: &str| AtomMeta {
+            name: n.into(),
+            shape: Shape::new([2]),
+            pattern: ParamPattern::Unique,
+        };
+        let m = build_manifest(&c, vec![meta("b"), meta("a"), meta("b")]);
+        assert_eq!(m.iteration, 6);
+        assert_eq!(m.source_label, parallel.label());
+        let names: Vec<&str> = m.params.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

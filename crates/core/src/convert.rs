@@ -296,26 +296,20 @@ pub fn convert_to_universal(
                         spec_entry.shape
                     )));
                 }
-                let header = serde_json::to_string(&AtomMeta {
-                    name: name.clone(),
-                    shape: atom.shape().clone(),
-                    pattern: pattern.clone(),
-                })?;
                 if let Some(t) = t_tp {
                     ucp_telemetry::global().record_span("convert/union_tp", t.elapsed());
                 }
-                let mut c = Container::new(header);
-                c.push(file.state_key(), atom);
-                let path = layout::atom_path(&universal, name, *file);
-                bytes += c.encoded_len() as u64;
-                let t_w = ucp_telemetry::enabled().then(Instant::now);
-                // Commit ordering: every atom must be durable before the
-                // manifest that references it is written, which in turn
-                // precedes the `latest_universal` marker.
-                c.write_file_durable(&path)?;
-                if let Some(t) = t_w {
-                    ucp_telemetry::global().record_span("convert/atom_write", t.elapsed());
-                }
+                // Shared with the born-universal save pipeline: both paths
+                // commit atoms through the same writer, which is what keeps
+                // their on-disk trees byte-identical.
+                bytes += crate::assemble::write_atom_file(
+                    &universal,
+                    name,
+                    &pattern,
+                    *file,
+                    atom,
+                    "convert/atom_write",
+                )?;
                 if ki == 0 {
                     metas.push(AtomMeta {
                         name: name.clone(),
@@ -338,20 +332,7 @@ pub fn convert_to_universal(
         std::fs::remove_dir_all(spill).ok();
     }
 
-    atoms.sort_by(|a, b| a.name.cmp(&b.name));
-    // A pipeline-shared parameter (tied embeddings) is consolidated once
-    // per owning stage; keep one manifest entry.
-    atoms.dedup_by(|a, b| a.name == b.name);
-    let manifest = UcpManifest {
-        version: UcpManifest::VERSION,
-        iteration: common.iteration,
-        seed: common.seed,
-        data_cursor: common.data_cursor,
-        adam_step: common.adam_step,
-        model: common.model,
-        source_label: src.label(),
-        params: atoms,
-    };
+    let manifest = crate::assemble::build_manifest(&common, atoms);
     // The manifest is written only after every atom is durable, and the
     // marker only after the manifest: a crash anywhere in between leaves
     // at worst an unreferenced universal dir, never a loadable half-

@@ -30,6 +30,7 @@
 //!   consolidated checkpoint flavor) converted through the same pipeline.
 
 pub mod adapter;
+pub mod assemble;
 pub mod atom_cache;
 pub mod checkpoint;
 pub mod convert;
@@ -41,6 +42,7 @@ pub mod ops;
 pub mod pattern;
 pub mod util;
 
+pub use assemble::{build_manifest, write_atom_file, StageAssembler, StageAtoms};
 pub use atom_cache::AtomCache;
 pub use checkpoint::{CommonState, OptimShard};
 pub use convert::{convert_to_universal, ConvertOptions, ConvertStats};

@@ -124,6 +124,27 @@ pub fn write_latest_universal(base: &Path, step: u64) -> Result<()> {
     )
 }
 
+/// Publish both commit markers of one save: the native `latest` first,
+/// then (when `universal` is set) `latest_universal`.
+///
+/// The ordering is a crash-safety invariant, not a convenience: retention
+/// pins and prunes the native step and its universal sibling *together*,
+/// keyed on the two markers, and resume trusts `latest_universal` without
+/// re-validating the tree it names. Publishing native-first guarantees
+/// `read_latest_universal(base) <= read_latest(base)` after a crash at any
+/// byte of either write — the universal marker can lag one save behind the
+/// native one, but can never point at a step whose native fragments were
+/// pruned or never drained. (Each marker write is individually atomic; the
+/// universal tree it names was made durable — atoms, then manifest —
+/// before this is called.)
+pub fn publish_step_markers(base: &Path, step: u64, universal: bool) -> Result<()> {
+    write_latest(base, step)?;
+    if universal {
+        write_latest_universal(base, step)?;
+    }
+    Ok(())
+}
+
 /// Read the latest universal checkpoint step, if any.
 pub fn read_latest_universal(base: &Path) -> Option<u64> {
     let text = std::fs::read_to_string(base.join("latest_universal")).ok()?;
@@ -203,6 +224,41 @@ mod tests {
         drop(armed);
         assert_eq!(read_latest(&dir), Some(10));
         assert_eq!(std::fs::read(dir.join("latest.tmp")).unwrap(), b"global");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dual_publish_orders_native_before_universal() {
+        use crate::io::fault::{self, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("ucpt_layout_dual_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        publish_step_markers(&dir, 10, true).unwrap();
+        assert_eq!(read_latest(&dir), Some(10));
+        assert_eq!(read_latest_universal(&dir), Some(10));
+        // Crash the dual publish at every write it performs (the marker
+        // write plus the staging/fsync ops inside each atomic_write): at
+        // no kill point may the universal marker run ahead of the native
+        // one.
+        let mut k = 0;
+        loop {
+            let armed = fault::arm(FaultPlan::kill_at(k, &dir));
+            let r = publish_step_markers(&dir, 20 + k, true);
+            let fired = armed.hits() > k;
+            drop(armed);
+            let native = read_latest(&dir).unwrap();
+            let universal = read_latest_universal(&dir).unwrap();
+            assert!(
+                universal <= native,
+                "kill point {k}: latest_universal {universal} ran ahead of latest {native}"
+            );
+            if r.is_ok() {
+                assert!(!fired, "publish succeeded but the fault fired");
+                assert_eq!(universal, native);
+                break;
+            }
+            k += 1;
+        }
+        assert!(k > 0, "fault plan never intercepted the publish");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -138,20 +138,77 @@ pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
     collect_results(results)
 }
 
+/// Options for the overlapped training driver.
+#[derive(Debug, Clone)]
+pub struct OverlappedOptions {
+    /// Run the born-universal save pipeline: background writers assemble
+    /// universal atom checkpoints while persisting, and rank 0's writer
+    /// publishes `latest_universal` as soon as its manifest is durable and
+    /// the step's native `latest` has been committed — resume needs no
+    /// convert pass and training never blocks on atom assembly. Off, the
+    /// driver matches the pre-pipeline behavior (native files and
+    /// `latest` only).
+    pub universal_save: bool,
+}
+
+impl Default for OverlappedOptions {
+    fn default() -> OverlappedOptions {
+        OverlappedOptions {
+            universal_save: true,
+        }
+    }
+}
+
+/// The checkpoint boundaries a plan will hit (needed up front so the save
+/// pipeline's exchanges can be wired before the cluster fan-out).
+fn planned_save_steps(plan: &TrainPlan) -> Vec<u64> {
+    let (Some(every), Some(_)) = (plan.checkpoint_every, &plan.checkpoint_dir) else {
+        return Vec::new();
+    };
+    if every == 0 {
+        return Vec::new();
+    }
+    let start = match &plan.resume {
+        ResumeMode::Fresh => 0,
+        ResumeMode::Native { step, .. } | ResumeMode::Universal { step, .. } => *step,
+    };
+    (start + 1..=plan.until_iteration)
+        .filter(|it| it % every == 0)
+        .collect()
+}
+
 /// Like [`train_run`], but checkpoint persistence overlaps training
 /// (CheckFreq/Gemini-style): at each checkpoint boundary the rank takes an
 /// in-memory snapshot — the only blocking cost — and a background thread
-/// writes the files while training continues. The `latest` marker for a
-/// step is published as soon as that step's writers have drained (at the
-/// next checkpoint boundary, or at run end), so a crash mid-run resumes
-/// from the newest completed save instead of losing the whole run. The
-/// on-disk checkpoints are byte-identical to the synchronous path.
+/// writes the files while training continues. The writers also run the
+/// born-universal save pipeline ([`crate::pipeline`]), so each step's
+/// universal atom checkpoints are assembled during the overlapped persist.
+/// The `latest` and `latest_universal` markers for a step are published as
+/// soon as that step's writers have drained (at the next checkpoint
+/// boundary, or at run end), so a crash mid-run resumes from the newest
+/// completed save — under *any* target strategy, with no convert pass.
+/// The native on-disk checkpoints are byte-identical to the synchronous
+/// path.
 pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
+    train_run_overlapped_with(plan, &OverlappedOptions::default())
+}
+
+/// [`train_run_overlapped`] with explicit [`OverlappedOptions`].
+pub fn train_run_overlapped_with(
+    plan: &TrainPlan,
+    opts: &OverlappedOptions,
+) -> Result<RunResult, TrainError> {
     plan.config.validate().map_err(TrainError::Config)?;
     let world = plan.config.parallel.world_size();
     let session = open_resume_session(&plan.resume)?;
+    // One exchange mesh per planned save step, wired before the fan-out so
+    // every rank's background writer holds an endpoint of the same mesh.
+    let pipelines = opts
+        .universal_save
+        .then(|| crate::pipeline::SavePipelines::new(world, planned_save_steps(plan)));
     let results = Cluster::run(world, |comm| -> Result<RunResult, String> {
         let t_load = std::time::Instant::now();
+        let rank = comm.rank();
         let mut engine = match &plan.resume {
             ResumeMode::Fresh => RankEngine::fresh(plan.config.clone(), comm),
             ResumeMode::Native { dir, step } => {
@@ -166,11 +223,54 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
         .map_err(|e| e.to_string())?;
         let load_secs = t_load.elapsed().as_secs_f64();
 
+        // Drain the previous background writer only as far as its native
+        // persist and commit the native `latest` marker. The writer keeps
+        // assembling universal atoms in the background and publishes
+        // `latest_universal` itself once rank 0's training thread reports
+        // the native marker durable — atom assembly never blocks
+        // training. The writer handle is returned so the run can join it
+        // (and surface its errors) at the end.
+        let drain = |engine: &RankEngine,
+                     prev: crate::snapshot::PendingSave,
+                     dir: &Path|
+         -> Result<crate::snapshot::PendingSave, String> {
+            let step = prev.step;
+            let t_drain = ucp_telemetry::enabled().then(std::time::Instant::now);
+            {
+                let _drain =
+                    ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Checkpoint, "drain");
+                prev.wait_persisted().map_err(|e| e.to_string())?;
+            }
+            if let Some(t) = t_drain {
+                ucp_telemetry::global().record_span("save/drain", t.elapsed());
+            }
+            // The drained step's native files are complete on every rank:
+            // publish `latest` now, so a crash later in the run loses one
+            // interval, not the whole run.
+            engine
+                .publish_markers(dir, step, false)
+                .map_err(|e| e.to_string())?;
+            // Native marker durable (the publish barrier guarantees it on
+            // every rank): clear the step's writer to publish the
+            // universal marker whenever its manifest lands.
+            if rank == 0 {
+                if let Some(p) = pipelines.as_ref() {
+                    p.notify_native_published(step);
+                }
+            }
+            Ok(prev)
+        };
+
         let start_iteration = engine.iteration;
         let mut losses = Vec::new();
         let mut metrics = Vec::new();
         let mut save_secs = 0.0f64;
         let mut pending: Option<crate::snapshot::PendingSave> = None;
+        // Drained writers still assembling universal atoms; joined (and
+        // their errors surfaced) at run end. Bounded so a pipeline that
+        // can't keep up with the save cadence applies backpressure
+        // instead of accumulating snapshots.
+        let mut tail: Vec<crate::snapshot::PendingSave> = Vec::new();
         while engine.iteration < plan.until_iteration {
             let it = engine.iteration;
             let loss = engine.train_iteration().map_err(|e| e.to_string())?;
@@ -179,37 +279,51 @@ pub fn train_run_overlapped(plan: &TrainPlan) -> Result<RunResult, TrainError> {
             if let (Some(every), Some(dir)) = (plan.checkpoint_every, &plan.checkpoint_dir) {
                 if engine.iteration % every == 0 {
                     let t0 = std::time::Instant::now();
-                    // Only the drain of the previous writer and the
-                    // snapshot block training.
+                    // Only the drain of the previous writer's persist and
+                    // the snapshot block training.
                     if let Some(prev) = pending.take() {
-                        let _drain = ucp_telemetry::trace::span(
-                            ucp_telemetry::TraceCat::Checkpoint,
-                            "drain",
-                        );
-                        let step = prev.step;
-                        prev.wait().map_err(|e| e.to_string())?;
-                        // The drained step is complete on every rank:
-                        // publish its marker now, so a crash later in
-                        // the run loses one interval, not the whole run.
-                        engine
-                            .publish_latest(dir, step)
-                            .map_err(|e| e.to_string())?;
+                        tail.push(drain(&engine, prev, dir)?);
                     }
+                    while tail.len() > 2 {
+                        tail.remove(0).wait().map_err(|e| e.to_string())?;
+                    }
+                    let t_snap = ucp_telemetry::enabled().then(std::time::Instant::now);
                     let snapshot = engine.snapshot();
+                    if let Some(t) = t_snap {
+                        ucp_telemetry::global().record_span("save/snapshot", t.elapsed());
+                    }
                     save_secs += t0.elapsed().as_secs_f64();
-                    pending = Some(crate::snapshot::PendingSave::spawn(snapshot, dir.clone()));
+                    let task = pipelines
+                        .as_ref()
+                        .and_then(|p| p.take(engine.iteration, rank));
+                    pending = Some(crate::snapshot::PendingSave::spawn_with(
+                        snapshot,
+                        dir.clone(),
+                        task,
+                    ));
                 }
             }
         }
         if let Some(prev) = pending.take() {
-            let _drain = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Checkpoint, "drain");
-            let step = prev.step;
-            prev.wait().map_err(|e| e.to_string())?;
             if let Some(dir) = &plan.checkpoint_dir {
-                engine
-                    .publish_latest(dir, step)
-                    .map_err(|e| e.to_string())?;
+                tail.push(drain(&engine, prev, dir)?);
+            } else {
+                prev.wait().map_err(|e| e.to_string())?;
             }
+        }
+        // Join every outstanding writer. This is shutdown latency, not a
+        // training stall (there is no more training to overlap with), so
+        // it lands on its own span.
+        let t_final = ucp_telemetry::enabled().then(std::time::Instant::now);
+        {
+            let _sp =
+                ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Checkpoint, "final_drain");
+            for prev in tail {
+                prev.wait().map_err(|e| e.to_string())?;
+            }
+        }
+        if let Some(t) = t_final {
+            ucp_telemetry::global().record_span("save/final_drain", t.elapsed());
         }
         Ok(RunResult {
             losses,

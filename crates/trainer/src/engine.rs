@@ -664,13 +664,36 @@ impl<'a> RankEngine<'a> {
     /// Barrier the world, then let rank 0 record the `latest` marker for
     /// `step` (split out so overlapped saves can defer it).
     pub fn publish_latest(&self, base: &Path, step: u64) -> Result<(), TrainError> {
+        self.publish_markers(base, step, false)
+    }
+
+    /// Publish a drained save: barrier the world, then let rank 0 commit
+    /// the native `latest` marker — and, when `universal` is set, the
+    /// step's `latest_universal` right after it (see
+    /// `ucp_storage::layout::publish_step_markers` for the ordering
+    /// invariant). The entry barrier is what upholds the commit ordering:
+    /// every rank's files for the step are durable before a marker lands.
+    /// The overlapped driver always passes `universal: false` — the
+    /// born-universal pipeline publishes `latest_universal` from rank 0's
+    /// background writer instead, keyed off this publish completing.
+    pub fn publish_markers(
+        &self,
+        base: &Path,
+        step: u64,
+        universal: bool,
+    ) -> Result<(), TrainError> {
         let _sp = trace::span(TraceCat::Checkpoint, "publish");
+        let t = ucp_telemetry::enabled().then(std::time::Instant::now);
         let world = Group::world(self.comm.world_size());
         self.comm.barrier(&world).map_err(TrainError::Comm)?;
         if self.comm.rank() == 0 {
-            disk::write_latest(base, step).map_err(|e| TrainError::Ucp(e.into()))?;
+            disk::publish_step_markers(base, step, universal)
+                .map_err(|e| TrainError::Ucp(e.into()))?;
         }
         self.comm.barrier(&world).map_err(TrainError::Comm)?;
+        if let Some(t) = t {
+            ucp_telemetry::global().record_span("save/publish", t.elapsed());
+        }
         Ok(())
     }
 

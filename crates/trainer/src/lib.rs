@@ -18,15 +18,17 @@ pub mod comm_group;
 pub mod data;
 pub mod driver;
 pub mod engine;
+pub mod pipeline;
 pub mod snapshot;
 pub mod supervisor;
 
 pub use comm_group::CommGroup;
 pub use driver::{
-    convert_checkpoint, resume_run, run_elastic, train_run, train_run_overlapped, ElasticPhase,
-    ResumeMode, RunResult, TrainPlan,
+    convert_checkpoint, resume_run, run_elastic, train_run, train_run_overlapped,
+    train_run_overlapped_with, ElasticPhase, OverlappedOptions, ResumeMode, RunResult, TrainPlan,
 };
 pub use engine::{IterStats, PipelineSchedule, RankEngine, TrainConfig};
+pub use pipeline::SavePipelines;
 pub use snapshot::{CheckpointSnapshot, PendingSave};
 pub use supervisor::{
     parse_faults, supervise, FaultKind, RankFault, RestartEvent, SuperviseReport, SupervisorOptions,

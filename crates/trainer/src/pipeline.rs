@@ -1,0 +1,386 @@
+//! The born-universal save pipeline: save → convert → publish as one
+//! overlapped background flow.
+//!
+//! At every checkpoint boundary of [`crate::driver::train_run_overlapped`]
+//! each rank's background writer first persists its native fragments
+//! (unchanged), then — instead of leaving consolidation to a later offline
+//! `convert` pass — feeds its extracted flat fragments to a per-stage
+//! [`StageAssembler`], so the universal atom checkpoints materialize
+//! *during* the overlapped persist and `latest_universal` is published
+//! together with `latest` at drain time. Resume never needs a convert
+//! pass.
+//!
+//! Roles per save step (all on the background "saver" threads):
+//!
+//! ```text
+//! every rank      persist native files, extract flat fragments,
+//!                 send one Contribution to its stage assembler
+//! stage assembler (tp=0, zero=0 rank of each pp stage) absorb every
+//!                 (tp, zero) contribution in order, scatter into atom
+//!                 builders, write the stage's atoms durably,
+//!                 send StageDone to the publisher
+//! publisher       (cluster rank 0) collect StageDone from every stage,
+//!                 write the manifest durably
+//! ```
+//!
+//! The foreground training threads never wait on any of this: at the next
+//! checkpoint boundary they wait only for the drained step's *native
+//! persist* and publish `latest`, then notify rank 0's writer — which
+//! publishes `latest_universal` itself once its manifest is durable. Atom
+//! assembly therefore never sits on the training critical path; the full
+//! writer join happens at run end. Commit ordering — atoms → manifest →
+//! `latest` → `latest_universal` — is preserved because the writer only
+//! writes the universal marker after both its own manifest write and the
+//! native-publish notification, and a monotonic floor guard keeps late
+//! writers from moving the marker backwards.
+//!
+//! Messages move over a disposable per-step all-to-all mesh
+//! ([`ucp_collectives::exchange`]) created before the cluster fan-out: the
+//! training fabric stays untouched, and a writer that dies mid-save
+//! surfaces at its peers as a prompt `Disconnected` instead of a hang.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use ucp_collectives::exchange::{endpoints, Endpoint};
+use ucp_core::assemble::{build_manifest, StageAssembler, StageAtoms};
+use ucp_core::checkpoint::CommonState;
+use ucp_core::ops::{extract_flat, Fragment};
+use ucp_parallel::{ParallelConfig, RankCoord};
+use ucp_storage::layout as disk;
+use ucp_telemetry::{trace, TraceCat};
+
+use crate::snapshot::CheckpointSnapshot;
+use crate::TrainError;
+
+/// How long a writer waits on a peer contribution before declaring the
+/// save failed. Generous: the peer is another local background thread, so
+/// getting anywhere near this means it hung without dropping its endpoint.
+const EXCHANGE_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Worker threads each stage assembler uses to write its atoms.
+const ATOM_WRITE_WORKERS: usize = 2;
+
+/// One message of the save exchange.
+pub enum PipeMsg {
+    /// A rank's extracted flat fragments for its stage's assembler.
+    Contribution {
+        /// Sender's TP coordinate.
+        tp: usize,
+        /// Sender's ZeRO index (dp × sp composed).
+        zi: usize,
+        /// Sender's common state (the assembler derives patterns from it).
+        common: Box<CommonState>,
+        /// Stage parameter names, in flat-layout slot order.
+        params: Vec<String>,
+        /// `(param, state-key index, fragment)` triples.
+        fragments: Vec<(String, usize, Fragment)>,
+    },
+    /// A stage assembler's completion notice for the publisher.
+    StageDone {
+        /// The completed stage.
+        pp: usize,
+        /// What was written.
+        atoms: StageAtoms,
+    },
+}
+
+/// The cluster rank that assembles a stage's atoms: its (tp=0, zero=0)
+/// member.
+pub fn assembler_rank(p: &ParallelConfig, pp: usize) -> usize {
+    p.rank_of(RankCoord {
+        dp: 0,
+        sp: 0,
+        tp: 0,
+        pp,
+    })
+}
+
+/// One background writer's handle on a save step's exchange.
+pub struct WriterTask {
+    endpoint: Endpoint<PipeMsg>,
+    /// Rank 0's writer additionally publishes `latest_universal`.
+    publish: Option<PublishTask>,
+}
+
+/// What rank 0's writer needs to publish the universal marker off the
+/// training critical path.
+struct PublishTask {
+    /// Fired by rank 0's *training* thread right after the step's native
+    /// `latest` marker is durable — the marker-ordering gate.
+    native_published: std::sync::mpsc::Receiver<()>,
+    /// Serializes marker writes across concurrently-finishing steps so a
+    /// slow older writer can never move `latest_universal` backwards.
+    marker_lock: std::sync::Arc<parking_lot::Mutex<()>>,
+}
+
+/// One save step's pre-wired state.
+struct StepPipeline {
+    endpoints: Vec<Option<Endpoint<PipeMsg>>>,
+    native_published: Option<std::sync::mpsc::Receiver<()>>,
+}
+
+/// Pre-created exchanges, one per planned save step. Built on the
+/// launching thread before the cluster fan-out so all ranks' writers share
+/// one mesh; each rank takes its endpoint exactly once.
+pub struct SavePipelines {
+    steps: parking_lot::Mutex<HashMap<u64, StepPipeline>>,
+    /// Senders for the per-step native-publish notifications, fired by
+    /// rank 0's training thread via [`SavePipelines::notify_native_published`].
+    notifiers: parking_lot::Mutex<HashMap<u64, std::sync::mpsc::Sender<()>>>,
+    marker_lock: std::sync::Arc<parking_lot::Mutex<()>>,
+}
+
+impl SavePipelines {
+    /// Wire an exchange for every step in `save_steps`.
+    pub fn new(world: usize, save_steps: impl IntoIterator<Item = u64>) -> SavePipelines {
+        let mut steps = HashMap::new();
+        let mut notifiers = HashMap::new();
+        for s in save_steps {
+            let (tx, rx) = std::sync::mpsc::channel();
+            notifiers.insert(s, tx);
+            steps.insert(
+                s,
+                StepPipeline {
+                    endpoints: endpoints::<PipeMsg>(world).into_iter().map(Some).collect(),
+                    native_published: Some(rx),
+                },
+            );
+        }
+        SavePipelines {
+            steps: parking_lot::Mutex::new(steps),
+            notifiers: parking_lot::Mutex::new(notifiers),
+            marker_lock: std::sync::Arc::new(parking_lot::Mutex::new(())),
+        }
+    }
+
+    /// Claim rank `rank`'s endpoint for `step` (None if the step has no
+    /// pipeline or the endpoint was already taken). Rank 0's task also
+    /// carries the universal-marker publish duty.
+    pub fn take(&self, step: u64, rank: usize) -> Option<WriterTask> {
+        let mut steps = self.steps.lock();
+        let sp = steps.get_mut(&step)?;
+        let endpoint = sp.endpoints.get_mut(rank)?.take()?;
+        let publish = (rank == 0).then(|| PublishTask {
+            native_published: sp
+                .native_published
+                .take()
+                .expect("rank 0 claims its endpoint once"),
+            marker_lock: self.marker_lock.clone(),
+        });
+        Some(WriterTask { endpoint, publish })
+    }
+
+    /// Tell `step`'s writer that the native `latest` marker is durable, so
+    /// it may publish `latest_universal` once its manifest is too. Called
+    /// by rank 0's training thread; a no-op for unknown steps. Dropping
+    /// `SavePipelines` without this call unblocks the writer instead of
+    /// hanging it (it then skips the universal publish).
+    pub fn notify_native_published(&self, step: u64) {
+        if let Some(tx) = self.notifiers.lock().remove(&step) {
+            let _ = tx.send(());
+        }
+    }
+}
+
+/// The universal half of one rank's background save, run on the saver
+/// thread right after the native persist succeeds. See the module docs
+/// for the role split.
+pub(crate) fn run_writer(
+    task: WriterTask,
+    snapshot: &CheckpointSnapshot,
+    base: &Path,
+) -> Result<(), TrainError> {
+    let p = snapshot.common.parallel;
+    let WriterTask {
+        endpoint: ep,
+        publish,
+    } = task;
+    let rank = ep.rank();
+    let step = snapshot.common.iteration;
+    let universal = disk::universal_dir(base, step);
+
+    // Every rank: extract this chunk's flat fragments and contribute them
+    // to the stage's assembler.
+    let t_ex = ucp_telemetry::enabled().then(Instant::now);
+    {
+        let _sp = trace::span(TraceCat::Checkpoint, "exchange");
+        let shard = &snapshot.shard;
+        let keys: [&[f32]; 3] = [&shard.fp32, &shard.exp_avg, &shard.exp_avg_sq];
+        let mut fragments = Vec::new();
+        for (ki, chunk) in keys.into_iter().enumerate() {
+            for (name, frag) in extract_flat(&shard.layout, shard.dp, chunk) {
+                fragments.push((name, ki, frag));
+            }
+        }
+        let params: Vec<String> = shard.layout.slots.iter().map(|s| s.name.clone()).collect();
+        ep.send(
+            assembler_rank(&p, snapshot.pp),
+            PipeMsg::Contribution {
+                tp: snapshot.tp,
+                zi: shard.dp,
+                common: Box::new(snapshot.common.clone()),
+                params,
+                fragments,
+            },
+        )
+        .map_err(TrainError::Comm)?;
+    }
+    if let Some(t) = t_ex {
+        ucp_telemetry::global().record_span("save/exchange", t.elapsed());
+    }
+
+    // Stage assembler: absorb every (tp, zero) contribution of this stage
+    // — ascending tp, so replicated copies verify against the tp-0 one —
+    // then write the stage's atoms durably.
+    if rank == assembler_rank(&p, snapshot.pp) {
+        let t_as = ucp_telemetry::enabled().then(Instant::now);
+        let asm = {
+            let _sp = trace::span(TraceCat::Checkpoint, "assemble");
+            let mut asm: Option<StageAssembler> = None;
+            let zero = p.dp * p.sp;
+            for tp in 0..p.tp {
+                for z in 0..zero {
+                    let src = p.rank_of(RankCoord {
+                        dp: z / p.sp,
+                        sp: z % p.sp,
+                        tp,
+                        pp: snapshot.pp,
+                    });
+                    let msg = ep
+                        .recv_from(src, EXCHANGE_DEADLINE)
+                        .map_err(TrainError::Comm)?;
+                    let PipeMsg::Contribution {
+                        tp: mtp,
+                        common,
+                        params,
+                        fragments,
+                        ..
+                    } = msg
+                    else {
+                        return Err(TrainError::Config(
+                            "save pipeline: expected a contribution".into(),
+                        ));
+                    };
+                    let a = match &mut asm {
+                        Some(a) => a,
+                        None => asm.insert(
+                            StageAssembler::new(&universal, &common, snapshot.pp, &params, true)
+                                .map_err(TrainError::Ucp)?,
+                        ),
+                    };
+                    a.absorb(mtp, fragments).map_err(TrainError::Ucp)?;
+                }
+            }
+            asm.ok_or_else(|| TrainError::Config("save pipeline: stage has no ranks".into()))?
+        };
+        if let Some(t) = t_as {
+            ucp_telemetry::global().record_span("save/assemble", t.elapsed());
+        }
+        let t_at = ucp_telemetry::enabled().then(Instant::now);
+        let atoms = {
+            let _sp = trace::span(TraceCat::Checkpoint, "atoms");
+            asm.finalize(ATOM_WRITE_WORKERS, "save/atom_write")
+                .map_err(TrainError::Ucp)?
+        };
+        if let Some(t) = t_at {
+            ucp_telemetry::global().record_span("save/atoms", t.elapsed());
+            ucp_telemetry::count("save/universal_atoms", atoms.atoms_written as u64);
+            ucp_telemetry::count("save/universal_bytes", atoms.bytes_written);
+        }
+        ep.send(
+            0,
+            PipeMsg::StageDone {
+                pp: snapshot.pp,
+                atoms,
+            },
+        )
+        .map_err(TrainError::Comm)?;
+    }
+
+    // Publisher: merge the per-stage atom indices and commit the manifest,
+    // then — once the training thread reports the step's native `latest`
+    // is durable — publish `latest_universal`, closing the atoms →
+    // manifest → latest → latest_universal ordering. All of it on this
+    // writer thread: training never blocks on the universal half.
+    if rank == 0 {
+        {
+            let t_m = ucp_telemetry::enabled().then(Instant::now);
+            let _sp = trace::span(TraceCat::Checkpoint, "manifest");
+            let mut metas = Vec::new();
+            for pp in 0..p.pp {
+                let src = assembler_rank(&p, pp);
+                let msg = ep
+                    .recv_from(src, EXCHANGE_DEADLINE)
+                    .map_err(TrainError::Comm)?;
+                let PipeMsg::StageDone { atoms, .. } = msg else {
+                    return Err(TrainError::Config(
+                        "save pipeline: expected a stage-done notice".into(),
+                    ));
+                };
+                metas.extend(atoms.metas);
+            }
+            let manifest = build_manifest(&snapshot.common, metas);
+            manifest.save(&universal).map_err(TrainError::Ucp)?;
+            if let Some(t) = t_m {
+                ucp_telemetry::global().record_span("save/manifest", t.elapsed());
+            }
+        }
+        let publish = publish.ok_or_else(|| {
+            TrainError::Config("save pipeline: rank 0 task missing its publish duty".into())
+        })?;
+        let t_p = ucp_telemetry::enabled().then(Instant::now);
+        let _sp = trace::span(TraceCat::Checkpoint, "publish_universal");
+        match publish.native_published.recv_timeout(EXCHANGE_DEADLINE) {
+            Ok(()) => {
+                // Serialize against other steps' writers and never move
+                // the marker backwards: a slow step-N writer finishing
+                // after step-N+k published must not regress it.
+                let _guard = publish.marker_lock.lock();
+                if disk::read_latest_universal(base).is_none_or(|cur| step > cur) {
+                    disk::write_latest_universal(base, step)
+                        .map_err(|e| TrainError::Ucp(e.into()))?;
+                }
+            }
+            // The run was torn down before this step's native marker was
+            // published (error or early exit): leave the universal marker
+            // alone — whatever failed the run reports the real error.
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                return Err(TrainError::Config(
+                    "save pipeline: timed out waiting for the native publish".into(),
+                ));
+            }
+        }
+        if let Some(t) = t_p {
+            ucp_telemetry::global().record_span("save/publish_universal", t.elapsed());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucp_parallel::ZeroStage;
+
+    #[test]
+    fn assembler_is_stage_leader() {
+        let p = ParallelConfig::new(2, 2, 2, 1, ZeroStage::Zero1);
+        for pp in 0..p.pp {
+            let r = assembler_rank(&p, pp);
+            let c = p.coord(r);
+            assert_eq!((c.tp, c.dp, c.sp, c.pp), (0, 0, 0, pp));
+        }
+    }
+
+    #[test]
+    fn endpoints_claimed_once() {
+        let pipes = SavePipelines::new(2, [4u64]);
+        assert!(pipes.take(4, 0).is_some());
+        assert!(pipes.take(4, 0).is_none(), "endpoint is single-use");
+        assert!(pipes.take(4, 1).is_some());
+        assert!(pipes.take(6, 0).is_none(), "step 6 has no pipeline");
+    }
+}

@@ -85,6 +85,10 @@ pub struct PendingSave {
     /// The step being persisted.
     pub step: u64,
     handle: JoinHandle<Result<(), TrainError>>,
+    /// Signalled by the writer the moment the native persist finishes —
+    /// before any born-universal pipeline work — so the training thread
+    /// can publish `latest` without waiting for atom assembly.
+    persisted: std::sync::mpsc::Receiver<Result<(), String>>,
 }
 
 impl PendingSave {
@@ -93,18 +97,82 @@ impl PendingSave {
     /// pinned until the writer finishes, so `prune` can never delete a
     /// directory that is still materializing.
     pub fn spawn(snapshot: CheckpointSnapshot, base: PathBuf) -> PendingSave {
+        PendingSave::spawn_with(snapshot, base, None)
+    }
+
+    /// Like [`PendingSave::spawn`], but after the native persist succeeds
+    /// the writer also runs its part of the born-universal save pipeline
+    /// ([`crate::pipeline`]) — still on the same background thread, so
+    /// atom assembly stays off the training critical path and its trace
+    /// spans land on the owning rank's "saver" track.
+    pub fn spawn_with(
+        snapshot: CheckpointSnapshot,
+        base: PathBuf,
+        pipeline: Option<crate::pipeline::WriterTask>,
+    ) -> PendingSave {
         let step = snapshot.common.iteration;
         let guard = ucp_storage::retention::begin_save(&base, step);
         let owner = snapshot.owner_rank();
+        let (persisted_tx, persisted) = std::sync::mpsc::channel();
         let handle = std::thread::spawn(move || {
             // The writer appears as a second thread on the owning rank's
             // trace timeline, making the overlap visible (no-op when
             // tracing is disabled).
             ucp_telemetry::trace::register_rank(owner, "saver");
-            let _guard = guard;
-            snapshot.persist(&base)
+            // The retention pin must not outlive the writer even when it
+            // panics: catch the unwind, release the pin deterministically,
+            // and surface the panic as an error. (If the writer dies with
+            // a pipeline task in hand, dropping the task's endpoint is
+            // what tells peer assemblers to abort instead of hanging; a
+            // panic before the persist signal drops `persisted_tx`, which
+            // unblocks `wait_persisted` the same way.)
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                test_panic_injection();
+                let persist_result = snapshot.persist(&base);
+                let _ = persisted_tx.send(
+                    persist_result
+                        .as_ref()
+                        .map(|_| ())
+                        .map_err(|e| e.to_string()),
+                );
+                persist_result?;
+                match pipeline {
+                    Some(task) => crate::pipeline::run_writer(task, &snapshot, &base),
+                    None => Ok(()),
+                }
+            }));
+            drop(guard);
+            match result {
+                Ok(r) => r,
+                Err(payload) => Err(TrainError::Config(format!(
+                    "background checkpoint writer panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            }
         });
-        PendingSave { step, handle }
+        PendingSave {
+            step,
+            handle,
+            persisted,
+        }
+    }
+
+    /// Block until the writer's *native persist* is done (success or
+    /// failure), leaving the writer running its pipeline work in the
+    /// background. The caller may then publish the native `latest` marker
+    /// — but must still [`PendingSave::wait`] later to collect the
+    /// writer's final result.
+    pub fn wait_persisted(&self) -> Result<(), TrainError> {
+        match self.persisted.recv() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(msg)) => Err(TrainError::Config(msg)),
+            // Sender dropped without a signal: the writer panicked before
+            // finishing the persist. The detailed payload surfaces at
+            // wait(); this call just reports the persist never completed.
+            Err(_) => Err(TrainError::Config(
+                "background checkpoint writer died before persisting".into(),
+            )),
+        }
     }
 
     /// Block until the writer finishes, surfacing its result.
@@ -112,6 +180,29 @@ impl PendingSave {
         self.handle
             .join()
             .map_err(|_| TrainError::Config("background checkpoint writer panicked".into()))?
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Test-only kill switch: makes the next spawned writer panic before it
+/// touches disk, so the panic-safety of the retention pin is testable.
+#[cfg(test)]
+static PANIC_NEXT_PERSIST: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+fn test_panic_injection() {
+    #[cfg(test)]
+    if PANIC_NEXT_PERSIST.swap(false, std::sync::atomic::Ordering::SeqCst) {
+        panic!("injected writer panic");
     }
 }
 
@@ -191,5 +282,33 @@ mod tests {
         let base = PathBuf::from("/proc/definitely/not/writable");
         let pending = PendingSave::spawn(snapshot(1), base);
         assert!(pending.wait().is_err());
+    }
+
+    #[test]
+    fn writer_panic_releases_retention_pin() {
+        use ucp_storage::retention::{prune, RetentionPolicy};
+        let base = std::env::temp_dir().join("ucp_snapshot_panic_pin_test");
+        std::fs::remove_dir_all(&base).ok();
+        // Two committed steps on disk; the marker pins step 9.
+        for s in [8u64, 9] {
+            let dir = disk::step_dir(&base, s);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("payload"), [0u8; 10]).unwrap();
+        }
+        disk::write_latest(&base, 9).unwrap();
+        // The writer panics before touching disk. Its step stays pinned
+        // only while the writer lives — the panic must release the pin,
+        // not leak it for the rest of the run.
+        PANIC_NEXT_PERSIST.store(true, std::sync::atomic::Ordering::SeqCst);
+        let pending = PendingSave::spawn(snapshot(8), base.clone());
+        let err = pending.wait().unwrap_err();
+        assert!(
+            err.to_string().contains("panicked: injected writer panic"),
+            "panic payload should surface: {err}"
+        );
+        // If the pin leaked, step 8 would survive this prune.
+        let report = prune(&base, &RetentionPolicy::last(1)).unwrap();
+        assert_eq!(report.removed, vec![8], "panicked writer leaked its pin");
+        std::fs::remove_dir_all(&base).ok();
     }
 }

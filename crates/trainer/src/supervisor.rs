@@ -341,6 +341,10 @@ fn recovery_resume(
             if !layout::manifest_path(&universal).exists() {
                 let _convert = trace::span(TraceCat::Recovery, "convert");
                 crate::driver::convert_checkpoint(dir, step, &ConvertOptions::default())?;
+            } else {
+                // Born-universal tree: the save pipeline already published
+                // the atoms, so recovery skips the convert pass entirely.
+                ucp_telemetry::count("recovery/convert_skipped", 1);
             }
             current.resume = ResumeMode::Universal {
                 dir: dir.to_path_buf(),
@@ -459,6 +463,41 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn recovery_skips_convert_when_manifest_exists() {
+        use ucp_model::ModelConfig;
+        use ucp_parallel::{ParallelConfig, ZeroStage};
+
+        let dir = std::env::temp_dir().join(format!(
+            "ucp_supervisor_skip_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A born-universal tree: the native marker names step 4 and the
+        // universal manifest is already on disk. The tree is otherwise
+        // empty, so if recovery tried to convert anyway it would fail —
+        // returning Ok proves the skip branch was taken.
+        let universal = layout::universal_dir(&dir, 4);
+        std::fs::create_dir_all(&universal).unwrap();
+        std::fs::write(layout::manifest_path(&universal), b"stub").unwrap();
+        layout::write_latest(&dir, 4).unwrap();
+        let mut plan = TrainPlan {
+            config: crate::TrainConfig::quick(
+                ModelConfig::gpt3_tiny(),
+                ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero1),
+                21,
+            ),
+            until_iteration: 6,
+            resume: ResumeMode::Fresh,
+            checkpoint_every: Some(2),
+            checkpoint_dir: Some(dir.clone()),
+        };
+        assert_eq!(recovery_resume(&dir, &mut plan).unwrap(), Some(4));
+        assert!(matches!(plan.resume, ResumeMode::Universal { step: 4, .. }));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

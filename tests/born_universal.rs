@@ -1,0 +1,185 @@
+//! Born-universal checkpoints: the overlapped save pipeline publishes
+//! `latest_universal` at save time, and the tree it writes must be
+//! bitwise-identical to what the offline `convert_to_universal` pass would
+//! have produced — same atoms, same manifest, same bytes. Resuming from a
+//! pipeline-published tree therefore needs no convert pass and lands on
+//! exactly the state the offline path would load.
+
+use ucp_repro::core::convert::{convert_to_universal, ConvertOptions};
+use ucp_repro::core::fsck::{fsck, FsckOptions};
+use ucp_repro::model::ModelConfig;
+use ucp_repro::parallel::{ParallelConfig, ZeroStage};
+use ucp_repro::storage::layout;
+use ucp_repro::tensor::DType;
+use ucp_repro::trainer::{train_run, train_run_overlapped, ResumeMode, TrainConfig, TrainPlan};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ucp_it_born_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every file under `dir` as (relative path, bytes), sorted by path.
+fn tree_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                let rel = p.strip_prefix(dir).unwrap().to_string_lossy().into_owned();
+                out.push((rel, std::fs::read(&p).unwrap()));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn plan(
+    dir: &std::path::Path,
+    model: &ModelConfig,
+    parallel: ParallelConfig,
+    dtype: DType,
+    seed: u64,
+) -> TrainPlan {
+    let mut cfg = TrainConfig::quick(model.clone(), parallel, seed);
+    cfg.dtype = dtype;
+    TrainPlan {
+        config: cfg,
+        until_iteration: 4,
+        resume: ResumeMode::Fresh,
+        checkpoint_every: Some(2),
+        checkpoint_dir: Some(dir.to_path_buf()),
+    }
+}
+
+/// The whole contract for one source configuration:
+///
+/// 1. an overlapped run publishes `latest_universal` at save time;
+/// 2. its universal trees are bitwise-equal to offline conversion of an
+///    identical synchronous run, at every saved step;
+/// 3. the pipeline-written repository is fsck-clean;
+/// 4. a reconfigured resume straight off the pipeline tree — no convert
+///    pass anywhere — yields losses identical to resuming off the
+///    offline-converted tree.
+fn assert_born_universal(name: &str, model: ModelConfig, source: ParallelConfig, dtype: DType) {
+    let seed = 83;
+    let pipe = scratch(&format!("{name}_pipe"));
+    let off = scratch(&format!("{name}_off"));
+
+    let pipe_run = train_run_overlapped(&plan(&pipe, &model, source, dtype, seed)).unwrap();
+    // Published at save time: no convert call has touched `pipe`.
+    assert_eq!(
+        layout::read_latest_universal(&pipe),
+        Some(4),
+        "{name}: pipeline did not publish latest_universal at save time"
+    );
+    assert_eq!(layout::read_latest(&pipe), Some(4), "{name}");
+
+    let off_run = train_run(&plan(&off, &model, source, dtype, seed)).unwrap();
+    assert_eq!(pipe_run.losses, off_run.losses, "{name}: training diverged");
+    for step in [2u64, 4] {
+        convert_to_universal(&off, step, &ConvertOptions::default()).unwrap();
+    }
+
+    for step in [2u64, 4] {
+        let a = tree_bytes(&layout::universal_dir(&pipe, step));
+        let b = tree_bytes(&layout::universal_dir(&off, step));
+        assert!(!a.is_empty(), "{name} step {step}: empty universal tree");
+        assert_eq!(
+            a, b,
+            "{name} step {step}: pipeline universal tree differs from offline convert"
+        );
+    }
+
+    let report = fsck(&pipe, &FsckOptions::default()).unwrap();
+    assert!(
+        report.clean(),
+        "{name}: pipeline tree dirty: {:?}",
+        report.problems
+    );
+    assert!(
+        report.markers_repaired.is_empty(),
+        "{name}: marker named an incomplete step: {:?}",
+        report.markers_repaired
+    );
+
+    // Reconfigure to a single rank and resume both trees universally. The
+    // pipeline tree resumes as-is; byte-equal trees must produce
+    // bit-identical losses.
+    let target = ParallelConfig::new(1, 1, 1, 1, ZeroStage::Zero1);
+    let resume = |dir: &std::path::Path| {
+        let mut cfg = TrainConfig::quick(model.clone(), target, seed);
+        cfg.dtype = dtype;
+        train_run(&TrainPlan {
+            config: cfg,
+            until_iteration: 6,
+            resume: ResumeMode::Universal {
+                dir: dir.to_path_buf(),
+                step: 4,
+            },
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        })
+        .unwrap_or_else(|e| panic!("{name}: universal resume from {dir:?} failed: {e}"))
+    };
+    let ra = resume(&pipe);
+    let rb = resume(&off);
+    assert_eq!(ra.start_iteration, 4, "{name}");
+    assert_eq!(
+        ra.losses, rb.losses,
+        "{name}: no-convert resume diverged from offline-convert resume"
+    );
+
+    std::fs::remove_dir_all(&pipe).ok();
+    std::fs::remove_dir_all(&off).ok();
+}
+
+#[test]
+fn born_universal_tp2_dp2() {
+    assert_born_universal(
+        "tp2_dp2",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1),
+        DType::F32,
+    );
+}
+
+#[test]
+fn born_universal_tp2_pp2_tied() {
+    // Tied embeddings under PP>1: only the last stage may write the shared
+    // atom, matching offline last-wins deduplication.
+    assert_born_universal(
+        "tp2_pp2_tied",
+        ModelConfig::gpt3_tiny_tied(),
+        ParallelConfig::new(2, 2, 1, 1, ZeroStage::Zero1),
+        DType::F32,
+    );
+}
+
+#[test]
+fn born_universal_zero2() {
+    assert_born_universal(
+        "zero2",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(1, 1, 2, 1, ZeroStage::Zero2),
+        DType::F32,
+    );
+}
+
+#[test]
+fn born_universal_bf16_source() {
+    assert_born_universal(
+        "bf16",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1),
+        DType::BF16,
+    );
+}

@@ -243,7 +243,22 @@ fn overlapped_mid_run_kill_resumes_from_published_marker() {
             "kill {k}: overlapped run published a marker for an incomplete step: {:?}",
             report.markers_repaired
         );
-        match layout::read_latest(&dir) {
+        // Born-universal publish ordering: `latest` is committed before
+        // `latest_universal`, so across every kill point the universal
+        // marker may lag the native one but never run ahead — it can
+        // never name a step whose native fragments weren't fully drained.
+        let latest = layout::read_latest(&dir);
+        let latest_universal = layout::read_latest_universal(&dir);
+        if let Some(u) = latest_universal {
+            let native = latest.unwrap_or_else(|| {
+                panic!("kill {k}: latest_universal {u} published without a native latest")
+            });
+            assert!(
+                u <= native,
+                "kill {k}: latest_universal {u} ran ahead of latest {native}"
+            );
+        }
+        match latest {
             // The marker is published per drained interval, so a mid-run
             // crash loses at most one interval — and resume works.
             Some(latest) => {
@@ -264,6 +279,25 @@ fn overlapped_mid_run_kill_resumes_from_published_marker() {
             // Crashed before the first drain: nothing was committed and
             // nothing claims otherwise.
             None => assert!(!dir.join("latest").exists(), "kill {k}"),
+        }
+        // Whatever the universal marker names was pipeline-published at
+        // save time and must resume directly — reconfigured, with no
+        // convert pass.
+        if let Some(u) = latest_universal {
+            let mut target = config();
+            target.parallel = ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1);
+            let resumed = train_run(&TrainPlan {
+                config: target,
+                until_iteration: u + 1,
+                resume: ResumeMode::Universal {
+                    dir: dir.clone(),
+                    step: u,
+                },
+                checkpoint_every: None,
+                checkpoint_dir: None,
+            })
+            .unwrap_or_else(|e| panic!("kill {k}: universal resume from {u} failed: {e}"));
+            assert_eq!(resumed.start_iteration, u);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

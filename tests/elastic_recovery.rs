@@ -15,7 +15,7 @@ use ucp_repro::core::fsck::{fsck, FsckOptions};
 use ucp_repro::model::ModelConfig;
 use ucp_repro::parallel::{ParallelConfig, ZeroStage};
 use ucp_repro::trainer::supervisor::{supervise, FaultKind, RankFault, SupervisorOptions};
-use ucp_repro::trainer::{train_run, ResumeMode, RunResult, TrainConfig, TrainPlan};
+use ucp_repro::trainer::{train_run, ResumeMode, TrainConfig, TrainPlan};
 
 const ITERS: u64 = 6;
 const SAVE_EVERY: u64 = 2;
