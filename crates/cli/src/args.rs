@@ -64,6 +64,19 @@ USAGE:
       to a fault-free run from the same checkpoint and that `fsck` stays
       clean. --report-out writes a ucp-chaos-v1 JSON report; exits
       non-zero if any cell fails to recover or diverges.
+  ucp status --dir <ckpt-base> [--metrics <report.json>] [--json]
+      [--max-stale-steps N] [--max-recovery-ms MS] [--max-save-stall-ms MS]
+      [--max-read-amp X]
+      Report the health of a checkpoint tree by joining its run journal
+      (journal.jsonl), the latest/latest_universal markers, and an
+      optional ucp-metrics-v1 report (--metrics, e.g. one written by
+      --metrics-out). Prints a markdown health table: checkpoint
+      freshness (steps since latest_universal), recovery counts and
+      worst recovery_ms, save-stall p99, read amplification, and the
+      last fsck verdict. Each --max-* flag arms a declarative SLO
+      threshold; violations are named in the output and the exit code is
+      non-zero when any is breached. --json emits the machine-readable
+      ucp-status-v1 report instead.
   ucp bench [--fast] [--out <BENCH_ops.json>]
       Run the hot-path microbenchmark (CRC kernels, section-range read,
       fig13 ranged load) and write a ucp-metrics-v1 report (default
@@ -78,12 +91,13 @@ USAGE:
   ucp help
       Show this message.
 
-  Any of convert / load / train also accept --metrics-out <path>: enable
-  telemetry and write a ucp-metrics-v1 JSON report of the run's phase
-  timings, counters, and histograms to <path>. They also accept
-  --trace-out <path>: record a distributed trace of the run and write it
-  as Chrome Trace Format JSON. Both flags create missing parent
-  directories and publish the file atomically.";
+  Any of convert / load / train / fsck / chaos accept --metrics-out
+  <path>: enable telemetry and write a ucp-metrics-v1 JSON report of the
+  run's phase timings, counters, and histograms to <path>. convert /
+  load / train / fsck also accept --trace-out <path>: record a
+  distributed trace of the run and write it as Chrome Trace Format JSON.
+  Both flags create missing parent directories and publish the file
+  atomically.";
 
 /// Parsed flags (a flat bag; each command reads what it needs).
 #[derive(Debug, Default)]
@@ -171,6 +185,21 @@ pub struct Parsed {
     pub baseline: Option<PathBuf>,
     /// `--current` (bench --check): current report path.
     pub current: Option<PathBuf>,
+    /// `--metrics` (status): ucp-metrics-v1 report to join into the
+    /// health report.
+    pub metrics: Option<PathBuf>,
+    /// `--max-stale-steps` (status): SLO — max steps the universal
+    /// checkpoint may lag the newest native save.
+    pub max_stale_steps: Option<u64>,
+    /// `--max-recovery-ms` (status): SLO — max journal-recorded recovery
+    /// wall time.
+    pub max_recovery_ms: Option<u64>,
+    /// `--max-save-stall-ms` (status): SLO — max p99 of the per-rank
+    /// save-stall histogram.
+    pub max_save_stall_ms: Option<u64>,
+    /// `--max-read-amp` (status): SLO — max bytes_read / bytes_needed on
+    /// the load path.
+    pub max_read_amp: Option<f64>,
 }
 
 /// Parse a flag list.
@@ -227,6 +256,14 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--check" => p.check = true,
             "--baseline" => p.baseline = Some(PathBuf::from(value(&mut i)?)),
             "--current" => p.current = Some(PathBuf::from(value(&mut i)?)),
+            "--metrics" => p.metrics = Some(PathBuf::from(value(&mut i)?)),
+            "--max-stale-steps" => p.max_stale_steps = Some(parse_num(&value(&mut i)?)?),
+            "--max-recovery-ms" => p.max_recovery_ms = Some(parse_num(&value(&mut i)?)?),
+            "--max-save-stall-ms" => p.max_save_stall_ms = Some(parse_num(&value(&mut i)?)?),
+            "--max-read-amp" => {
+                let v = value(&mut i)?;
+                p.max_read_amp = Some(v.parse().map_err(|_| format!("'{v}' is not a number"))?);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -391,6 +428,35 @@ mod tests {
         let p = parse(&sv(&["--fast", "--out", "/tmp/b.json"])).unwrap();
         assert!(p.fast && !p.check);
         assert_eq!(p.out.unwrap(), PathBuf::from("/tmp/b.json"));
+    }
+
+    #[test]
+    fn parses_status_flags() {
+        let p = parse(&sv(&[
+            "--dir",
+            "/c",
+            "--metrics",
+            "/tmp/m.json",
+            "--max-stale-steps",
+            "2",
+            "--max-recovery-ms",
+            "1500",
+            "--max-save-stall-ms",
+            "250",
+            "--max-read-amp",
+            "1.5",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(p.metrics.unwrap(), PathBuf::from("/tmp/m.json"));
+        assert_eq!(p.max_stale_steps, Some(2));
+        assert_eq!(p.max_recovery_ms, Some(1500));
+        assert_eq!(p.max_save_stall_ms, Some(250));
+        assert_eq!(p.max_read_amp, Some(1.5));
+        assert!(p.json);
+        let p = parse(&sv(&["--dir", "/c"])).unwrap();
+        assert!(p.max_stale_steps.is_none() && p.max_read_amp.is_none());
+        assert!(parse(&sv(&["--max-read-amp", "wat"])).is_err());
     }
 
     #[test]

@@ -451,7 +451,11 @@ pub fn fsck(p: &Parsed) -> Result<(), String> {
         repair: !p.no_repair,
     };
     metrics_begin(p);
-    let report = ucp_core::fsck(&dir, &opts).map_err(|e| e.to_string())?;
+    trace_begin(p);
+    let report = {
+        let _sp = ucp_telemetry::trace::span(ucp_telemetry::TraceCat::Checkpoint, "fsck");
+        ucp_core::fsck(&dir, &opts).map_err(|e| e.to_string())?
+    };
     if p.json {
         println!("{}", report.to_json());
     } else {
@@ -475,6 +479,7 @@ pub fn fsck(p: &Parsed) -> Result<(), String> {
         }
     }
     metrics_end(p, "fsck")?;
+    trace_end(p)?;
     if report.clean() {
         if !p.json {
             println!("clean");

@@ -4,6 +4,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod status;
 
 use std::path::Path;
 

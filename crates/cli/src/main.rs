@@ -10,10 +10,14 @@
 //! ucp plan    --dir <ckpt-base> --step N --tp T --pp P --dp D [--sp S] [--zero Z] --rank R
 //! ucp chaos   --dir <work-dir> --model <preset> --tp T --pp P --dp D
 //!             [--kill-steps 2,3,4] [--kinds panic,hang] [--targets 1x1x2;1x1x1]
+//! ucp status  --dir <ckpt-base> [--metrics <report.json>] [--json]
+//!             [--max-stale-steps N] [--max-recovery-ms MS]
 //! ```
 //!
-//! `convert`, `load`, and `train` accept `--metrics-out <path>` to dump a
-//! `ucp-metrics-v1` telemetry report of the run.
+//! `convert`, `load`, `train`, `fsck`, and `chaos` accept
+//! `--metrics-out <path>` to dump a `ucp-metrics-v1` telemetry report of
+//! the run; `status` joins such a report with the checkpoint tree's run
+//! journal into an SLO-checked health report.
 
 use std::process::ExitCode;
 
@@ -46,6 +50,7 @@ fn main() -> ExitCode {
         "trace" => commands::trace(&parsed),
         "chaos" => commands::chaos(&parsed),
         "bench" => commands::bench(&parsed),
+        "status" => ucp_cli::status::status(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             return ExitCode::SUCCESS;

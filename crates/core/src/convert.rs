@@ -339,6 +339,10 @@ pub fn convert_to_universal(
     // converted one.
     manifest.save(&universal)?;
     layout::write_latest_universal(base, step)?;
+    ucp_storage::journal::append(
+        base,
+        &ucp_storage::JournalEvent::UniversalPublished { step },
+    )?;
     if ucp_telemetry::enabled() {
         ucp_telemetry::count("convert/atoms_written", stats.atoms_written as u64);
         ucp_telemetry::count("convert/bytes_written", stats.bytes_written);

@@ -62,6 +62,8 @@ pub struct FsckReport {
     pub quarantined: Vec<String>,
     /// Markers rewritten to the newest surviving complete step.
     pub markers_repaired: Vec<String>,
+    /// Complete records read from the run journal (0 when absent).
+    pub journal_records: usize,
 }
 
 impl FsckReport {
@@ -267,6 +269,36 @@ fn check_markers(
     Ok(())
 }
 
+/// Validate the run journal. Complete-but-unparseable lines are
+/// corruption and reported as problems; a torn tail (no final newline)
+/// is expected crash debris — the append protocol self-heals it on the
+/// next write — so fsck only trims it under repair, keeping the
+/// newline-terminated prefix the reader already accepts.
+fn check_journal(base: &Path, opts: &FsckOptions, report: &mut FsckReport) -> Result<()> {
+    let path = ucp_storage::journal::journal_path(base);
+    let journal = ucp_storage::journal::read_path(&path)?;
+    report.journal_records = journal.records.len();
+    if journal.malformed > 0 {
+        report.problems.push(FsckProblem {
+            path: rel(base, &path),
+            detail: format!(
+                "{} malformed journal record(s) (complete lines that do not parse)",
+                journal.malformed
+            ),
+        });
+    }
+    if journal.torn_tail && opts.repair {
+        let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+        file.set_len(journal.valid_bytes)?;
+        file.sync_all()?;
+        report.markers_repaired.push(format!(
+            "journal.jsonl truncated to {} bytes (torn tail trimmed)",
+            journal.valid_bytes
+        ));
+    }
+    Ok(())
+}
+
 /// Run fsck over the checkpoint tree at `base`.
 pub fn fsck(base: &Path, opts: &FsckOptions) -> Result<FsckReport> {
     let t = ucp_telemetry::enabled().then(std::time::Instant::now);
@@ -294,6 +326,21 @@ pub fn fsck(base: &Path, opts: &FsckOptions) -> Result<FsckReport> {
     }
 
     check_markers(base, &good_native, &good_universal, opts, &mut report)?;
+    check_journal(base, opts, &mut report)?;
+
+    // Journal the verdict so `ucp status` can report when the tree was
+    // last checked. Gated on repair mode: a report-only fsck must not
+    // write to the tree it is inspecting.
+    if opts.repair {
+        ucp_storage::journal::append(
+            base,
+            &ucp_storage::JournalEvent::Fsck {
+                problems: report.problems.len() as u64,
+                quarantined: report.quarantined.len() as u64,
+                repair: opts.repair,
+            },
+        )?;
+    }
 
     if ucp_telemetry::enabled() {
         ucp_telemetry::count("fsck/steps_scanned", report.steps_checked.len() as u64);
@@ -314,4 +361,86 @@ pub fn fsck(base: &Path, opts: &FsckOptions) -> Result<FsckReport> {
         }
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_base(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ucp_fsck_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fsck_journals_its_own_verdict() {
+        let base = temp_base("verdict");
+        let report = fsck(&base, &FsckOptions::default()).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.journal_records, 0, "verdict written after reading");
+        let journal = ucp_storage::journal::read(&base).unwrap();
+        let fscks: Vec<_> = journal.of_kind("fsck").collect();
+        assert_eq!(fscks.len(), 1);
+        assert!(matches!(
+            fscks[0].event,
+            ucp_storage::JournalEvent::Fsck {
+                problems: 0,
+                quarantined: 0,
+                repair: true,
+            }
+        ));
+        // Report-only mode must not write to the tree.
+        let before = std::fs::read(ucp_storage::journal::journal_path(&base)).unwrap();
+        let report = fsck(&base, &FsckOptions { repair: false }).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.journal_records, 1);
+        let after = std::fs::read(ucp_storage::journal::journal_path(&base)).unwrap();
+        assert_eq!(before, after);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn malformed_journal_line_is_a_problem() {
+        let base = temp_base("malformed");
+        std::fs::write(
+            ucp_storage::journal::journal_path(&base),
+            "{\"kind\":\"save_started\",\"step\":2,\"t_ms\":1}\nnot json at all\n",
+        )
+        .unwrap();
+        let report = fsck(&base, &FsckOptions { repair: false }).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.journal_records, 1);
+        assert!(report.problems[0].detail.contains("malformed journal"));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_trimmed_under_repair() {
+        let base = temp_base("torn");
+        let path = ucp_storage::journal::journal_path(&base);
+        let good = "{\"kind\":\"save_started\",\"step\":2,\"t_ms\":1}\n";
+        std::fs::write(&path, format!("{good}{{\"kind\":\"nat")).unwrap();
+        // Report-only: the torn tail is tolerated and left in place.
+        let report = fsck(&base, &FsckOptions { repair: false }).unwrap();
+        assert!(report.clean(), "torn tail is crash debris, not corruption");
+        assert_eq!(std::fs::read(&path).unwrap().len(), good.len() + 12);
+        // Repair trims the debris back to the parseable prefix.
+        let report = fsck(&base, &FsckOptions::default()).unwrap();
+        assert!(report.clean());
+        assert!(report
+            .markers_repaired
+            .iter()
+            .any(|m| m.contains("torn tail trimmed")));
+        let journal = ucp_storage::journal::read(&base).unwrap();
+        assert!(!journal.torn_tail);
+        // Prefix record + the fsck verdict appended after the trim.
+        assert_eq!(journal.records.len(), 2);
+        let _ = std::fs::remove_dir_all(&base);
+    }
 }

@@ -147,6 +147,72 @@ where
     result
 }
 
+/// Crash-consistently append one `line` (no trailing newline) to the file
+/// at `path`, creating it if absent — the primitive under the run journal.
+///
+/// Appends don't stage-and-rename (that would rewrite the whole file per
+/// record); instead the whole line plus its newline lands in a single
+/// `O_APPEND` write followed by an fsync. A crash can therefore lose or
+/// tear only the final record, and only up to its newline — every earlier
+/// line is intact, which is exactly the "parseable prefix" contract the
+/// journal reader and `ucp fsck` enforce. Two kill points per append: the
+/// data write (torn-write injectable) and `append.fsync`.
+///
+/// If the file ends mid-line — debris from a crash during an earlier
+/// append — the torn tail is truncated away first, so a new record never
+/// concatenates onto debris and the file heals on the next append.
+pub fn append_line(path: &Path, line: &str) -> Result<()> {
+    debug_assert!(!line.contains('\n'), "journal records are single lines");
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)?;
+    }
+    let file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .read(true)
+        .open(path)?;
+    heal_torn_tail(&file)?;
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    let mut w = FaultWriter::new(&file, path);
+    w.write_all(buf.as_bytes())?;
+    w.flush()?;
+    fault::gate("append.fsync", path)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Truncate `file` back to its last newline if it does not end in one.
+/// Crash-safe without a kill point of its own: dying before or during the
+/// truncate leaves either the torn tail or the healed prefix, both of
+/// which readers already tolerate.
+fn heal_torn_tail(file: &File) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let mut f = file;
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    if last[0] == b'\n' {
+        return Ok(());
+    }
+    // Torn tail (only ever one record long, so a full read is cheap
+    // relative to how rarely a crash precedes an append).
+    f.seek(SeekFrom::Start(0))?;
+    let mut bytes = Vec::with_capacity(len as usize);
+    f.read_to_end(&mut bytes)?;
+    let keep = bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    file.set_len(keep as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +339,58 @@ mod tests {
         assert!(err.to_string().contains("no space left"), "{err}");
         assert_eq!(fs::read(&path).unwrap(), b"old");
         assert!(!tmp_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_line_accumulates_lines() {
+        let dir = temp_dir("append");
+        let path = dir.join("journal.jsonl");
+        append_line(&path, "{\"a\":1}").unwrap();
+        append_line(&path, "{\"b\":2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"a\":1}\n{\"b\":2}\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_line_has_two_kill_points() {
+        let dir = temp_dir("append_count");
+        let path = dir.join("journal.jsonl");
+        let armed = fault::arm(FaultPlan::count_only(&dir));
+        append_line(&path, "{}").unwrap();
+        // data write, fsync.
+        assert_eq!(armed.hits(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_append_preserves_earlier_lines() {
+        let dir = temp_dir("append_torn");
+        let path = dir.join("journal.jsonl");
+        append_line(&path, "{\"a\":1}").unwrap();
+        let armed = fault::arm(FaultPlan {
+            truncate_to: Some(3),
+            ..FaultPlan::kill_at(0, &dir)
+        });
+        let err = append_line(&path, "{\"b\":2}").unwrap_err();
+        drop(armed);
+        assert!(err.to_string().contains("injected crash"));
+        // The first record survives complete; the torn tail has no newline.
+        assert_eq!(fs::read(&path).unwrap(), b"{\"a\":1}\n{\"b");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_after_torn_tail_heals_the_file() {
+        let dir = temp_dir("append_heal");
+        let path = dir.join("journal.jsonl");
+        append_line(&path, "{\"a\":1}").unwrap();
+        // Crash debris: a partial record with no newline.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"half");
+        fs::write(&path, &bytes).unwrap();
+        append_line(&path, "{\"b\":2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"a\":1}\n{\"b\":2}\n");
         fs::remove_dir_all(&dir).unwrap();
     }
 

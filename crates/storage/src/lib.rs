@@ -15,6 +15,7 @@ pub mod commit;
 pub mod container;
 pub mod crc;
 pub mod io;
+pub mod journal;
 pub mod layout;
 pub mod retention;
 
@@ -23,6 +24,7 @@ pub use container::{
     RANGE_CRC_BLOCK,
 };
 pub use io::Device;
+pub use journal::{Journal, JournalEvent, JournalRecord};
 pub use retention::{prune, InFlightGuard, PruneReport, RetentionPolicy};
 
 /// Storage errors.

@@ -155,6 +155,17 @@ pub fn prune(base: &Path, policy: &RetentionPolicy) -> Result<PruneReport> {
         }
         report.removed.push(step);
     }
+    // Removals go on the durable run record; a no-op pass (the common
+    // case at every save boundary) stays out of the journal.
+    if !report.removed.is_empty() {
+        crate::journal::append(
+            base,
+            &crate::journal::JournalEvent::RetentionPrune {
+                removed: report.removed.clone(),
+                bytes_reclaimed: report.bytes_reclaimed,
+            },
+        )?;
+    }
     Ok(report)
 }
 
@@ -295,6 +306,26 @@ mod tests {
         });
         let written = layout::dir_size_bytes(&layout::step_dir(&base, 11));
         assert_eq!(written, 10 * n_files as u64);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn prune_journals_its_removals() {
+        let base = fabricate("journal", &[1, 2, 3]);
+        layout::write_latest(&base, 3).unwrap();
+        // A no-op prune writes nothing.
+        prune(&base, &RetentionPolicy::last(3)).unwrap();
+        assert!(crate::journal::read(&base).unwrap().records.is_empty());
+        let report = prune(&base, &RetentionPolicy::last(1)).unwrap();
+        let journal = crate::journal::read(&base).unwrap();
+        assert_eq!(journal.records.len(), 1);
+        assert_eq!(
+            journal.records[0].event,
+            crate::journal::JournalEvent::RetentionPrune {
+                removed: report.removed.clone(),
+                bytes_reclaimed: report.bytes_reclaimed,
+            }
+        );
         std::fs::remove_dir_all(&base).ok();
     }
 

@@ -79,6 +79,45 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no whitespace — the JSONL form used by
+    /// the run journal, where one record must be exactly one line.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -341,6 +380,10 @@ mod tests {
         let text = doc.pretty();
         let back = Json::parse(&text).unwrap();
         assert_eq!(back, doc);
+        // The compact form is one line and parses back to the same value.
+        let line = doc.compact();
+        assert!(!line.contains('\n'), "compact form must be single-line");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 
     #[test]

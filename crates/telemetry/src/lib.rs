@@ -22,7 +22,10 @@
 //!
 //! The [`trace`] module adds the per-rank distributed tracing layer
 //! (typed event timelines, Chrome Trace Format export, busy/wait
-//! analysis) under the same zero-overhead-when-disabled contract.
+//! analysis) under the same zero-overhead-when-disabled contract. The
+//! [`fleet`] module merges per-rank recorder snapshots into cross-rank
+//! aggregates (sum/min/max plus straggler skew) that ride the same
+//! report schema.
 //!
 //! ```
 //! let rec = ucp_telemetry::Recorder::new();
@@ -39,12 +42,14 @@
 //! assert_eq!(back.counter("convert/fragments"), Some(4));
 //! ```
 
+pub mod fleet;
 pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod report;
 pub mod trace;
 
+pub use fleet::RankSnapshot;
 pub use hist::Histogram;
 pub use json::Json;
 pub use recorder::{global, Recorder, Span};

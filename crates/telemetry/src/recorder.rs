@@ -223,6 +223,42 @@ impl Recorder {
                 .collect(),
         }
     }
+
+    /// Fold a snapshot [`Report`] into this recorder — the receive side of
+    /// fleet aggregation, where rank 0 absorbs merged per-rank snapshots
+    /// so they flow out through the ordinary `--metrics-out` export.
+    /// Counters add, histograms merge bucket-wise, spans accumulate
+    /// (span seconds re-enter as nanoseconds at microsecond fidelity,
+    /// matching the report's own rounding). No-op while disabled.
+    pub fn absorb(&self, report: &Report) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state();
+        for c in &report.counters {
+            *state.counters.entry(c.name.clone()).or_insert(0) += c.value;
+        }
+        for h in &report.histograms {
+            state
+                .hists
+                .entry(h.name.clone())
+                .or_default()
+                .merge(&h.to_histogram());
+        }
+        for s in &report.spans {
+            let agg = state.spans.entry(s.path.clone()).or_default();
+            let ns = |secs: f64| (secs.max(0.0) * 1e9).round() as u64;
+            if agg.count == 0 {
+                agg.min_ns = ns(s.min_secs);
+                agg.max_ns = ns(s.max_secs);
+            } else {
+                agg.min_ns = agg.min_ns.min(ns(s.min_secs));
+                agg.max_ns = agg.max_ns.max(ns(s.max_secs));
+            }
+            agg.count += s.count;
+            agg.total_ns += ns(s.total_secs);
+        }
+    }
 }
 
 /// A scoped span timer; records its elapsed time on drop.
@@ -385,6 +421,73 @@ mod tests {
         assert_eq!(h.count, threads * per_thread);
         assert_eq!(h.min, 0);
         assert_eq!(h.max, threads * per_thread - 1);
+    }
+
+    #[test]
+    fn concurrent_spans_and_hists_merge_deterministically() {
+        // Spans, counters, and histograms hammered from many threads must
+        // produce the exact totals of the serial equivalent — the invariant
+        // fleet aggregation and the overlapped save writers lean on.
+        let r = Recorder::new();
+        let threads: u64 = 8;
+        let per_thread: u64 = 500;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let _sp = r.span("work");
+                        r.count("ops", 2);
+                        r.observe("latency", (t + 1) * 10);
+                        r.observe("latency", i);
+                    }
+                });
+            }
+        });
+        let report = r.report("t");
+        assert_eq!(report.counter("ops"), Some(threads * per_thread * 2));
+        let work = report.span("work").unwrap();
+        assert_eq!(work.count, threads * per_thread);
+        assert!(work.min_secs <= work.max_secs);
+        assert!(work.total_secs >= work.max_secs);
+        let h = report.hist("latency").unwrap();
+        assert_eq!(h.count, threads * per_thread * 2);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, per_thread - 1);
+        // Bucket counts must sum to the observation count (no lost or
+        // double-counted updates under contention).
+        assert_eq!(
+            h.buckets.iter().map(|b| b.count).sum::<u64>(),
+            threads * per_thread * 2
+        );
+    }
+
+    #[test]
+    fn absorb_folds_a_report_in() {
+        let src = Recorder::new();
+        src.count("fleet/ops", 7);
+        src.observe("fleet/ms", 100);
+        src.observe("fleet/ms", 4000);
+        src.record_span("fleet/phase", Duration::from_millis(3));
+        let snapshot = src.report("rank1");
+
+        let dst = Recorder::new();
+        dst.count("fleet/ops", 1);
+        dst.absorb(&snapshot);
+        dst.absorb(&snapshot);
+        let report = dst.report("t");
+        assert_eq!(report.counter("fleet/ops"), Some(15));
+        let h = report.hist("fleet/ms").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!((h.min, h.max), (100, 4000));
+        let sp = report.span("fleet/phase").unwrap();
+        assert_eq!(sp.count, 2);
+        assert!((sp.total_secs - 0.006).abs() < 1e-4);
+
+        let disabled = Recorder::new_disabled();
+        disabled.absorb(&snapshot);
+        disabled.set_enabled(true);
+        assert!(disabled.report("t").counters.is_empty());
     }
 
     #[test]

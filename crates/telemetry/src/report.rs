@@ -37,8 +37,10 @@ pub struct CounterStat {
     pub value: u64,
 }
 
-/// One histogram bucket: observations `<= le` not counted by earlier
-/// buckets (non-cumulative, unlike Prometheus' rendering).
+/// One histogram bucket of the *JSON* form: observations `<= le` not
+/// counted by earlier buckets (per-bucket counts). This is only the
+/// storage shape — [`Report::to_prometheus`] converts to the standard
+/// cumulative `_bucket`/`_sum`/`_count` series real scrapers expect.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BucketStat {
     /// Inclusive upper bound.
@@ -88,6 +90,28 @@ impl HistStat {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Rebuild a [`Histogram`] from this summary. Bucket-resolution
+    /// lossless: per-bucket counts and count/sum/min/max all survive, so
+    /// quantiles computed from a parsed JSON report match the live ones.
+    pub fn to_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        h.count = self.count;
+        h.sum = self.sum;
+        h.min = if self.count == 0 { u64::MAX } else { self.min };
+        h.max = self.max;
+        for b in &self.buckets {
+            // The bound's bit length is its bucket index (le = 2^i - 1),
+            // and stays right even if a huge bound lost precision in JSON.
+            h.buckets[Histogram::bucket_index(b.le)] += b.count;
+        }
+        h
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) over the summarized buckets.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.to_histogram().quantile(q)
     }
 }
 
@@ -475,6 +499,27 @@ mod tests {
     }
 
     #[test]
+    fn hist_stat_roundtrips_to_histogram() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 100, 200, 4000, 1 << 40] {
+            h.record(v);
+        }
+        let stat = HistStat::from_histogram("x", &h);
+        assert_eq!(stat.to_histogram(), h);
+        assert_eq!(stat.quantile(0.5), h.quantile(0.5));
+        // Through a JSON roundtrip too (quantiles are what `ucp status`
+        // reads back out of a metrics artifact).
+        let r = Report {
+            label: "q".into(),
+            spans: vec![],
+            counters: vec![],
+            histograms: vec![stat],
+        };
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.histograms[0].quantile(0.99), h.quantile(0.99));
+    }
+
+    #[test]
     fn merge_into_empty_adopts_label() {
         let mut empty = Report::default();
         empty.merge(&sample());
@@ -491,14 +536,25 @@ mod tests {
         );
         assert!(text.contains("ucp_hist_count{run=\"unit\",name=\"load/atom_read_ns\"} 3"));
         assert!(text.contains("ucp_span_seconds_total{run=\"unit\",path=\"convert/extract\"} 0.75"));
-        // Cumulative counts never decrease.
-        let mut last = 0u64;
-        for line in text.lines().filter(|l| {
-            l.starts_with("ucp_hist_bucket") && l.contains("atom_read_ns") && !l.contains("+Inf")
-        }) {
-            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
-            assert!(v >= last);
-            last = v;
-        }
+        // The per-bucket JSON counts (1 each at le=127/255/4095) must come
+        // out as a running cumulative series, ending at the total count.
+        let buckets: Vec<(String, u64)> = text
+            .lines()
+            .filter(|l| l.starts_with("ucp_hist_bucket") && l.contains("atom_read_ns"))
+            .map(|l| {
+                let le = l.split("le=\"").nth(1).unwrap().split('"').next().unwrap();
+                let v: u64 = l.rsplit(' ').next().unwrap().parse().unwrap();
+                (le.to_string(), v)
+            })
+            .collect();
+        assert_eq!(
+            buckets,
+            vec![
+                ("127".into(), 1),
+                ("255".into(), 2),
+                ("4095".into(), 3),
+                ("+Inf".into(), 3),
+            ]
+        );
     }
 }

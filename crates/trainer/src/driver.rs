@@ -93,8 +93,13 @@ pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
     // ranges (all DP replicas of a (tp, pp) slice) share the cached bytes
     // instead of each re-reading them.
     let session = open_resume_session(&plan.resume)?;
+    // Fleet metric mesh: per-rank recorders gathered to rank 0 at run end
+    // (only when telemetry is on — the mesh itself is cheap, but skipping
+    // it keeps the disabled path allocation-free).
+    let fleet = ucp_telemetry::enabled().then(|| crate::fleet::FleetMesh::new(world));
     let results = Cluster::run(world, |comm| -> Result<RunResult, String> {
         let t_load = std::time::Instant::now();
+        let rank = comm.rank();
         let mut engine = match &plan.resume {
             ResumeMode::Fresh => RankEngine::fresh(plan.config.clone(), comm),
             ResumeMode::Native { dir, step } => {
@@ -110,21 +115,43 @@ pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
         let load_secs = t_load.elapsed().as_secs_f64();
 
         let start_iteration = engine.iteration;
+        let local = fleet.as_ref().map(|_| ucp_telemetry::Recorder::new());
         let mut losses = Vec::new();
         let mut metrics = Vec::new();
         let mut save_secs = 0.0f64;
         while engine.iteration < plan.until_iteration {
             let it = engine.iteration;
+            let t_it = local.as_ref().map(|_| std::time::Instant::now());
             let loss = engine.train_iteration().map_err(|e| e.to_string())?;
+            if let (Some(loc), Some(t)) = (&local, t_it) {
+                loc.count("rank/iterations", 1);
+                loc.observe("rank/step_us", t.elapsed().as_micros() as u64);
+            }
             losses.push((it + 1, loss));
             metrics.extend(engine.last_stats);
             if let (Some(every), Some(dir)) = (plan.checkpoint_every, &plan.checkpoint_dir) {
                 if engine.iteration % every == 0 {
                     let t0 = std::time::Instant::now();
+                    let step = engine.iteration;
+                    if rank == 0 {
+                        journal(dir, &ucp_storage::JournalEvent::SaveStarted { step })?;
+                    }
                     engine.save_checkpoint(dir).map_err(|e| e.to_string())?;
+                    // The save barriers internally: when rank 0 returns,
+                    // every rank's files and the `latest` marker are
+                    // published.
+                    if rank == 0 {
+                        journal(dir, &ucp_storage::JournalEvent::NativePersisted { step })?;
+                    }
                     save_secs += t0.elapsed().as_secs_f64();
+                    if let Some(loc) = &local {
+                        loc.observe("rank/save_block_us", t0.elapsed().as_micros() as u64);
+                    }
                 }
             }
+        }
+        if let (Some(mesh), Some(loc)) = (fleet.as_ref(), local.as_ref()) {
+            crate::fleet::gather(mesh, rank, loc);
         }
         Ok(RunResult {
             losses,
@@ -136,6 +163,12 @@ pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
     });
 
     collect_results(results)
+}
+
+/// Append a run-journal event under `dir`, mapping the error into the
+/// cluster closure's `String` error space.
+fn journal(dir: &Path, event: &ucp_storage::JournalEvent) -> Result<(), String> {
+    ucp_storage::journal::append(dir, event).map_err(|e| e.to_string())
 }
 
 /// Options for the overlapped training driver.
@@ -206,6 +239,7 @@ pub fn train_run_overlapped_with(
     let pipelines = opts
         .universal_save
         .then(|| crate::pipeline::SavePipelines::new(world, planned_save_steps(plan)));
+    let fleet = ucp_telemetry::enabled().then(|| crate::fleet::FleetMesh::new(world));
     let results = Cluster::run(world, |comm| -> Result<RunResult, String> {
         let t_load = std::time::Instant::now();
         let rank = comm.rank();
@@ -254,6 +288,7 @@ pub fn train_run_overlapped_with(
             // every rank): clear the step's writer to publish the
             // universal marker whenever its manifest lands.
             if rank == 0 {
+                journal(dir, &ucp_storage::JournalEvent::NativePersisted { step })?;
                 if let Some(p) = pipelines.as_ref() {
                     p.notify_native_published(step);
                 }
@@ -262,6 +297,7 @@ pub fn train_run_overlapped_with(
         };
 
         let start_iteration = engine.iteration;
+        let local = fleet.as_ref().map(|_| ucp_telemetry::Recorder::new());
         let mut losses = Vec::new();
         let mut metrics = Vec::new();
         let mut save_secs = 0.0f64;
@@ -273,12 +309,25 @@ pub fn train_run_overlapped_with(
         let mut tail: Vec<crate::snapshot::PendingSave> = Vec::new();
         while engine.iteration < plan.until_iteration {
             let it = engine.iteration;
+            let t_it = local.as_ref().map(|_| std::time::Instant::now());
             let loss = engine.train_iteration().map_err(|e| e.to_string())?;
+            if let (Some(loc), Some(t)) = (&local, t_it) {
+                loc.count("rank/iterations", 1);
+                loc.observe("rank/step_us", t.elapsed().as_micros() as u64);
+            }
             losses.push((it + 1, loss));
             metrics.extend(engine.last_stats);
             if let (Some(every), Some(dir)) = (plan.checkpoint_every, &plan.checkpoint_dir) {
                 if engine.iteration % every == 0 {
                     let t0 = std::time::Instant::now();
+                    if rank == 0 {
+                        journal(
+                            dir,
+                            &ucp_storage::JournalEvent::SaveStarted {
+                                step: engine.iteration,
+                            },
+                        )?;
+                    }
                     // Only the drain of the previous writer's persist and
                     // the snapshot block training.
                     if let Some(prev) = pending.take() {
@@ -293,6 +342,9 @@ pub fn train_run_overlapped_with(
                         ucp_telemetry::global().record_span("save/snapshot", t.elapsed());
                     }
                     save_secs += t0.elapsed().as_secs_f64();
+                    if let Some(loc) = &local {
+                        loc.observe("rank/save_block_us", t0.elapsed().as_micros() as u64);
+                    }
                     let task = pipelines
                         .as_ref()
                         .and_then(|p| p.take(engine.iteration, rank));
@@ -324,6 +376,9 @@ pub fn train_run_overlapped_with(
         }
         if let Some(t) = t_final {
             ucp_telemetry::global().record_span("save/final_drain", t.elapsed());
+        }
+        if let (Some(mesh), Some(loc)) = (fleet.as_ref(), local.as_ref()) {
+            crate::fleet::gather(mesh, rank, loc);
         }
         Ok(RunResult {
             losses,

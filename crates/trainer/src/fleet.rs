@@ -1,0 +1,119 @@
+//! Transport for fleet-wide metric aggregation.
+//!
+//! The aggregation math lives in [`ucp_telemetry::fleet`] (pure data);
+//! this module moves the per-rank snapshots. Each rank keeps a small
+//! local [`Recorder`] for signals that genuinely differ per rank —
+//! iteration wall time, save-stall blocking — and at run end ships its
+//! snapshot to rank 0 over a disposable [`ucp_collectives::exchange`]
+//! mesh (the same transport the save pipeline uses, wired before the
+//! cluster fan-out). Rank 0 merges the snapshots and folds the
+//! `fleet/*` aggregates into the process-global recorder, so they ride
+//! the ordinary `--metrics-out` JSON and Prometheus exports.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use ucp_collectives::exchange::{self, Endpoint};
+use ucp_telemetry::fleet::{aggregate, RankSnapshot};
+use ucp_telemetry::Recorder;
+
+/// How long rank 0 waits for each peer's snapshot. Generous for healthy
+/// in-process threads; a rank that died mid-run simply goes missing from
+/// the aggregate (visible as a lower `fleet/ranks`).
+const GATHER_DEADLINE: Duration = Duration::from_secs(10);
+
+/// A pre-wired snapshot exchange, one endpoint per rank, claimed once.
+pub struct FleetMesh {
+    endpoints: Mutex<Vec<Option<Endpoint<RankSnapshot>>>>,
+}
+
+impl FleetMesh {
+    /// Wire a `world`-rank mesh (call before the cluster fan-out).
+    pub fn new(world: usize) -> FleetMesh {
+        FleetMesh {
+            endpoints: Mutex::new(exchange::endpoints(world).into_iter().map(Some).collect()),
+        }
+    }
+
+    fn take(&self, rank: usize) -> Option<Endpoint<RankSnapshot>> {
+        self.endpoints.lock().get_mut(rank).and_then(Option::take)
+    }
+}
+
+/// Ship `local`'s snapshot to rank 0; on rank 0, also collect every
+/// peer's snapshot, aggregate, and absorb the result into the global
+/// recorder. Best-effort by design: metric shipping must never fail a
+/// training run, so missing peers are tolerated (and visible in the
+/// exported `fleet/ranks`).
+pub fn gather(mesh: &FleetMesh, rank: usize, local: &Recorder) {
+    gather_into(mesh, rank, local, ucp_telemetry::global());
+}
+
+fn gather_into(mesh: &FleetMesh, rank: usize, local: &Recorder, sink: &Recorder) {
+    let Some(ep) = mesh.take(rank) else { return };
+    let snapshot = RankSnapshot {
+        rank,
+        report: local.report(&format!("rank{rank}")),
+    };
+    let _ = ep.send(0, snapshot);
+    if rank != 0 {
+        return;
+    }
+    let mut snaps = Vec::new();
+    for peer in 0..ep.world() {
+        if let Ok(s) = ep.recv_from(peer, GATHER_DEADLINE) {
+            snaps.push(s);
+        }
+    }
+    sink.absorb(&aggregate(&snaps));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_claim_once() {
+        let mesh = FleetMesh::new(2);
+        assert!(mesh.take(0).is_some());
+        assert!(mesh.take(0).is_none());
+        assert!(mesh.take(1).is_some());
+        assert!(mesh.take(7).is_none());
+    }
+
+    #[test]
+    fn gather_merges_rank_snapshots_into_sink() {
+        let sink = Recorder::new();
+        let mesh = FleetMesh::new(3);
+        std::thread::scope(|s| {
+            for rank in 0..3usize {
+                let (mesh, sink) = (&mesh, &sink);
+                s.spawn(move || {
+                    let local = Recorder::new();
+                    local.count("rank/ops", (rank as u64 + 1) * 10);
+                    gather_into(mesh, rank, &local, sink);
+                });
+            }
+        });
+        let report = sink.report("t");
+        assert_eq!(report.counter("fleet/ranks"), Some(3));
+        assert_eq!(report.counter("fleet/rank/ops/sum"), Some(60));
+        assert_eq!(report.counter("fleet/rank/ops/min"), Some(10));
+        assert_eq!(report.counter("fleet/rank/ops/max"), Some(30));
+        assert_eq!(report.counter("fleet/rank/ops/skew"), Some(20));
+    }
+
+    #[test]
+    fn missing_rank_lowers_the_rank_count() {
+        let sink = Recorder::new();
+        let mesh = FleetMesh::new(2);
+        // Rank 1 died before gathering: claim and drop its endpoint so
+        // rank 0 sees a disconnect instead of a deadline wait.
+        drop(mesh.take(1));
+        let local = Recorder::new();
+        local.count("rank/lonely", 1);
+        gather_into(&mesh, 0, &local, &sink);
+        let report = sink.report("t");
+        assert_eq!(report.counter("fleet/ranks"), Some(1));
+    }
+}

@@ -18,6 +18,7 @@ pub mod comm_group;
 pub mod data;
 pub mod driver;
 pub mod engine;
+pub mod fleet;
 pub mod pipeline;
 pub mod snapshot;
 pub mod supervisor;

@@ -341,6 +341,13 @@ pub(crate) fn run_writer(
                 if disk::read_latest_universal(base).is_none_or(|cur| step > cur) {
                     disk::write_latest_universal(base, step)
                         .map_err(|e| TrainError::Ucp(e.into()))?;
+                    // Journal under the marker lock so records land in
+                    // marker-publication order.
+                    ucp_storage::journal::append(
+                        base,
+                        &ucp_storage::journal::JournalEvent::UniversalPublished { step },
+                    )
+                    .map_err(|e| TrainError::Ucp(e.into()))?;
                 }
             }
             // The run was torn down before this step's native marker was

@@ -292,12 +292,39 @@ pub fn supervise(
                         "supervisor: no checkpoint_dir to recover from after: {failure}"
                     ))
                 })?;
+                if failure.payload.contains("watchdog") {
+                    journal(
+                        &dir,
+                        &ucp_storage::JournalEvent::Watchdog {
+                            rank: failure.rank,
+                            step: failure.step,
+                            detail: failure.payload.clone(),
+                        },
+                    )?;
+                }
+                journal(
+                    &dir,
+                    &ucp_storage::JournalEvent::RecoveryBegin {
+                        rank: failure.rank,
+                        step: failure.step,
+                        cause: failure.payload.clone(),
+                    },
+                )?;
                 if let Some(next) = ladder.next() {
                     current.config.parallel = *next;
                 }
                 let resume_step = recovery_resume(&dir, &mut current)?;
                 let lost_steps = failure.step.saturating_sub(resume_step.unwrap_or(0));
                 let recovery_ms = t_recover.elapsed().as_millis() as u64;
+                journal(
+                    &dir,
+                    &ucp_storage::JournalEvent::RecoveryEnd {
+                        resume_step,
+                        lost_steps,
+                        recovery_ms,
+                        parallel: current.config.parallel.label(),
+                    },
+                )?;
                 if ucp_telemetry::enabled() {
                     ucp_telemetry::count("recovery/restarts", 1);
                     ucp_telemetry::count("recovery/lost_steps", lost_steps);
@@ -326,6 +353,13 @@ pub fn supervise(
             }
         }
     }
+}
+
+/// Append a lifecycle event to the run journal under `dir`. The
+/// supervisor is single-threaded at the point of recovery, so these
+/// records are totally ordered with the driver's save events.
+fn journal(dir: &std::path::Path, event: &ucp_storage::JournalEvent) -> Result<(), TrainError> {
+    ucp_storage::journal::append(dir, event).map_err(|e| TrainError::Ucp(e.into()))
 }
 
 /// Point `current.resume` at the latest committed checkpoint under
@@ -414,7 +448,16 @@ fn supervised_segment(
                 if let (Some(every), Some(dir)) = (plan.checkpoint_every, &plan.checkpoint_dir) {
                     if engine.iteration % every == 0 {
                         let t0 = Instant::now();
+                        let step = engine.iteration;
+                        if comm.rank() == 0 {
+                            journal(dir, &ucp_storage::JournalEvent::SaveStarted { step })
+                                .map_err(|e| e.to_string())?;
+                        }
                         engine.save_checkpoint(dir).map_err(|e| e.to_string())?;
+                        if comm.rank() == 0 {
+                            journal(dir, &ucp_storage::JournalEvent::NativePersisted { step })
+                                .map_err(|e| e.to_string())?;
+                        }
                         save_secs += t0.elapsed().as_secs_f64();
                     }
                 }
@@ -548,6 +591,29 @@ mod tests {
         assert_eq!(last.start_iteration, 2);
         assert_eq!(last.losses.last().unwrap().0, 6);
         assert!(last.losses.iter().all(|(_, l)| l.is_finite()));
+        // The run journal recorded the full lifecycle in order: the saves
+        // around the failure and exactly one recovery begin/end pair.
+        let journal = ucp_storage::journal::read(&dir).unwrap();
+        assert!(!journal.torn_tail, "no crash mid-append happened");
+        assert_eq!(journal.malformed, 0);
+        assert_eq!(journal.last_step("save_started"), Some(6));
+        assert_eq!(journal.last_step("native_persisted"), Some(6));
+        assert_eq!(journal.of_kind("recovery_begin").count(), 1);
+        let ends: Vec<_> = journal.of_kind("recovery_end").collect();
+        assert_eq!(ends.len(), 1);
+        match &ends[0].event {
+            ucp_storage::JournalEvent::RecoveryEnd {
+                resume_step,
+                lost_steps,
+                parallel,
+                ..
+            } => {
+                assert_eq!(*resume_step, Some(2));
+                assert_eq!(*lost_steps, 1);
+                assert_eq!(parallel, &ParallelConfig::single().label());
+            }
+            other => panic!("unexpected event: {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
