@@ -7,6 +7,7 @@
 //! Criterion benches in `benches/` cover the efficiency figures and the
 //! design-choice ablations called out in DESIGN.md.
 
+pub mod cadence;
 pub mod correctness;
 pub mod efficiency;
 pub mod load_scaling;
@@ -14,6 +15,7 @@ pub mod micro;
 pub mod perfgate;
 pub mod report;
 
+pub use cadence::{CadenceResult, CadenceRow};
 pub use correctness::{fig10, fig6, fig7, fig8, fig9, CurveSet, Table3};
 pub use efficiency::{fig11, fig12, Fig11Result, Fig12Result};
 pub use load_scaling::{fig13, Fig13Result, ScaleRow};

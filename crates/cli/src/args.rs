@@ -21,6 +21,8 @@ USAGE:
       [--iters I] [--save-every K] [--seed S] [--overlapped]
       [--no-universal-save]
       Run the training simulator with periodic native checkpointing.
+      --save-every takes K >= 1 (K=1 checkpoints every iteration; 0 is
+      rejected rather than clamped).
       --overlapped snapshots each checkpoint in memory and persists it on
       background writer threads; the writers also run the born-universal
       save pipeline, so latest_universal is published at save time and a
@@ -82,6 +84,12 @@ USAGE:
       fig13 ranged load) and write a ucp-metrics-v1 report (default
       BENCH_ops.json). --fast shrinks payloads and skips the fig13 probe
       for quick local iteration; CI gates on full runs.
+  ucp bench --cadence [--fast] [--out <BENCH_cadence.json>]
+      Sweep --save-every in {1, 2, 4, 8} over dense and MoE overlapped
+      training runs, measuring per-save blocking stall and dirty-filtered
+      exchange bytes, and write a ucp-metrics-v1 report (default
+      BENCH_cadence.json). --fast keeps only the cadence endpoints
+      (1 and 8). CI gates the report with check_save_stall.py --cadence.
   ucp bench --check [--baseline <path>] [--current <path>] [--tolerance T]
       Compare a current microbench report (default BENCH_ops.json)
       against the committed baseline (default results/BENCH_baseline.json)
@@ -181,6 +189,9 @@ pub struct Parsed {
     pub out: Option<PathBuf>,
     /// `--check` (bench): compare current vs. baseline instead of running.
     pub check: bool,
+    /// `--cadence` (bench): run the checkpoint-cadence sweep instead of
+    /// the microbench.
+    pub cadence: bool,
     /// `--baseline` (bench --check): committed baseline report path.
     pub baseline: Option<PathBuf>,
     /// `--current` (bench --check): current report path.
@@ -254,6 +265,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--fast" => p.fast = true,
             "--out" => p.out = Some(PathBuf::from(value(&mut i)?)),
             "--check" => p.check = true,
+            "--cadence" => p.cadence = true,
             "--baseline" => p.baseline = Some(PathBuf::from(value(&mut i)?)),
             "--current" => p.current = Some(PathBuf::from(value(&mut i)?)),
             "--metrics" => p.metrics = Some(PathBuf::from(value(&mut i)?)),

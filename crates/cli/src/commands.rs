@@ -233,6 +233,17 @@ pub fn train(p: &Parsed) -> Result<(), String> {
     model.validate(target.tp)?;
     let config = TrainConfig::quick(model, target, p.seed.unwrap_or(42));
     let iters = p.iters.unwrap_or(4);
+    // Reject rather than silently clamp: a user writing `--save-every 0`
+    // either wants no checkpoints (omit the flag semantics differ) or made
+    // a typo for per-iteration cadence — guessing either way is worse than
+    // asking.
+    if p.save_every == Some(0) {
+        return Err(
+            "--save-every must be >= 1 (use 1 for per-iteration checkpoints; to train without \
+             checkpointing, drop --save-every and set --iters as needed)"
+                .to_string(),
+        );
+    }
     let plan = TrainPlan {
         config,
         until_iteration: iters,
@@ -742,15 +753,25 @@ pub fn diff(p: &Parsed) -> Result<(), String> {
     }
 }
 
-/// `ucp bench`: run the hot-path microbenchmark, or with `--check`
-/// compare a current report against the committed baseline.
+/// `ucp bench`: run the hot-path microbenchmark, with `--cadence` the
+/// checkpoint-cadence sweep, or with `--check` compare a current report
+/// against the committed baseline.
 ///
-/// The run mode writes a `ucp-metrics-v1` report (default
-/// `BENCH_ops.json`); the check mode derives the gated metrics (CRC GB/s,
-/// section-range read GB/s, fig13 load wall time) from both reports,
-/// prints a baseline-vs-current markdown table, and fails when any metric
-/// regresses beyond the noise tolerance (default 25%).
+/// The run modes write `ucp-metrics-v1` reports (default `BENCH_ops.json`
+/// / `BENCH_cadence.json`); the check mode derives the gated metrics (CRC
+/// GB/s, section-range read GB/s, fig13 load wall time) from both
+/// reports, prints a baseline-vs-current markdown table, and fails when
+/// any metric regresses beyond the noise tolerance (default 25%).
 pub fn bench(p: &Parsed) -> Result<(), String> {
+    if p.cadence {
+        let result = ucp_bench::cadence::run(p.fast);
+        print!("{}", result.render());
+        let out = p.out.clone().unwrap_or_else(|| "BENCH_cadence.json".into());
+        ucp_storage::commit::atomic_write(&out, result.to_report().to_json().as_bytes())
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("cadence report written to {}", out.display());
+        return Ok(());
+    }
     if p.check {
         let baseline_path = p
             .baseline

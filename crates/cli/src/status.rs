@@ -66,6 +66,16 @@ pub struct StatusReport {
     pub save_stall_p99_ms: Option<f64>,
     /// load/bytes_read ÷ load/bytes_needed from the metrics report.
     pub read_amplification: Option<f64>,
+    /// save/atoms_written — atoms rewritten by the incremental pipeline.
+    pub atoms_written: Option<u64>,
+    /// save/atoms_skipped — clean atoms republished as hard links.
+    pub atoms_skipped: Option<u64>,
+    /// save/mesh_reuse — save-exchange leases served by the persistent
+    /// mesh without rewiring it.
+    pub mesh_reuse: Option<u64>,
+    /// p99 of save/snapshot_pool_wait_us — µs a checkpoint boundary spent
+    /// waiting for a reusable snapshot buffer.
+    pub snapshot_pool_wait_p99_us: Option<f64>,
     /// Breached thresholds (empty ⇒ healthy under the armed SLOs).
     pub violations: Vec<Violation>,
 }
@@ -117,6 +127,13 @@ pub fn gather(dir: &Path, metrics: Option<&Report>, p: &Parsed) -> Result<Status
                 r.read_amplification = Some(read as f64 / needed as f64);
             }
         }
+        r.atoms_written = m.counter("save/atoms_written");
+        r.atoms_skipped = m.counter("save/atoms_skipped");
+        r.mesh_reuse = m.counter("save/mesh_reuse");
+        r.snapshot_pool_wait_p99_us = m
+            .hist("save/snapshot_pool_wait_us")
+            .filter(|h| h.count > 0)
+            .map(|h| h.quantile(0.99) as f64);
     }
 
     if r.journal_malformed > 0 {
@@ -236,6 +253,31 @@ impl StatusReport {
             "read amplification",
             fmt_opt(&self.read_amplification.map(|v| format!("{v:.3}x"))),
         );
+        row(
+            &mut out,
+            "atoms written / skipped",
+            match (self.atoms_written, self.atoms_skipped) {
+                (None, None) => "n/a".into(),
+                (w, s) => {
+                    let (w, s) = (w.unwrap_or(0), s.unwrap_or(0));
+                    let total = w + s;
+                    if total > 0 {
+                        format!(
+                            "{w} / {s} ({:.1}% skipped)",
+                            100.0 * s as f64 / total as f64
+                        )
+                    } else {
+                        format!("{w} / {s}")
+                    }
+                }
+            },
+        );
+        row(&mut out, "mesh reuse", fmt_opt(&self.mesh_reuse));
+        row(
+            &mut out,
+            "snapshot-pool wait p99 (us)",
+            fmt_opt(&self.snapshot_pool_wait_p99_us.map(|v| format!("{v:.0}"))),
+        );
         out.push('\n');
 
         let armed: Vec<(&str, Option<String>, bool)> = vec![
@@ -306,6 +348,15 @@ impl StatusReport {
             (
                 "read_amplification",
                 self.read_amplification.map(Json::Num).unwrap_or(Json::Null),
+            ),
+            ("atoms_written", opt_num(self.atoms_written)),
+            ("atoms_skipped", opt_num(self.atoms_skipped)),
+            ("mesh_reuse", opt_num(self.mesh_reuse)),
+            (
+                "snapshot_pool_wait_p99_us",
+                self.snapshot_pool_wait_p99_us
+                    .map(Json::Num)
+                    .unwrap_or(Json::Null),
             ),
             (
                 "violations",
@@ -449,6 +500,10 @@ mod tests {
         }
         rec.count("load/bytes_read", 300);
         rec.count("load/bytes_needed", 100);
+        rec.count("save/atoms_written", 5);
+        rec.count("save/atoms_skipped", 15);
+        rec.count("save/mesh_reuse", 7);
+        rec.observe("save/snapshot_pool_wait_us", 250);
         let metrics = rec.report("t");
         // Roundtrip through the ucp-metrics-v1 JSON the CLI would read.
         let metrics = Report::from_json(&metrics.to_json()).unwrap();
@@ -461,6 +516,13 @@ mod tests {
         let r = gather(&base, Some(&metrics), &p).unwrap();
         assert!(r.save_stall_p99_ms.unwrap() > 10.0);
         assert!((r.read_amplification.unwrap() - 3.0).abs() < 1e-9);
+        // The incremental-save counters ride the same report.
+        assert_eq!(r.atoms_written, Some(5));
+        assert_eq!(r.atoms_skipped, Some(15));
+        assert_eq!(r.mesh_reuse, Some(7));
+        assert!(r.snapshot_pool_wait_p99_us.unwrap() >= 250.0);
+        let md = r.to_markdown(&base, &p);
+        assert!(md.contains("5 / 15 (75.0% skipped)"), "{md}");
         let names: Vec<_> = r.violations.iter().map(|v| v.threshold.as_str()).collect();
         assert_eq!(names, vec!["max-save-stall-ms", "max-read-amp"]);
         let _ = std::fs::remove_dir_all(&base);

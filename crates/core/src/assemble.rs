@@ -84,15 +84,22 @@ pub fn build_manifest(common: &CommonState, mut atoms: Vec<AtomMeta>) -> UcpMani
 }
 
 /// The atoms one pipeline stage produced: manifest entries plus volume
-/// accounting (the publisher merges these across stages).
+/// accounting (the publisher merges these across stages). Manifest entries
+/// cover *every* parameter of the stage — skipped (clean) atoms are
+/// published as hard links to the prior universal step's files and appear
+/// in the manifest exactly like rewritten ones.
 #[derive(Debug, Clone)]
 pub struct StageAtoms {
-    /// Manifest entries for the atoms this stage wrote.
+    /// Manifest entries for the atoms this stage published.
     pub metas: Vec<AtomMeta>,
-    /// Atom checkpoints written (one per parameter).
+    /// Atom checkpoints written (one per rewritten parameter).
     pub atoms_written: usize,
+    /// Clean atoms reused from the prior step via hard links.
+    pub atoms_skipped: usize,
     /// Total bytes of atom payloads written.
     pub bytes_written: u64,
+    /// Bytes of atom payloads reused via hard links (not rewritten).
+    pub bytes_linked: u64,
 }
 
 /// Per-state-key accumulation strategy, chosen by the parameter pattern.
@@ -120,8 +127,15 @@ struct ParamBuilder {
     /// Per-TP-rank run maps into the consolidated buffer (`Scatter` only).
     segments: Vec<Vec<ShardSegment>>,
     keys: [KeyAcc; 3],
-    /// Elements received per `[key][tp]`; complete at `shard_len` each.
+    /// Elements received per `[key][tp]` *this step*; a not-yet-complete
+    /// builder is complete at `shard_len` each.
     got: [Vec<usize>; 3],
+    /// Received at least one fragment since the last `begin_step`.
+    touched: bool,
+    /// The consolidated buffers held a full image at some finalize — from
+    /// then on, steps may patch partially (dirty fragments only) and an
+    /// untouched step can reuse the previously published atom files.
+    complete: bool,
 }
 
 impl ParamBuilder {
@@ -173,6 +187,8 @@ impl ParamBuilder {
             segments,
             keys: [mk(numel, tp), mk(numel, tp), mk(numel, tp)],
             got: [vec![0; tp], vec![0; tp], vec![0; tp]],
+            touched: false,
+            complete: false,
         })
     }
 
@@ -211,16 +227,17 @@ impl ParamBuilder {
         Ok(())
     }
 
-    /// Materialize the three consolidated state buffers (consumes the
-    /// accumulators). `Average` reproduces `union_tp` exactly: f64
-    /// accumulation in TP-rank order, divide, cast.
-    fn into_states(self) -> [Vec<f32>; 3] {
-        self.keys.map(|k| match k {
-            KeyAcc::Scatter(buf) | KeyAcc::Replicate(buf) => buf,
+    /// Materialize the three consolidated state buffers. The accumulators
+    /// are retained (the assembler reuses them across save steps), so
+    /// buffers are cloned out. `Average` reproduces `union_tp` exactly:
+    /// f64 accumulation in TP-rank order, divide, cast.
+    fn states(&self) -> [Vec<f32>; 3] {
+        [&self.keys[0], &self.keys[1], &self.keys[2]].map(|k| match k {
+            KeyAcc::Scatter(buf) | KeyAcc::Replicate(buf) => buf.clone(),
             KeyAcc::Average(bufs) => {
                 let n = bufs.len() as f64;
                 let mut acc = vec![0.0f64; bufs[0].len()];
-                for buf in &bufs {
+                for buf in bufs {
                     for (a, v) in acc.iter_mut().zip(buf) {
                         *a += f64::from(*v);
                     }
@@ -256,12 +273,21 @@ fn scatter_segments(segments: &[ShardSegment], frag: &Fragment, buf: &mut [f32])
 }
 
 /// Incremental consolidation of one pipeline stage's parameters into
-/// universal atom checkpoints.
+/// universal atom checkpoints, reusable across consecutive save steps.
 ///
 /// Feed it every `(tp, zero-index)` contribution of the stage via
 /// [`StageAssembler::absorb`] — in ascending TP order, because replicated
 /// parameters verify later copies against the tp-0 one — then call
 /// [`StageAssembler::finalize`] to write the atoms durably.
+///
+/// For per-iteration cadence the assembler persists across saves: call
+/// [`StageAssembler::begin_step`] with the next step's universal
+/// directory, absorb only the *dirty* fragments (the consolidated buffers
+/// retain last step's image, so partial contributions patch it), then
+/// [`StageAssembler::finalize_step`]. A parameter that received no
+/// fragments at all is clean; its three atom files are published as hard
+/// links to the previous universal step's files instead of being
+/// rewritten, so save bytes scale with what actually changed.
 pub struct StageAssembler {
     universal_dir: PathBuf,
     tp_degree: usize,
@@ -317,6 +343,23 @@ impl StageAssembler {
         })
     }
 
+    /// Start assembling the next save step into `universal_dir`: resets
+    /// the per-step coverage accounting and the ascending-TP cursor while
+    /// keeping the consolidated buffers (last step's image) so dirty
+    /// fragments can patch them in place.
+    pub fn begin_step(&mut self, universal_dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(universal_dir)?;
+        self.universal_dir = universal_dir.to_path_buf();
+        self.last_tp = 0;
+        for b in self.params.values_mut() {
+            b.touched = false;
+            for per_tp in &mut b.got {
+                per_tp.iter_mut().for_each(|g| *g = 0);
+            }
+        }
+        Ok(())
+    }
+
     /// Absorb one rank's extracted flat fragments: `fragments` are
     /// `(param name, state key index, fragment)` from that rank's ZeRO
     /// chunk of TP slice `tp`. Contributions must arrive in ascending
@@ -341,17 +384,40 @@ impl StageAssembler {
                 .params
                 .get_mut(&name)
                 .ok_or_else(|| UcpError::Inconsistent(format!("fragment for unknown {name}")))?;
+            b.touched = true;
             b.apply(ki, tp, &frag, self.verify_replicas)?;
         }
         Ok(())
     }
 
     /// Verify every parameter is fully covered, then write this stage's
-    /// atoms durably (parallel over parameters, write latency under
-    /// `span_path`). Skipped (other-stage-owned) parameters are checked
-    /// for completeness but not written.
-    pub fn finalize(self, workers: usize, span_path: &str) -> Result<StageAtoms> {
+    /// atoms durably. One-shot variant of [`StageAssembler::finalize_step`]
+    /// for callers that use a fresh assembler per save.
+    pub fn finalize(mut self, workers: usize, span_path: &str) -> Result<StageAtoms> {
+        self.finalize_step(workers, span_path, None)
+    }
+
+    /// Verify coverage, then publish this step's atoms (parallel over
+    /// parameters, write latency under `span_path`): touched parameters
+    /// are rewritten from the patched consolidated buffers; clean ones
+    /// (complete from an earlier step, no fragments this step) are hard
+    /// linked from `link_from` — the previous universal step's directory —
+    /// instead of being rewritten. Skipped (other-stage-owned) parameters
+    /// are accounted but never published.
+    ///
+    /// Coverage rules: a parameter that has never been complete must be
+    /// fully covered this step (first save sends everything); once
+    /// complete, any partial patch keeps it complete.
+    pub fn finalize_step(
+        &mut self,
+        workers: usize,
+        span_path: &str,
+        link_from: Option<&Path>,
+    ) -> Result<StageAtoms> {
         for (name, b) in &self.params {
+            if b.complete {
+                continue;
+            }
             for (ki, per_tp) in b.got.iter().enumerate() {
                 for (tp, &got) in per_tp.iter().enumerate() {
                     if got != b.shard_len {
@@ -363,41 +429,63 @@ impl StageAssembler {
                 }
             }
         }
-        let universal = self.universal_dir;
-        let entries: Vec<(String, parking_lot::Mutex<Option<ParamBuilder>>)> = self
-            .params
-            .into_iter()
-            .filter(|(_, b)| !b.skip)
-            .map(|(n, b)| (n, parking_lot::Mutex::new(Some(b))))
-            .collect();
-        let written = par_map(entries.len(), workers, |i| {
-            let (name, slot) = &entries[i];
-            let b = slot.lock().take().expect("each parameter finalized once");
-            let shape = b.shape.clone();
-            let pattern = b.pattern.clone();
-            let states = b.into_states();
+        let universal = self.universal_dir.clone();
+        let entries: Vec<(&String, &ParamBuilder)> =
+            self.params.iter().filter(|(_, b)| !b.skip).collect();
+        let published = par_map(entries.len(), workers, |i| {
+            let (name, b) = entries[i];
+            let meta = AtomMeta {
+                name: (*name).clone(),
+                shape: b.shape.clone(),
+                pattern: b.pattern.clone(),
+            };
+            // Clean atom with a prior image on disk: reuse it. (Defensive:
+            // if no prior directory was supplied, fall back to rewriting —
+            // the retained buffers hold the same bits.)
+            if b.complete && !b.touched {
+                if let Some(prev) = link_from {
+                    let t = ucp_telemetry::enabled().then(Instant::now);
+                    let mut linked = 0u64;
+                    for file in AtomFile::ALL {
+                        let src = layout::atom_path(prev, name, file);
+                        let dst = layout::atom_path(&universal, name, file);
+                        linked += std::fs::metadata(&src)?.len();
+                        ucp_storage::commit::link_file_durable(&src, &dst)?;
+                    }
+                    if let Some(t) = t {
+                        ucp_telemetry::global().record_span("save/atom_link", t.elapsed());
+                    }
+                    return Ok((meta, 0u64, linked));
+                }
+            }
+            let states = b.states();
             let mut bytes = 0u64;
             for (file, data) in AtomFile::ALL.into_iter().zip(states) {
-                let atom = Tensor::from_vec(data, shape.clone()).map_err(UcpError::Tensor)?;
-                bytes += write_atom_file(&universal, name, &pattern, file, atom, span_path)?;
+                let atom = Tensor::from_vec(data, b.shape.clone()).map_err(UcpError::Tensor)?;
+                bytes += write_atom_file(&universal, name, &meta.pattern, file, atom, span_path)?;
             }
-            Ok((
-                AtomMeta {
-                    name: name.clone(),
-                    shape,
-                    pattern,
-                },
-                bytes,
-            ))
+            Ok((meta, bytes, 0u64))
         })?;
+        // Every parameter now has a full image (in the buffers and, for
+        // non-skip ones, on disk): later steps may patch partially.
+        for b in self.params.values_mut() {
+            b.complete = true;
+        }
         let mut out = StageAtoms {
-            metas: Vec::with_capacity(written.len()),
+            metas: Vec::with_capacity(published.len()),
             atoms_written: 0,
+            atoms_skipped: 0,
             bytes_written: 0,
+            bytes_linked: 0,
         };
-        for (meta, bytes) in written {
-            out.atoms_written += 1;
-            out.bytes_written += bytes;
+        for (meta, bytes, linked) in published {
+            if bytes > 0 || linked == 0 {
+                out.atoms_written += 1;
+                out.bytes_written += bytes;
+            } else {
+                out.atoms_skipped += 1;
+                out.bytes_linked += linked;
+            }
             out.metas.push(meta);
         }
         Ok(out)
@@ -606,7 +694,7 @@ mod tests {
                 .unwrap();
             }
         }
-        let states = b.into_states();
+        let states = b.states();
         let shards: Vec<Tensor> = copies
             .iter()
             .map(|d| Tensor::from_vec(d.clone(), shape.clone()).unwrap())
@@ -616,6 +704,109 @@ mod tests {
             let t = Tensor::from_vec(s, shape.clone()).unwrap();
             assert!(t.bitwise_eq(&expect));
         }
+    }
+
+    #[test]
+    fn incremental_step_links_clean_atoms_and_patches_dirty_ones() {
+        use std::os::unix::fs::MetadataExt;
+        // Two single-TP params; step 2 touches only one of them. The clean
+        // one must come back as hard links to step 1's files; the dirty one
+        // must be rewritten with the patch applied.
+        let parallel = ParallelConfig::new(1, 1, 1, 1, ZeroStage::Zero0);
+        let c = common(parallel);
+        let dirty_name = "final_layernorm.weight".to_string();
+        let clean_name = "final_layernorm.bias".to_string();
+        let names = vec![dirty_name.clone(), clean_name.clone()];
+        let n = param_specs(&c.model)
+            .iter()
+            .find(|s| s.name == dirty_name)
+            .unwrap()
+            .shape
+            .num_elements();
+        let base = tmp("incr_link");
+        let step1 = base.join("global_step1_universal");
+        let step2 = base.join("global_step2_universal");
+        let full = |v: f32| Fragment {
+            param_offset: 0,
+            data: vec![v; n],
+        };
+
+        let mut asm = StageAssembler::new(&step1, &c, 0, &names, true).unwrap();
+        let mut frags = Vec::new();
+        for ki in 0..3 {
+            frags.push((dirty_name.clone(), ki, full(1.0)));
+            frags.push((clean_name.clone(), ki, full(2.0)));
+        }
+        asm.absorb(0, frags).unwrap();
+        let s1 = asm.finalize_step(2, "save/atom_write", None).unwrap();
+        assert_eq!((s1.atoms_written, s1.atoms_skipped), (2, 0));
+
+        // Step 2: patch a sub-range of the dirty param only.
+        asm.begin_step(&step2).unwrap();
+        let patch = Fragment {
+            param_offset: 1,
+            data: vec![9.0; 2],
+        };
+        asm.absorb(
+            0,
+            (0..3)
+                .map(|ki| (dirty_name.clone(), ki, patch.clone()))
+                .collect(),
+        )
+        .unwrap();
+        let s2 = asm
+            .finalize_step(2, "save/atom_write", Some(&step1))
+            .unwrap();
+        assert_eq!((s2.atoms_written, s2.atoms_skipped), (1, 1));
+        assert!(s2.bytes_linked > 0);
+        assert_eq!(s2.metas.len(), 2, "manifest lists linked atoms too");
+
+        for file in AtomFile::ALL {
+            // Clean atom: same inode as step 1, two names.
+            let src = layout::atom_path(&step1, &clean_name, file);
+            let dst = layout::atom_path(&step2, &clean_name, file);
+            assert_eq!(
+                std::fs::metadata(&src).unwrap().ino(),
+                std::fs::metadata(&dst).unwrap().ino(),
+                "clean atom must be hard linked"
+            );
+            // Dirty atom: fresh file with the patch applied on the
+            // retained image.
+            let t = Container::read_file(&layout::atom_path(&step2, &dirty_name, file))
+                .unwrap()
+                .get(file.state_key())
+                .unwrap()
+                .clone();
+            let got = t.as_slice().to_vec();
+            assert_eq!(got[0], 1.0);
+            assert_eq!(&got[1..3], &[9.0, 9.0]);
+            assert!(got[3..].iter().all(|&v| v == 1.0));
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn first_step_must_be_fully_covered_even_if_touched() {
+        // Partial coverage on a never-complete builder is an error — the
+        // incremental path only tolerates partial absorbs after a full
+        // image exists.
+        let parallel = ParallelConfig::new(1, 1, 1, 1, ZeroStage::Zero0);
+        let c = common(parallel);
+        let name = "final_layernorm.weight".to_string();
+        let dir = tmp("incr_partial");
+        let mut asm = StageAssembler::new(&dir, &c, 0, std::slice::from_ref(&name), true).unwrap();
+        let patch = Fragment {
+            param_offset: 0,
+            data: vec![1.0; 2],
+        };
+        asm.absorb(
+            0,
+            (0..3).map(|ki| (name.clone(), ki, patch.clone())).collect(),
+        )
+        .unwrap();
+        let err = asm.finalize_step(1, "save/atom_write", None).unwrap_err();
+        assert!(err.to_string().contains("contributed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

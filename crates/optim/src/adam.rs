@@ -67,6 +67,14 @@ impl AdamState {
     /// Elementwise and therefore partition-invariant: applying this to any
     /// slicing of the flat space produces identical values.
     ///
+    /// Updates are *lazy* (sparse-Adam semantics): elements whose gradient
+    /// is exactly `0.0` are skipped entirely — no moment decay and no
+    /// weight decay — so an untouched element stays bitwise identical
+    /// across steps. This is what lets the checkpoint pipeline treat
+    /// zero-gradient fragments (e.g. unrouted MoE experts) as clean and
+    /// skip re-writing their atoms. Being elementwise, laziness preserves
+    /// partition invariance.
+    ///
     /// # Panics
     ///
     /// Panics if buffer lengths disagree.
@@ -78,6 +86,9 @@ impl AdamState {
         let bc2 = 1.0 - (f64::from(cfg.beta2)).powi(self.step as i32);
         let lr64 = f64::from(lr);
         for i in 0..master.len() {
+            if grad[i] == 0.0 {
+                continue;
+            }
             let g = f64::from(grad[i]);
             let m = f64::from(cfg.beta1) * f64::from(self.exp_avg[i])
                 + (1.0 - f64::from(cfg.beta1)) * g;
@@ -129,12 +140,35 @@ mod tests {
     }
 
     #[test]
-    fn weight_decay_shrinks_params_with_zero_grad() {
+    fn zero_grad_elements_stay_bitwise_frozen() {
+        // Lazy AdamW: a zero-gradient element gets no update at all — not
+        // even weight decay or moment decay. The dirty-atom checkpoint
+        // path depends on this bitwise invariance.
         let cfg = AdamConfig::default();
-        let mut state = AdamState::new(1);
-        let mut master = vec![2.0f32];
-        state.step(&cfg, &mut master, &[0.0], 0.1);
-        assert!((master[0] - 2.0 * (1.0 - 0.1 * 0.1)).abs() < 1e-6);
+        let mut state = AdamState::new(2);
+        state.exp_avg[0] = 0.25;
+        state.exp_avg_sq[0] = 0.5;
+        let mut master = vec![2.0f32, 1.0];
+        state.step(&cfg, &mut master, &[0.0, 0.3], 0.1);
+        assert_eq!(master[0].to_bits(), 2.0f32.to_bits());
+        assert_eq!(state.exp_avg[0].to_bits(), 0.25f32.to_bits());
+        assert_eq!(state.exp_avg_sq[0].to_bits(), 0.5f32.to_bits());
+        // The touched element still moves (decay + gradient step).
+        assert!(master[1] < 1.0);
+    }
+
+    #[test]
+    fn lazy_skip_matches_dense_on_nonzero_grads() {
+        // When every gradient is non-zero the lazy path is the dense path.
+        let cfg = AdamConfig::default();
+        let grad: Vec<f32> = (0..8).map(|i| 0.01 * (i as f32 + 1.0)).collect();
+        let mut a = AdamState::new(8);
+        let mut b = AdamState::new(8);
+        let mut ma: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let mut mb = ma.clone();
+        a.step(&cfg, &mut ma, &grad, 0.01);
+        b.step(&cfg, &mut mb, &grad, 0.01);
+        assert_eq!(ma, mb);
     }
 
     #[test]

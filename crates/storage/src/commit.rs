@@ -147,6 +147,48 @@ where
     result
 }
 
+/// Durably publish `dst` as a hard link to the existing file `src`,
+/// through the same staged protocol as [`atomic_write`]: link to
+/// `<dst>.tmp`, rename over `dst`, fsync the parent directory. Used by
+/// the incremental save pipeline to reuse a prior universal step's atom
+/// files for clean (untouched) atoms without rewriting their bytes.
+///
+/// `src`'s *contents* are already durable (it was itself committed), so no
+/// data fsync is needed — only the directory entry must survive a crash,
+/// which the dir fsync guarantees. A crash mid-way leaves at most a
+/// `<dst>.tmp` remnant that `ucp fsck` sweeps. Readers see either no file
+/// or a complete, valid atom: hard links are atomic at the namespace
+/// level, and both names resolve to the same verified inode.
+///
+/// Two kill points: `commit.link` (the staging link) and `commit.rename`,
+/// plus the shared `commit.dirsync` inside [`fsync_dir`].
+pub fn link_file_durable(src: &Path, dst: &Path) -> Result<()> {
+    if let Some(parent) = dst.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = tmp_path(dst);
+    let result = (|| -> Result<()> {
+        // A stale staging link from an interrupted earlier attempt would
+        // make the fresh hard_link fail; sweep it first.
+        let _ = fs::remove_file(&tmp);
+        fault::gate("commit.link", &tmp)?;
+        fs::hard_link(src, &tmp)?;
+        fault::gate("commit.rename", dst)?;
+        fs::rename(&tmp, dst)?;
+        if let Some(parent) = dst.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent)?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = &result {
+        let crashed = matches!(e, crate::StorageError::Io(io) if fault::is_injected(io));
+        if !crashed {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+    result
+}
+
 /// Crash-consistently append one `line` (no trailing newline) to the file
 /// at `path`, creating it if absent — the primitive under the run journal.
 ///
@@ -391,6 +433,59 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         append_line(&path, "{\"b\":2}").unwrap();
         assert_eq!(fs::read(&path).unwrap(), b"{\"a\":1}\n{\"b\":2}\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn link_file_durable_shares_the_inode() {
+        use std::os::unix::fs::MetadataExt;
+        let dir = temp_dir("link");
+        let src = dir.join("step1").join("atom");
+        fs::create_dir_all(src.parent().unwrap()).unwrap();
+        atomic_write(&src, b"atom-bytes").unwrap();
+        let dst = dir.join("step2").join("atom");
+        link_file_durable(&src, &dst).unwrap();
+        assert_eq!(fs::read(&dst).unwrap(), b"atom-bytes");
+        let (ms, md) = (fs::metadata(&src).unwrap(), fs::metadata(&dst).unwrap());
+        assert_eq!(ms.ino(), md.ino(), "dst must be a hard link, not a copy");
+        assert_eq!(ms.nlink(), 2);
+        assert!(!tmp_path(&dst).exists());
+        // Unlinking the source name leaves the shared inode reachable via
+        // dst — pruning the old step cannot corrupt the new one.
+        fs::remove_file(&src).unwrap();
+        assert_eq!(fs::read(&dst).unwrap(), b"atom-bytes");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn link_file_durable_crash_at_rename_leaves_only_tmp() {
+        let dir = temp_dir("link_crash");
+        let src = dir.join("src");
+        atomic_write(&src, b"x").unwrap();
+        let dst = dir.join("sub").join("dst");
+        // Kill points: link (0), rename (1), dirsync (2).
+        let armed = fault::arm(FaultPlan::kill_at(1, &dir));
+        let err = link_file_durable(&src, &dst).unwrap_err();
+        drop(armed);
+        assert!(err.to_string().contains("injected crash"));
+        assert!(!dst.exists());
+        assert!(tmp_path(&dst).exists(), "crash remnant is the staged link");
+        // A retry after the crash heals the stale staging link.
+        link_file_durable(&src, &dst).unwrap();
+        assert_eq!(fs::read(&dst).unwrap(), b"x");
+        assert!(!tmp_path(&dst).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn link_file_durable_has_three_kill_points() {
+        let dir = temp_dir("link_count");
+        let src = dir.join("src");
+        atomic_write(&src, b"x").unwrap();
+        let armed = fault::arm(FaultPlan::count_only(&dir));
+        link_file_durable(&src, &dir.join("dst")).unwrap();
+        // link, rename, dirsync.
+        assert_eq!(armed.hits(), 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -192,24 +192,6 @@ impl Default for OverlappedOptions {
     }
 }
 
-/// The checkpoint boundaries a plan will hit (needed up front so the save
-/// pipeline's exchanges can be wired before the cluster fan-out).
-fn planned_save_steps(plan: &TrainPlan) -> Vec<u64> {
-    let (Some(every), Some(_)) = (plan.checkpoint_every, &plan.checkpoint_dir) else {
-        return Vec::new();
-    };
-    if every == 0 {
-        return Vec::new();
-    }
-    let start = match &plan.resume {
-        ResumeMode::Fresh => 0,
-        ResumeMode::Native { step, .. } | ResumeMode::Universal { step, .. } => *step,
-    };
-    (start + 1..=plan.until_iteration)
-        .filter(|it| it % every == 0)
-        .collect()
-}
-
 /// Like [`train_run`], but checkpoint persistence overlaps training
 /// (CheckFreq/Gemini-style): at each checkpoint boundary the rank takes an
 /// in-memory snapshot — the only blocking cost — and a background thread
@@ -234,11 +216,14 @@ pub fn train_run_overlapped_with(
     plan.config.validate().map_err(TrainError::Config)?;
     let world = plan.config.parallel.world_size();
     let session = open_resume_session(&plan.resume)?;
-    // One exchange mesh per planned save step, wired before the fan-out so
-    // every rank's background writer holds an endpoint of the same mesh.
+    // One persistent exchange mesh for the whole run, wired before the
+    // fan-out so every rank's background writer leases the same fabric.
+    // Each save step claims an epoch-tagged lease instead of paying for a
+    // fresh O(world²) mesh — the fixed cost that dominates at
+    // per-iteration cadence.
     let pipelines = opts
         .universal_save
-        .then(|| crate::pipeline::SavePipelines::new(world, planned_save_steps(plan)));
+        .then(|| crate::pipeline::SavePipelines::new(world));
     let fleet = ucp_telemetry::enabled().then(|| crate::fleet::FleetMesh::new(world));
     let results = Cluster::run(world, |comm| -> Result<RunResult, String> {
         let t_load = std::time::Instant::now();
@@ -307,6 +292,12 @@ pub fn train_run_overlapped_with(
         // can't keep up with the save cadence applies backpressure
         // instead of accumulating snapshots.
         let mut tail: Vec<crate::snapshot::PendingSave> = Vec::new();
+        // Snapshots come from a bounded pool of reusable buffers sized to
+        // the writers the tail bound allows in flight: capturing one is a
+        // memcpy into recycled capacity, and a lagging pipeline blocks the
+        // next capture instead of growing memory without bound.
+        let snapshot_pool =
+            crate::snapshot::SnapshotPool::new(crate::pipeline::SNAPSHOT_POOL_CAPACITY);
         while engine.iteration < plan.until_iteration {
             let it = engine.iteration;
             let t_it = local.as_ref().map(|_| std::time::Instant::now());
@@ -337,7 +328,7 @@ pub fn train_run_overlapped_with(
                         tail.remove(0).wait().map_err(|e| e.to_string())?;
                     }
                     let t_snap = ucp_telemetry::enabled().then(std::time::Instant::now);
-                    let snapshot = engine.snapshot();
+                    let snapshot = engine.snapshot_pooled(&snapshot_pool);
                     if let Some(t) = t_snap {
                         ucp_telemetry::global().record_span("save/snapshot", t.elapsed());
                     }

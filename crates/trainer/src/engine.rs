@@ -29,6 +29,7 @@ use ucp_tensor::{DType, DetRng, Tensor};
 
 use crate::comm_group::CommGroup;
 use crate::data;
+use crate::dirty::DirtyTracker;
 use crate::TrainError;
 
 /// Pipeline execution schedule.
@@ -163,6 +164,8 @@ pub struct RankEngine<'a> {
     pub iteration: u64,
     /// Stats of the most recent iteration.
     pub last_stats: Option<IterStats>,
+    /// Per-block dirtiness accumulated since the last snapshot.
+    dirty: DirtyTracker,
 }
 
 impl<'a> RankEngine<'a> {
@@ -209,6 +212,7 @@ impl<'a> RankEngine<'a> {
         let master = full[layout.rank_range(zi)].to_vec();
         let adam = AdamState::new(layout.chunk);
         stage.params.cast_all(cfg.dtype);
+        let dirty = DirtyTracker::new(&layout, &cfg.model);
         Ok(RankEngine {
             cfg,
             comm,
@@ -219,6 +223,7 @@ impl<'a> RankEngine<'a> {
             adam,
             iteration: 0,
             last_stats: None,
+            dirty,
         })
     }
 
@@ -256,6 +261,7 @@ impl<'a> RankEngine<'a> {
             exp_avg_sq: shard.exp_avg_sq,
             step: common.adam_step,
         };
+        let dirty = DirtyTracker::new(&layout, &cfg.model);
         let mut engine = RankEngine {
             cfg,
             comm,
@@ -266,6 +272,7 @@ impl<'a> RankEngine<'a> {
             adam,
             iteration: common.iteration,
             last_stats: None,
+            dirty,
         };
         // Rebuild the full fp32 view and refresh the compute copy.
         engine.refresh_model_copy()?;
@@ -334,16 +341,19 @@ impl<'a> RankEngine<'a> {
             exp_avg_sq: state.exp_avg_sq,
             step: manifest.adam_step,
         };
+        let layout = Arc::try_unwrap(state.layout).unwrap_or_else(|a| (*a).clone());
+        let dirty = DirtyTracker::new(&layout, &cfg.model);
         Ok(RankEngine {
             cfg,
             comm,
             coord,
             stage,
-            layout: Arc::try_unwrap(state.layout).unwrap_or_else(|a| (*a).clone()),
+            layout,
             master: state.fp32,
             adam,
             iteration: manifest.iteration,
             last_stats: None,
+            dirty,
         })
     }
 
@@ -563,6 +573,11 @@ impl<'a> RankEngine<'a> {
         }
         let flat = flat;
 
+        // Record which blocks this iteration touched — scanned before the
+        // f64→f32 cast so a gradient that underflows the cast still counts
+        // as dirty (lazy Adam skips exact zeros only; see `crate::dirty`).
+        self.dirty.observe_grads(&flat);
+
         // Scale to mean-loss gradients and clip by the global norm.
         let inv = 1.0 / token_total;
         let specs = self.stage.specs().to_vec();
@@ -642,9 +657,16 @@ impl<'a> RankEngine<'a> {
     /// Capture an owned snapshot of everything this rank persists at the
     /// current step (the blocking half of overlapped checkpointing; see
     /// [`crate::snapshot`]).
-    pub fn snapshot(&self) -> crate::snapshot::CheckpointSnapshot {
+    ///
+    /// Takes `&mut self` because it also *drains* the dirty tracker: the
+    /// returned snapshot carries the set of parameter ranges touched since
+    /// the previous snapshot, and the tracker resets to clean. Dropping the
+    /// snapshot without saving it therefore loses dirtiness — callers must
+    /// hand every snapshot to the save path (the driver does).
+    pub fn snapshot(&mut self) -> crate::snapshot::CheckpointSnapshot {
         let _sp = trace::span(TraceCat::Checkpoint, "snapshot");
         let zi = self.zero_index();
+        let dirty = self.dirty.take();
         crate::snapshot::CheckpointSnapshot {
             common: self.common_state(),
             tp: self.coord.tp,
@@ -658,6 +680,49 @@ impl<'a> RankEngine<'a> {
                 exp_avg_sq: self.adam.exp_avg_sq.clone(),
             },
             durable: self.cfg.durable_saves,
+            dirty: Some(dirty),
+        }
+    }
+
+    /// Like [`RankEngine::snapshot`], but fills a reusable buffer drawn
+    /// from `pool`, blocking while all pooled buffers are in flight (the
+    /// backpressure that bounds snapshot memory at per-iteration cadence).
+    /// Filling a recycled buffer is a `clone_from` into existing capacity
+    /// — no allocation once the pool is warm.
+    pub fn snapshot_pooled(
+        &mut self,
+        pool: &Arc<crate::snapshot::SnapshotPool>,
+    ) -> crate::snapshot::PooledSnapshot {
+        let mut pooled = pool.acquire();
+        self.snapshot_into(pooled.slot_mut());
+        pooled
+    }
+
+    fn snapshot_into(&mut self, slot: &mut Option<crate::snapshot::CheckpointSnapshot>) {
+        match slot {
+            Some(prev) => {
+                let _sp = trace::span(TraceCat::Checkpoint, "snapshot");
+                let zi = self.zero_index();
+                prev.common = self.common_state();
+                prev.tp = self.coord.tp;
+                prev.pp = self.coord.pp;
+                if zi == 0 {
+                    match &mut prev.model {
+                        Some(m) => m.clone_from(&self.stage.params),
+                        m => *m = Some(self.stage.params.clone()),
+                    }
+                } else {
+                    prev.model = None;
+                }
+                prev.shard.dp = zi;
+                prev.shard.layout.clone_from(&self.layout);
+                prev.shard.fp32.clone_from(&self.master);
+                prev.shard.exp_avg.clone_from(&self.adam.exp_avg);
+                prev.shard.exp_avg_sq.clone_from(&self.adam.exp_avg_sq);
+                prev.durable = self.cfg.durable_saves;
+                prev.dirty = Some(self.dirty.take());
+            }
+            None => *slot = Some(self.snapshot()),
         }
     }
 

@@ -16,6 +16,7 @@
 
 pub mod comm_group;
 pub mod data;
+pub mod dirty;
 pub mod driver;
 pub mod engine;
 pub mod fleet;
@@ -24,13 +25,14 @@ pub mod snapshot;
 pub mod supervisor;
 
 pub use comm_group::CommGroup;
+pub use dirty::{DirtyMap, DirtyTracker};
 pub use driver::{
     convert_checkpoint, resume_run, run_elastic, train_run, train_run_overlapped,
     train_run_overlapped_with, ElasticPhase, OverlappedOptions, ResumeMode, RunResult, TrainPlan,
 };
 pub use engine::{IterStats, PipelineSchedule, RankEngine, TrainConfig};
 pub use pipeline::SavePipelines;
-pub use snapshot::{CheckpointSnapshot, PendingSave};
+pub use snapshot::{CheckpointSnapshot, PendingSave, PooledSnapshot, SnapshotPool};
 pub use supervisor::{
     parse_faults, supervise, FaultKind, RankFault, RestartEvent, SuperviseReport, SupervisorOptions,
 };

@@ -15,10 +15,11 @@
 //! ```text
 //! every rank      persist native files, extract flat fragments,
 //!                 send one Contribution to its stage assembler
+//!                 (filtered to the snapshot's dirty ranges)
 //! stage assembler (tp=0, zero=0 rank of each pp stage) absorb every
-//!                 (tp, zero) contribution in order, scatter into atom
-//!                 builders, write the stage's atoms durably,
-//!                 send StageDone to the publisher
+//!                 (tp, zero) contribution in order, patch them into the
+//!                 stage's carried atom builders, rewrite dirty atoms and
+//!                 hard-link clean ones, send StageDone to the publisher
 //! publisher       (cluster rank 0) collect StageDone from every stage,
 //!                 write the manifest durably
 //! ```
@@ -34,33 +35,51 @@
 //! native-publish notification, and a monotonic floor guard keeps late
 //! writers from moving the marker backwards.
 //!
-//! Messages move over a disposable per-step all-to-all mesh
-//! ([`ucp_collectives::exchange`]) created before the cluster fan-out: the
-//! training fabric stays untouched, and a writer that dies mid-save
-//! surfaces at its peers as a prompt `Disconnected` instead of a hang.
+//! Messages move over one *persistent* all-to-all mesh
+//! ([`ucp_collectives::exchange::Mesh`]) built once at run start: each
+//! save step leases the fabric under its step number as the epoch tag, so
+//! the O(world²) channel wiring is paid once instead of per save — the
+//! fixed cost that dominates at `checkpoint_every = 1`. Per-pair FIFO
+//! within a step and prompt `Disconnected` on a dead writer are preserved
+//! by the epoch demultiplexer. Likewise each stage's [`StageAssembler`]
+//! is carried across steps in a [`StageChain`]: consecutive saves patch
+//! the consolidated buffers with just the dirty fragments and re-publish
+//! untouched atoms as hard links to the previous step's files, so save
+//! bytes scale with what training actually touched. Consecutive steps of
+//! one stage must finalize in order for that patching to be sound, which
+//! the per-rank done-chain enforces (each writer waits for its rank's
+//! predecessor before touching the chain).
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ucp_collectives::exchange::{endpoints, Endpoint};
+use ucp_collectives::exchange::{EpochLease, Mesh};
 use ucp_core::assemble::{build_manifest, StageAssembler, StageAtoms};
 use ucp_core::checkpoint::CommonState;
 use ucp_core::ops::{extract_flat, Fragment};
 use ucp_parallel::{ParallelConfig, RankCoord};
 use ucp_storage::layout as disk;
+use ucp_storage::retention::InFlightGuard;
 use ucp_telemetry::{trace, TraceCat};
 
+use crate::dirty::DirtyMap;
 use crate::snapshot::CheckpointSnapshot;
 use crate::TrainError;
 
 /// How long a writer waits on a peer contribution before declaring the
 /// save failed. Generous: the peer is another local background thread, so
-/// getting anywhere near this means it hung without dropping its endpoint.
+/// getting anywhere near this means it hung without dropping its lease.
 const EXCHANGE_DEADLINE: Duration = Duration::from_secs(60);
 
 /// Worker threads each stage assembler uses to write its atoms.
 const ATOM_WRITE_WORKERS: usize = 2;
+
+/// Snapshot buffers per rank: the one being captured plus the in-flight
+/// background writes the driver allows before it starts draining.
+pub const SNAPSHOT_POOL_CAPACITY: usize = 3;
 
 /// One message of the save exchange.
 pub enum PipeMsg {
@@ -74,7 +93,9 @@ pub enum PipeMsg {
         common: Box<CommonState>,
         /// Stage parameter names, in flat-layout slot order.
         params: Vec<String>,
-        /// `(param, state-key index, fragment)` triples.
+        /// `(param, state-key index, fragment)` triples. Filtered to the
+        /// snapshot's dirty ranges — possibly empty, but always sent, so
+        /// the assembler's receive schedule never depends on dirtiness.
         fragments: Vec<(String, usize, Fragment)>,
     },
     /// A stage assembler's completion notice for the publisher.
@@ -97,9 +118,58 @@ pub fn assembler_rank(p: &ParallelConfig, pp: usize) -> usize {
     })
 }
 
+/// Carried assembler state for one pipeline stage, shared by consecutive
+/// save steps. The lock is held across a whole step's absorb + finalize,
+/// and the done-chain guarantees steps enter in order.
+struct StageChain {
+    inner: parking_lot::Mutex<ChainState>,
+}
+
+impl Default for StageChain {
+    fn default() -> StageChain {
+        StageChain {
+            inner: parking_lot::Mutex::new(ChainState::default()),
+        }
+    }
+}
+
+#[derive(Default)]
+struct ChainState {
+    /// The stage's assembler, kept warm across steps (consolidated
+    /// buffers, run maps, atom builders). `None` until the first save.
+    asm: Option<StageAssembler>,
+    /// The previous finalized step: hard-link source for clean atoms,
+    /// pinned against retention pruning until the next step finalizes.
+    prev: Option<PrevStep>,
+}
+
+struct PrevStep {
+    dir: PathBuf,
+    _pin: InFlightGuard,
+}
+
+/// Fires its signal on drop — even when the writer panics — so the next
+/// writer of the same rank never waits on a dead predecessor.
+struct DoneSignal(Option<Sender<()>>);
+
+impl Drop for DoneSignal {
+    fn drop(&mut self) {
+        if let Some(tx) = self.0.take() {
+            let _ = tx.send(());
+        }
+    }
+}
+
 /// One background writer's handle on a save step's exchange.
 pub struct WriterTask {
-    endpoint: Endpoint<PipeMsg>,
+    lease: EpochLease<PipeMsg>,
+    /// Completion signal of this rank's previous writer; assemblers wait
+    /// on it so consecutive steps patch the stage chain in order.
+    prev_done: Option<Receiver<()>>,
+    /// Signals this writer's completion to its rank's next writer.
+    done: DoneSignal,
+    /// Per-stage carry-over assemblers, shared with every other step.
+    chains: Arc<parking_lot::Mutex<HashMap<usize, Arc<StageChain>>>>,
     /// Rank 0's writer additionally publishes `latest_universal`.
     publish: Option<PublishTask>,
 }
@@ -115,61 +185,76 @@ struct PublishTask {
     marker_lock: std::sync::Arc<parking_lot::Mutex<()>>,
 }
 
-/// One save step's pre-wired state.
-struct StepPipeline {
-    endpoints: Vec<Option<Endpoint<PipeMsg>>>,
-    native_published: Option<std::sync::mpsc::Receiver<()>>,
-}
-
-/// Pre-created exchanges, one per planned save step. Built on the
-/// launching thread before the cluster fan-out so all ranks' writers share
-/// one mesh; each rank takes its endpoint exactly once.
+/// The save exchange fabric, built once per run and leased to every save
+/// step. Construction is O(world²) in channels but independent of how
+/// many saves the run performs — at `checkpoint_every = 1` that is the
+/// difference between wiring the mesh once and wiring it every iteration.
 pub struct SavePipelines {
-    steps: parking_lot::Mutex<HashMap<u64, StepPipeline>>,
+    mesh: Mesh<PipeMsg>,
+    /// Highest step each rank has claimed: a (step, rank) lease is handed
+    /// out at most once, and claims are monotonic per rank.
+    last_taken: parking_lot::Mutex<Vec<Option<u64>>>,
+    /// Per-rank completion receiver of the most recently taken writer,
+    /// handed to the next one (the done-chain).
+    prev_done: parking_lot::Mutex<Vec<Option<Receiver<()>>>>,
     /// Senders for the per-step native-publish notifications, fired by
     /// rank 0's training thread via [`SavePipelines::notify_native_published`].
     notifiers: parking_lot::Mutex<HashMap<u64, std::sync::mpsc::Sender<()>>>,
     marker_lock: std::sync::Arc<parking_lot::Mutex<()>>,
+    chains: Arc<parking_lot::Mutex<HashMap<usize, Arc<StageChain>>>>,
 }
 
 impl SavePipelines {
-    /// Wire an exchange for every step in `save_steps`.
-    pub fn new(world: usize, save_steps: impl IntoIterator<Item = u64>) -> SavePipelines {
-        let mut steps = HashMap::new();
-        let mut notifiers = HashMap::new();
-        for s in save_steps {
-            let (tx, rx) = std::sync::mpsc::channel();
-            notifiers.insert(s, tx);
-            steps.insert(
-                s,
-                StepPipeline {
-                    endpoints: endpoints::<PipeMsg>(world).into_iter().map(Some).collect(),
-                    native_published: Some(rx),
-                },
-            );
-        }
+    /// Build the persistent fabric for a `world`-rank run. No save steps
+    /// need to be declared up front — any step can lease the mesh, so
+    /// dynamic cadences (and chaos schedules) need no pre-planning.
+    pub fn new(world: usize) -> SavePipelines {
         SavePipelines {
-            steps: parking_lot::Mutex::new(steps),
-            notifiers: parking_lot::Mutex::new(notifiers),
+            mesh: Mesh::new(world),
+            last_taken: parking_lot::Mutex::new(vec![None; world]),
+            prev_done: parking_lot::Mutex::new((0..world).map(|_| None).collect()),
+            notifiers: parking_lot::Mutex::new(HashMap::new()),
             marker_lock: std::sync::Arc::new(parking_lot::Mutex::new(())),
+            chains: Arc::new(parking_lot::Mutex::new(HashMap::new())),
         }
     }
 
-    /// Claim rank `rank`'s endpoint for `step` (None if the step has no
-    /// pipeline or the endpoint was already taken). Rank 0's task also
-    /// carries the universal-marker publish duty.
+    /// Claim rank `rank`'s lease for `step` (None if the rank is out of
+    /// range or already claimed this or a later step — leases stay
+    /// single-use per (step, rank) and monotonic per rank). Rank 0's task
+    /// also carries the universal-marker publish duty.
     pub fn take(&self, step: u64, rank: usize) -> Option<WriterTask> {
-        let mut steps = self.steps.lock();
-        let sp = steps.get_mut(&step)?;
-        let endpoint = sp.endpoints.get_mut(rank)?.take()?;
-        let publish = (rank == 0).then(|| PublishTask {
-            native_published: sp
-                .native_published
-                .take()
-                .expect("rank 0 claims its endpoint once"),
-            marker_lock: self.marker_lock.clone(),
+        {
+            let mut last = self.last_taken.lock();
+            let slot = last.get_mut(rank)?;
+            if slot.is_some_and(|s| s >= step) {
+                return None;
+            }
+            if slot.is_some() {
+                // Reusing the fabric rather than wiring a fresh one: the
+                // saving the persistent mesh exists to provide.
+                ucp_telemetry::count("save/mesh_reuse", 1);
+            }
+            *slot = Some(step);
+        }
+        let lease = self.mesh.lease(rank, step);
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let prev_done = self.prev_done.lock()[rank].replace(done_rx);
+        let publish = (rank == 0).then(|| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            self.notifiers.lock().insert(step, tx);
+            PublishTask {
+                native_published: rx,
+                marker_lock: self.marker_lock.clone(),
+            }
         });
-        Some(WriterTask { endpoint, publish })
+        Some(WriterTask {
+            lease,
+            prev_done,
+            done: DoneSignal(Some(done_tx)),
+            chains: Arc::clone(&self.chains),
+            publish,
+        })
     }
 
     /// Tell `step`'s writer that the native `latest` marker is durable, so
@@ -184,6 +269,37 @@ impl SavePipelines {
     }
 }
 
+/// Intersect one extracted fragment with its parameter's dirty ranges.
+/// `None` dirty info keeps the whole fragment (full save); a parameter
+/// absent from the map is clean everywhere and contributes nothing.
+fn filter_dirty(name: &str, frag: Fragment, dirty: Option<&DirtyMap>) -> Vec<Fragment> {
+    let Some(map) = dirty else {
+        return vec![frag];
+    };
+    let Some(ranges) = map.get(name) else {
+        return Vec::new();
+    };
+    let f_lo = frag.param_offset;
+    let f_hi = f_lo + frag.data.len();
+    let mut out = Vec::new();
+    for &(lo, len) in ranges {
+        let hi = lo + len;
+        if lo <= f_lo && hi >= f_hi {
+            // One range covers the whole fragment: forward it unsliced.
+            return vec![frag];
+        }
+        let s = lo.max(f_lo);
+        let e = hi.min(f_hi);
+        if s < e {
+            out.push(Fragment {
+                param_offset: s,
+                data: frag.data[s - f_lo..e - f_lo].to_vec(),
+            });
+        }
+    }
+    out
+}
+
 /// The universal half of one rank's background save, run on the saver
 /// thread right after the native persist succeeds. See the module docs
 /// for the role split.
@@ -194,38 +310,51 @@ pub(crate) fn run_writer(
 ) -> Result<(), TrainError> {
     let p = snapshot.common.parallel;
     let WriterTask {
-        endpoint: ep,
+        lease,
+        prev_done,
+        done,
+        chains,
         publish,
     } = task;
-    let rank = ep.rank();
+    let rank = lease.rank();
     let step = snapshot.common.iteration;
     let universal = disk::universal_dir(base, step);
 
-    // Every rank: extract this chunk's flat fragments and contribute them
-    // to the stage's assembler.
+    // Every rank: extract this chunk's flat fragments, keep the dirty
+    // sub-ranges, and contribute them to the stage's assembler. The
+    // contribution is sent even when everything is clean — the assembler
+    // counts arrivals, not bytes.
     let t_ex = ucp_telemetry::enabled().then(Instant::now);
     {
         let _sp = trace::span(TraceCat::Checkpoint, "exchange");
         let shard = &snapshot.shard;
         let keys: [&[f32]; 3] = [&shard.fp32, &shard.exp_avg, &shard.exp_avg_sq];
         let mut fragments = Vec::new();
+        let mut sent_elems: u64 = 0;
         for (ki, chunk) in keys.into_iter().enumerate() {
             for (name, frag) in extract_flat(&shard.layout, shard.dp, chunk) {
-                fragments.push((name, ki, frag));
+                for part in filter_dirty(&name, frag, snapshot.dirty.as_ref()) {
+                    sent_elems += part.data.len() as u64;
+                    fragments.push((name.clone(), ki, part));
+                }
             }
         }
+        if ucp_telemetry::enabled() {
+            ucp_telemetry::count("save/exchange_bytes", sent_elems * 4);
+        }
         let params: Vec<String> = shard.layout.slots.iter().map(|s| s.name.clone()).collect();
-        ep.send(
-            assembler_rank(&p, snapshot.pp),
-            PipeMsg::Contribution {
-                tp: snapshot.tp,
-                zi: shard.dp,
-                common: Box::new(snapshot.common.clone()),
-                params,
-                fragments,
-            },
-        )
-        .map_err(TrainError::Comm)?;
+        lease
+            .send(
+                assembler_rank(&p, snapshot.pp),
+                PipeMsg::Contribution {
+                    tp: snapshot.tp,
+                    zi: shard.dp,
+                    common: Box::new(snapshot.common.clone()),
+                    params,
+                    fragments,
+                },
+            )
+            .map_err(TrainError::Comm)?;
     }
     if let Some(t) = t_ex {
         ucp_telemetry::global().record_span("save/exchange", t.elapsed());
@@ -233,12 +362,34 @@ pub(crate) fn run_writer(
 
     // Stage assembler: absorb every (tp, zero) contribution of this stage
     // — ascending tp, so replicated copies verify against the tp-0 one —
-    // then write the stage's atoms durably.
+    // then publish the stage's atoms: dirty ones rewritten from the
+    // patched buffers, clean ones hard-linked from the previous step.
     if rank == assembler_rank(&p, snapshot.pp) {
+        // Consecutive steps patch the same carried buffers, so they must
+        // finalize in step order: wait for this rank's previous writer
+        // (the signal also fires if it died — its failure is reported on
+        // its own save; this step then simply patches on top).
+        if let Some(prev) = &prev_done {
+            match prev.recv_timeout(EXCHANGE_DEADLINE) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(TrainError::Config(
+                        "save pipeline: timed out waiting for the previous step's writer".into(),
+                    ));
+                }
+            }
+        }
+        let chain = {
+            let mut chains = chains.lock();
+            Arc::clone(chains.entry(snapshot.pp).or_default())
+        };
+        let mut state = chain.inner.lock();
         let t_as = ucp_telemetry::enabled().then(Instant::now);
-        let asm = {
+        {
             let _sp = trace::span(TraceCat::Checkpoint, "assemble");
-            let mut asm: Option<StageAssembler> = None;
+            if let Some(asm) = state.asm.as_mut() {
+                asm.begin_step(&universal).map_err(TrainError::Ucp)?;
+            }
             let zero = p.dp * p.sp;
             for tp in 0..p.tp {
                 for z in 0..zero {
@@ -248,7 +399,7 @@ pub(crate) fn run_writer(
                         tp,
                         pp: snapshot.pp,
                     });
-                    let msg = ep
+                    let msg = lease
                         .recv_from(src, EXCHANGE_DEADLINE)
                         .map_err(TrainError::Comm)?;
                     let PipeMsg::Contribution {
@@ -263,9 +414,9 @@ pub(crate) fn run_writer(
                             "save pipeline: expected a contribution".into(),
                         ));
                     };
-                    let a = match &mut asm {
+                    let a = match &mut state.asm {
                         Some(a) => a,
-                        None => asm.insert(
+                        None => state.asm.insert(
                             StageAssembler::new(&universal, &common, snapshot.pp, &params, true)
                                 .map_err(TrainError::Ucp)?,
                         ),
@@ -273,30 +424,47 @@ pub(crate) fn run_writer(
                     a.absorb(mtp, fragments).map_err(TrainError::Ucp)?;
                 }
             }
-            asm.ok_or_else(|| TrainError::Config("save pipeline: stage has no ranks".into()))?
-        };
+        }
         if let Some(t) = t_as {
             ucp_telemetry::global().record_span("save/assemble", t.elapsed());
         }
         let t_at = ucp_telemetry::enabled().then(Instant::now);
         let atoms = {
             let _sp = trace::span(TraceCat::Checkpoint, "atoms");
-            asm.finalize(ATOM_WRITE_WORKERS, "save/atom_write")
+            let link_from = state.prev.as_ref().map(|prev| prev.dir.clone());
+            let asm = state
+                .asm
+                .as_mut()
+                .ok_or_else(|| TrainError::Config("save pipeline: stage has no ranks".into()))?;
+            asm.finalize_step(ATOM_WRITE_WORKERS, "save/atom_write", link_from.as_deref())
                 .map_err(TrainError::Ucp)?
         };
+        // Rotate the hard-link source: this step's atoms must survive
+        // retention pruning until the *next* step finalizes against them.
+        state.prev = Some(PrevStep {
+            dir: universal.clone(),
+            _pin: ucp_storage::retention::begin_save(base, step),
+        });
+        drop(state);
         if let Some(t) = t_at {
             ucp_telemetry::global().record_span("save/atoms", t.elapsed());
-            ucp_telemetry::count("save/universal_atoms", atoms.atoms_written as u64);
+            ucp_telemetry::count(
+                "save/universal_atoms",
+                (atoms.atoms_written + atoms.atoms_skipped) as u64,
+            );
             ucp_telemetry::count("save/universal_bytes", atoms.bytes_written);
+            ucp_telemetry::count("save/atoms_written", atoms.atoms_written as u64);
+            ucp_telemetry::count("save/atoms_skipped", atoms.atoms_skipped as u64);
         }
-        ep.send(
-            0,
-            PipeMsg::StageDone {
-                pp: snapshot.pp,
-                atoms,
-            },
-        )
-        .map_err(TrainError::Comm)?;
+        lease
+            .send(
+                0,
+                PipeMsg::StageDone {
+                    pp: snapshot.pp,
+                    atoms,
+                },
+            )
+            .map_err(TrainError::Comm)?;
     }
 
     // Publisher: merge the per-stage atom indices and commit the manifest,
@@ -311,7 +479,7 @@ pub(crate) fn run_writer(
             let mut metas = Vec::new();
             for pp in 0..p.pp {
                 let src = assembler_rank(&p, pp);
-                let msg = ep
+                let msg = lease
                     .recv_from(src, EXCHANGE_DEADLINE)
                     .map_err(TrainError::Comm)?;
                 let PipeMsg::StageDone { atoms, .. } = msg else {
@@ -364,6 +532,10 @@ pub(crate) fn run_writer(
             ucp_telemetry::global().record_span("save/publish_universal", t.elapsed());
         }
     }
+    // Clean completion: retire the epoch without broadcasting aborts, and
+    // only then wake this rank's next writer.
+    lease.finish();
+    drop(done);
     Ok(())
 }
 
@@ -383,11 +555,70 @@ mod tests {
     }
 
     #[test]
-    fn endpoints_claimed_once() {
-        let pipes = SavePipelines::new(2, [4u64]);
+    fn leases_are_single_use_and_monotonic_per_rank() {
+        let pipes = SavePipelines::new(2);
         assert!(pipes.take(4, 0).is_some());
-        assert!(pipes.take(4, 0).is_none(), "endpoint is single-use");
+        assert!(pipes.take(4, 0).is_none(), "lease is single-use");
         assert!(pipes.take(4, 1).is_some());
-        assert!(pipes.take(6, 0).is_none(), "step 6 has no pipeline");
+        assert!(pipes.take(3, 0).is_none(), "claims are monotonic per rank");
+        // Any later step can lease the same fabric — no pre-planned
+        // schedule — and out-of-range ranks are rejected.
+        assert!(pipes.take(6, 0).is_some());
+        assert!(pipes.take(7, 2).is_none(), "rank out of range");
+    }
+
+    #[test]
+    fn writer_done_chain_links_consecutive_takes() {
+        let pipes = SavePipelines::new(1);
+        let first = pipes.take(1, 0).expect("first lease");
+        assert!(
+            first.prev_done.is_none(),
+            "first writer of a rank has no predecessor"
+        );
+        let second = pipes.take(2, 0).expect("second lease");
+        let prev = second.prev_done.as_ref().expect("chained to first writer");
+        assert!(
+            matches!(
+                prev.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            ),
+            "predecessor still alive: no signal yet"
+        );
+        drop(first);
+        prev.recv_timeout(Duration::from_secs(5))
+            .expect("dropping the first writer fires its done signal");
+    }
+
+    #[test]
+    fn filter_dirty_intersects_fragments_with_ranges() {
+        let frag = |off: usize, data: &[f32]| Fragment {
+            param_offset: off,
+            data: data.to_vec(),
+        };
+        // No dirty info: everything passes through.
+        let full = filter_dirty("p", frag(2, &[1.0, 2.0, 3.0]), None);
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].param_offset, 2);
+
+        let mut map = DirtyMap::new();
+        map.insert("p".to_string(), vec![(0, 3), (5, 2)]);
+        // Clean parameter: nothing survives.
+        assert!(filter_dirty("q", frag(0, &[1.0; 4]), Some(&map)).is_empty());
+        // Fragment [2, 8) against dirty [0, 3) ∪ [5, 7): two slices.
+        let parts = filter_dirty("p", frag(2, &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]), Some(&map));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(
+            (parts[0].param_offset, parts[0].data.as_slice()),
+            (2, &[2.0f32][..])
+        );
+        assert_eq!(
+            (parts[1].param_offset, parts[1].data.as_slice()),
+            (5, &[5.0f32, 6.0][..])
+        );
+        // A range covering the whole fragment forwards it unsliced.
+        map.insert("w".to_string(), vec![(0, 100)]);
+        let whole = filter_dirty("w", frag(10, &[1.0; 5]), Some(&map));
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].data.len(), 5);
     }
 }

@@ -7,8 +7,18 @@
 //! same native distributed checkpoint — so the two compose: this module
 //! provides the snapshot/writer machinery behind
 //! [`crate::driver::train_run_overlapped`].
+//!
+//! At per-iteration cadence the snapshot clone itself becomes the fixed
+//! cost, so snapshots are drawn from a bounded [`SnapshotPool`]: a small
+//! set of reusable buffers recycled when a background writer finishes.
+//! Filling a recycled buffer is a `clone_from` (a memcpy into existing
+//! capacity, no allocation), and when every buffer is in flight the
+//! training thread blocks in [`SnapshotPool::acquire`] — backpressure that
+//! bounds snapshot memory instead of letting it grow with writer lag. The
+//! wait, if any, lands on the `save/snapshot_pool_wait_us` metric.
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ucp_core::checkpoint::{
@@ -37,6 +47,13 @@ pub struct CheckpointSnapshot {
     /// then splits serialization (`storage/write`) from durability
     /// (`storage/fsync`).
     pub durable: bool,
+    /// Parameter ranges touched since the previous snapshot (shard-flat
+    /// coordinates; see [`crate::dirty`]). `None` means unknown — the save
+    /// pipeline then exchanges every fragment. `Some(map)` lets writers
+    /// send only dirty sub-fragments, and parameters absent from the map
+    /// are clean everywhere, so their atoms can be hard-linked from the
+    /// prior universal step instead of rewritten.
+    pub dirty: Option<crate::dirty::DirtyMap>,
 }
 
 impl CheckpointSnapshot {
@@ -80,6 +97,103 @@ impl CheckpointSnapshot {
     }
 }
 
+/// A bounded pool of reusable snapshot buffers.
+///
+/// Capacity is the maximum number of snapshots alive at once — in flight
+/// on background writers plus the one being captured. Acquiring past
+/// capacity blocks until a writer finishes and its buffer recycles.
+pub struct SnapshotPool {
+    capacity: usize,
+    /// Free slots; `Some` carries a recycled snapshot whose buffers the
+    /// next fill reuses, `None` is a never-used slot.
+    free: Mutex<Vec<Option<CheckpointSnapshot>>>,
+    bell: Condvar,
+}
+
+impl SnapshotPool {
+    /// A pool of `capacity` buffers (clamped to at least 1).
+    pub fn new(capacity: usize) -> Arc<SnapshotPool> {
+        let capacity = capacity.max(1);
+        Arc::new(SnapshotPool {
+            capacity,
+            free: Mutex::new((0..capacity).map(|_| None).collect()),
+            bell: Condvar::new(),
+        })
+    }
+
+    /// Check out a buffer, blocking while all are in flight. Every call
+    /// records its wait (usually 0) on `save/snapshot_pool_wait_us`.
+    pub fn acquire(self: &Arc<Self>) -> PooledSnapshot {
+        let t = ucp_telemetry::enabled().then(std::time::Instant::now);
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        while free.is_empty() {
+            free = self.bell.wait(free).unwrap_or_else(|e| e.into_inner());
+        }
+        let slot = free.pop().expect("free list non-empty");
+        drop(free);
+        if let Some(t) = t {
+            ucp_telemetry::observe("save/snapshot_pool_wait_us", t.elapsed().as_micros() as u64);
+        }
+        PooledSnapshot {
+            snap: slot,
+            pool: Some(Arc::clone(self)),
+        }
+    }
+
+    fn recycle(&self, snap: Option<CheckpointSnapshot>) {
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        if free.len() < self.capacity {
+            free.push(snap);
+        }
+        self.bell.notify_one();
+    }
+}
+
+/// A snapshot slot checked out of a [`SnapshotPool`]. Dropping it returns
+/// the buffers to the pool for reuse — including on writer panic, since
+/// the background thread owns it for the duration of the save. A plain
+/// [`CheckpointSnapshot`] converts `Into<PooledSnapshot>` without a pool
+/// attached (nothing recycles; drop just frees it).
+pub struct PooledSnapshot {
+    snap: Option<CheckpointSnapshot>,
+    pool: Option<Arc<SnapshotPool>>,
+}
+
+impl PooledSnapshot {
+    /// The snapshot held in this slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has not been filled (freshly acquired slots are
+    /// filled by [`crate::RankEngine::snapshot_pooled`]).
+    pub fn get(&self) -> &CheckpointSnapshot {
+        self.snap.as_ref().expect("pooled snapshot slot is filled")
+    }
+
+    /// The raw slot, for in-place filling that reuses a recycled
+    /// snapshot's buffers.
+    pub(crate) fn slot_mut(&mut self) -> &mut Option<CheckpointSnapshot> {
+        &mut self.snap
+    }
+}
+
+impl From<CheckpointSnapshot> for PooledSnapshot {
+    fn from(snap: CheckpointSnapshot) -> PooledSnapshot {
+        PooledSnapshot {
+            snap: Some(snap),
+            pool: None,
+        }
+    }
+}
+
+impl Drop for PooledSnapshot {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.recycle(self.snap.take());
+        }
+    }
+}
+
 /// Handle to an in-flight background persist.
 pub struct PendingSave {
     /// The step being persisted.
@@ -96,7 +210,7 @@ impl PendingSave {
     /// against retention pruning before the thread starts and stays
     /// pinned until the writer finishes, so `prune` can never delete a
     /// directory that is still materializing.
-    pub fn spawn(snapshot: CheckpointSnapshot, base: PathBuf) -> PendingSave {
+    pub fn spawn(snapshot: impl Into<PooledSnapshot>, base: PathBuf) -> PendingSave {
         PendingSave::spawn_with(snapshot, base, None)
     }
 
@@ -104,15 +218,17 @@ impl PendingSave {
     /// the writer also runs its part of the born-universal save pipeline
     /// ([`crate::pipeline`]) — still on the same background thread, so
     /// atom assembly stays off the training critical path and its trace
-    /// spans land on the owning rank's "saver" track.
+    /// spans land on the owning rank's "saver" track. The snapshot's
+    /// buffers (pooled or not) are released only when the writer finishes.
     pub fn spawn_with(
-        snapshot: CheckpointSnapshot,
+        snapshot: impl Into<PooledSnapshot>,
         base: PathBuf,
         pipeline: Option<crate::pipeline::WriterTask>,
     ) -> PendingSave {
-        let step = snapshot.common.iteration;
+        let pooled = snapshot.into();
+        let step = pooled.get().common.iteration;
         let guard = ucp_storage::retention::begin_save(&base, step);
-        let owner = snapshot.owner_rank();
+        let owner = pooled.get().owner_rank();
         let (persisted_tx, persisted) = std::sync::mpsc::channel();
         let handle = std::thread::spawn(move || {
             // The writer appears as a second thread on the owning rank's
@@ -128,6 +244,7 @@ impl PendingSave {
             // unblocks `wait_persisted` the same way.)
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 test_panic_injection();
+                let snapshot = pooled.get();
                 let persist_result = snapshot.persist(&base);
                 let _ = persisted_tx.send(
                     persist_result
@@ -137,10 +254,14 @@ impl PendingSave {
                 );
                 persist_result?;
                 match pipeline {
-                    Some(task) => crate::pipeline::run_writer(task, &snapshot, &base),
+                    Some(task) => crate::pipeline::run_writer(task, snapshot, &base),
                     None => Ok(()),
                 }
             }));
+            // Recycle the snapshot buffers only after the pipeline is done
+            // with them (the unwind path recycles too — `pooled` is owned
+            // by this thread either way).
+            drop(pooled);
             drop(guard);
             match result {
                 Ok(r) => r,
@@ -238,7 +359,47 @@ mod tests {
                 exp_avg_sq: vec![0.0; layout.chunk],
             },
             durable: false,
+            dirty: None,
         }
+    }
+
+    #[test]
+    fn pool_recycles_buffers_and_bounds_outstanding() {
+        let pool = SnapshotPool::new(2);
+        let mut a = pool.acquire();
+        let _b = pool.acquire();
+        // Fill slot `a`, release it, and check the next acquire gets the
+        // recycled buffers back (same fp32 allocation).
+        *a.slot_mut() = Some(snapshot(1));
+        let ptr = a.get().shard.fp32.as_ptr();
+        drop(a);
+        let c = pool.acquire();
+        assert_eq!(
+            c.snap.as_ref().map(|s| s.shard.fp32.as_ptr()),
+            Some(ptr),
+            "recycled slot should carry the previous snapshot's buffers"
+        );
+    }
+
+    #[test]
+    fn pool_acquire_blocks_until_a_writer_recycles() {
+        let pool = SnapshotPool::new(1);
+        let held = pool.acquire();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let p2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || {
+            let _got = p2.acquire();
+            tx.send(()).unwrap();
+        });
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_millis(50))
+                .is_err(),
+            "acquire should block while the only buffer is out"
+        );
+        drop(held);
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("recycling must unblock the waiter");
+        waiter.join().unwrap();
     }
 
     #[test]

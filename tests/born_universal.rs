@@ -48,6 +48,7 @@ fn plan(
     parallel: ParallelConfig,
     dtype: DType,
     seed: u64,
+    every: u64,
 ) -> TrainPlan {
     let mut cfg = TrainConfig::quick(model.clone(), parallel, seed);
     cfg.dtype = dtype;
@@ -55,7 +56,7 @@ fn plan(
         config: cfg,
         until_iteration: 4,
         resume: ResumeMode::Fresh,
-        checkpoint_every: Some(2),
+        checkpoint_every: Some(every),
         checkpoint_dir: Some(dir.to_path_buf()),
     }
 }
@@ -70,11 +71,22 @@ fn plan(
 ///    pass anywhere — yields losses identical to resuming off the
 ///    offline-converted tree.
 fn assert_born_universal(name: &str, model: ModelConfig, source: ParallelConfig, dtype: DType) {
+    assert_born_universal_every(name, model, source, dtype, 2);
+}
+
+fn assert_born_universal_every(
+    name: &str,
+    model: ModelConfig,
+    source: ParallelConfig,
+    dtype: DType,
+    every: u64,
+) {
     let seed = 83;
     let pipe = scratch(&format!("{name}_pipe"));
     let off = scratch(&format!("{name}_off"));
+    let steps: Vec<u64> = (every..=4).step_by(every as usize).collect();
 
-    let pipe_run = train_run_overlapped(&plan(&pipe, &model, source, dtype, seed)).unwrap();
+    let pipe_run = train_run_overlapped(&plan(&pipe, &model, source, dtype, seed, every)).unwrap();
     // Published at save time: no convert call has touched `pipe`.
     assert_eq!(
         layout::read_latest_universal(&pipe),
@@ -83,13 +95,17 @@ fn assert_born_universal(name: &str, model: ModelConfig, source: ParallelConfig,
     );
     assert_eq!(layout::read_latest(&pipe), Some(4), "{name}");
 
-    let off_run = train_run(&plan(&off, &model, source, dtype, seed)).unwrap();
+    let off_run = train_run(&plan(&off, &model, source, dtype, seed, every)).unwrap();
     assert_eq!(pipe_run.losses, off_run.losses, "{name}: training diverged");
-    for step in [2u64, 4] {
+    for &step in &steps {
         convert_to_universal(&off, step, &ConvertOptions::default()).unwrap();
     }
 
-    for step in [2u64, 4] {
+    // At per-iteration cadence the pipeline patches dirty atoms in carried
+    // buffers and hard-links clean ones from the previous step; the
+    // offline path rebuilds each step from its native files alone. Byte
+    // equality at every step is the incremental path's soundness proof.
+    for &step in &steps {
         let a = tree_bytes(&layout::universal_dir(&pipe, step));
         let b = tree_bytes(&layout::universal_dir(&off, step));
         assert!(!a.is_empty(), "{name} step {step}: empty universal tree");
@@ -182,4 +198,86 @@ fn born_universal_bf16_source() {
         ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1),
         DType::BF16,
     );
+}
+
+#[test]
+fn born_universal_every_iteration_tp2_dp2() {
+    // checkpoint_every = 1: four consecutive saves share one persistent
+    // mesh and patch one carried assembler per stage.
+    assert_born_universal_every(
+        "every1_tp2_dp2",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1),
+        DType::F32,
+        1,
+    );
+}
+
+#[test]
+fn born_universal_every_iteration_pp2() {
+    assert_born_universal_every(
+        "every1_pp2",
+        ModelConfig::gpt3_tiny(),
+        ParallelConfig::new(1, 2, 2, 1, ZeroStage::Zero1),
+        DType::F32,
+        1,
+    );
+}
+
+#[test]
+fn born_universal_every_iteration_moe() {
+    // MoE at per-iteration cadence: the top-k router leaves unrouted
+    // experts' gradients exactly zero, so their state is bitwise frozen
+    // and the dirty filter drops their fragments — the equality check
+    // proves skipping them loses nothing.
+    assert_born_universal_every(
+        "every1_moe",
+        ModelConfig::moe_tiny(),
+        ParallelConfig::new(2, 1, 2, 1, ZeroStage::Zero1),
+        DType::F32,
+        1,
+    );
+}
+
+#[test]
+fn pruned_link_sources_leave_linked_atoms_readable() {
+    // Per-iteration saves hard-link clean atoms from the previous step's
+    // files. Pruning that previous step unlinks the *names*; the shared
+    // inodes must survive, leaving the newer tree complete, fsck-clean,
+    // and resumable.
+    use ucp_repro::storage::retention::{prune, RetentionPolicy};
+
+    let model = ModelConfig::gpt3_tiny();
+    let source = ParallelConfig::new(2, 1, 1, 1, ZeroStage::Zero1);
+    let dir = scratch("every1_prune");
+    let seed = 83;
+    train_run_overlapped(&plan(&dir, &model, source, DType::F32, seed, 1)).unwrap();
+    assert_eq!(layout::read_latest_universal(&dir), Some(4));
+
+    let report = prune(&dir, &RetentionPolicy::last(1)).unwrap();
+    assert_eq!(report.removed, vec![1, 2, 3], "steps 1-3 pruned away");
+    assert!(!layout::universal_dir(&dir, 3).exists());
+
+    let fsck_report = fsck(&dir, &FsckOptions::default()).unwrap();
+    assert!(
+        fsck_report.clean(),
+        "tree with back-referenced atoms dirty after pruning link sources: {:?}",
+        fsck_report.problems
+    );
+
+    // Resume from the surviving step: its linked atoms must read back.
+    let target = ParallelConfig::new(1, 1, 1, 1, ZeroStage::Zero1);
+    let run = train_run(&TrainPlan {
+        config: TrainConfig::quick(model, target, seed),
+        until_iteration: 5,
+        resume: ResumeMode::Universal {
+            dir: dir.clone(),
+            step: 4,
+        },
+        checkpoint_every: None,
+        checkpoint_dir: None,
+    })
+    .unwrap();
+    assert_eq!(run.start_iteration, 4);
+    std::fs::remove_dir_all(&dir).ok();
 }
