@@ -19,10 +19,15 @@ USAGE:
       behavior). Prints bytes read vs. bytes needed and cache hit rates.
   ucp train --dir <ckpt-base> --model <preset> --tp T --pp P --dp D [--sp S]
       [--iters I] [--save-every K] [--seed S] [--overlapped]
-      [--no-universal-save]
+      [--no-universal-save] [--hot-replicas K]
       Run the training simulator with periodic native checkpointing.
       --save-every takes K >= 1 (K=1 checkpoints every iteration; 0 is
       rejected rather than clamped).
+      --hot-replicas K enables the peer-replicated in-memory hot
+      checkpoint tier: each save, every rank pushes its shard to K
+      successor ranks, and a supervised recovery serves the resume state
+      from surviving RAM copies before falling back to disk. Takes
+      K >= 1 and K < world size (0 is rejected rather than clamped).
       --overlapped snapshots each checkpoint in memory and persists it on
       background writer threads; the writers also run the born-universal
       save pipeline, so latest_universal is published at save time and a
@@ -57,15 +62,19 @@ USAGE:
   ucp chaos --dir <work-dir> --model <preset> --tp T --pp P --dp D [--sp S]
       [--iters I] [--save-every K] [--seed S] [--kill-steps 2,3,4]
       [--kinds panic,hang] [--targets 1x1x2;1x1x1] [--deadline-ms MS]
-      [--report-out <path>]
+      [--hot-replicas K] [--faults-per-cell N] [--report-out <path>]
       Sweep a rank-kill schedule: for every kill step x fault kind, train
       under the source topology, kill a rank at that step, and let the
       supervisor resume from the latest committed checkpoint under the
       next degraded topology (--targets, `TPxPPxDP` triples separated by
       ';'). Each cell checks the resumed loss trajectory is bitwise-equal
       to a fault-free run from the same checkpoint and that `fsck` stays
-      clean. --report-out writes a ucp-chaos-v1 JSON report; exits
-      non-zero if any cell fails to recover or diverges.
+      clean. --hot-replicas K arms the in-memory hot tier and records
+      per-cell which tier (peer vs disk) served the recovery;
+      --faults-per-cell N kills the top N ranks simultaneously at the
+      kill step (N > K is expected to fall back to disk). --report-out
+      writes a ucp-chaos-v1 JSON report; exits non-zero if any cell
+      fails to recover, diverges, or recovers from the wrong tier.
   ucp status --dir <ckpt-base> [--metrics <report.json>] [--json]
       [--max-stale-steps N] [--max-recovery-ms MS] [--max-save-stall-ms MS]
       [--max-read-amp X]
@@ -211,6 +220,11 @@ pub struct Parsed {
     /// `--max-read-amp` (status): SLO — max bytes_read / bytes_needed on
     /// the load path.
     pub max_read_amp: Option<f64>,
+    /// `--hot-replicas` (train, chaos): peer-replication factor of the
+    /// in-memory hot checkpoint tier.
+    pub hot_replicas: Option<usize>,
+    /// `--faults-per-cell` (chaos): ranks killed simultaneously per cell.
+    pub faults_per_cell: Option<usize>,
 }
 
 /// Parse a flag list.
@@ -272,6 +286,8 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             "--max-stale-steps" => p.max_stale_steps = Some(parse_num(&value(&mut i)?)?),
             "--max-recovery-ms" => p.max_recovery_ms = Some(parse_num(&value(&mut i)?)?),
             "--max-save-stall-ms" => p.max_save_stall_ms = Some(parse_num(&value(&mut i)?)?),
+            "--hot-replicas" => p.hot_replicas = Some(parse_num(&value(&mut i)?)? as usize),
+            "--faults-per-cell" => p.faults_per_cell = Some(parse_num(&value(&mut i)?)? as usize),
             "--max-read-amp" => {
                 let v = value(&mut i)?;
                 p.max_read_amp = Some(v.parse().map_err(|_| format!("'{v}' is not a number"))?);
@@ -416,6 +432,24 @@ mod tests {
         assert_eq!(p.targets.as_deref(), Some("1x1x2;1x1x1"));
         assert_eq!(p.deadline_ms, Some(1500));
         assert_eq!(p.report_out.unwrap(), PathBuf::from("/tmp/chaos.json"));
+    }
+
+    #[test]
+    fn parses_hot_tier_flags() {
+        let p = parse(&sv(&[
+            "--dir",
+            "/c",
+            "--hot-replicas",
+            "2",
+            "--faults-per-cell",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(p.hot_replicas, Some(2));
+        assert_eq!(p.faults_per_cell, Some(3));
+        let p = parse(&sv(&["--dir", "/c"])).unwrap();
+        assert!(p.hot_replicas.is_none() && p.faults_per_cell.is_none());
+        assert!(parse(&sv(&["--hot-replicas", "two"])).is_err());
     }
 
     #[test]

@@ -11,8 +11,8 @@ use ucp_model::ModelConfig;
 use ucp_parallel::{ParallelConfig, ZeroStage};
 use ucp_storage::{layout, retention, Container, Device};
 use ucp_trainer::{
-    train_run, train_run_overlapped, train_run_overlapped_with, OverlappedOptions, ResumeMode,
-    TrainConfig, TrainPlan,
+    supervise, train_run, train_run_overlapped, train_run_overlapped_with, OverlappedOptions,
+    ResumeMode, SupervisorOptions, TrainConfig, TrainPlan,
 };
 
 use serde_json::Value;
@@ -244,6 +244,33 @@ pub fn train(p: &Parsed) -> Result<(), String> {
                 .to_string(),
         );
     }
+    // Same convention as --save-every: 0 is a contradiction (a hot tier
+    // with no replicas), and a factor that reaches the world size would
+    // wrap the placement ring back onto the source rank — reject both
+    // rather than clamp.
+    if p.hot_replicas == Some(0) {
+        return Err(
+            "--hot-replicas must be >= 1 (each rank pushes its shard to that many peers; to \
+             train without the hot tier, drop --hot-replicas)"
+                .to_string(),
+        );
+    }
+    if let Some(k) = p.hot_replicas {
+        if k >= target.world_size() {
+            return Err(format!(
+                "--hot-replicas ({k}) must be < the world size ({}): the placement ring needs \
+                 that many distinct successor ranks per shard",
+                target.world_size()
+            ));
+        }
+        if p.overlapped {
+            return Err(
+                "--hot-replicas runs under the restart supervisor and cannot be combined with \
+                 --overlapped yet; drop one of the two flags"
+                    .to_string(),
+            );
+        }
+    }
     let plan = TrainPlan {
         config,
         until_iteration: iters,
@@ -253,7 +280,18 @@ pub fn train(p: &Parsed) -> Result<(), String> {
     };
     metrics_begin(p);
     trace_begin(p);
-    let result = if p.overlapped {
+    let result = if let Some(k) = p.hot_replicas {
+        // The hot tier is a supervisor feature: replication rides the save
+        // boundary and recovery consults the replica banks, so the run goes
+        // through `supervise` (faults only fire if UCP_RANK_FAULTS arms
+        // them).
+        let opts = SupervisorOptions {
+            hot_replicas: Some(k),
+            ..SupervisorOptions::default()
+        };
+        supervise(&plan, &opts)
+            .map(|mut rep| rep.segments.pop().expect("supervise returns >=1 segment"))
+    } else if p.overlapped {
         let opts = OverlappedOptions {
             universal_save: !p.no_universal_save,
         };
@@ -875,16 +913,53 @@ pub fn chaos(p: &Parsed) -> Result<(), String> {
     for t in &targets {
         model.validate(t.tp)?;
     }
+    if p.hot_replicas == Some(0) {
+        return Err(
+            "--hot-replicas must be >= 1 (drop the flag for disk-only recovery cells)".to_string(),
+        );
+    }
+    if let Some(k) = p.hot_replicas {
+        let min_world = std::iter::once(&source)
+            .chain(targets.iter())
+            .map(|t| t.world_size())
+            .min()
+            .unwrap_or(1);
+        if k >= min_world {
+            return Err(format!(
+                "--hot-replicas ({k}) must be < the smallest topology in the sweep ({min_world})"
+            ));
+        }
+    }
+    let faults_per_cell = match p.faults_per_cell {
+        Some(0) => {
+            return Err(
+                "--faults-per-cell must be >= 1 (a cell with no faults proves nothing)".to_string(),
+            )
+        }
+        Some(n) if n >= source.world_size() => {
+            return Err(format!(
+                "--faults-per-cell ({n}) must leave at least one survivor of the {} source \
+                 ranks",
+                source.world_size()
+            ))
+        }
+        Some(n) => n,
+        None => 1,
+    };
 
     metrics_begin(p);
     trace_begin(p);
     println!(
-        "chaos sweep: source {}, {} kill step(s) x {} kind(s) x {} target(s), deadline {:?}",
+        "chaos sweep: source {}, {} kill step(s) x {} kind(s) x {} target(s), deadline {:?}{}",
         source.label(),
         kill_steps.len(),
         kinds.len(),
         targets.len(),
-        deadline
+        deadline,
+        match p.hot_replicas {
+            Some(k) => format!(", hot tier K={k}, {faults_per_cell} fault(s)/cell"),
+            None => String::new(),
+        }
     );
 
     let mut cells = Vec::new();
@@ -894,7 +969,28 @@ pub fn chaos(p: &Parsed) -> Result<(), String> {
             for (ti, &target) in targets.iter().enumerate() {
                 let cell_dir = dir.join(format!("cell_s{step}_{kind_label}_t{ti}"));
                 let _ = std::fs::remove_dir_all(&cell_dir);
+                // Kill the top `faults_per_cell` ranks simultaneously; the
+                // supervisor models them as one lost set, so a multi-fault
+                // cell still costs exactly one recovery cycle.
                 let kill_rank = source.world_size() - 1;
+                let faults: Vec<RankFault> = (0..faults_per_cell)
+                    .map(|i| RankFault {
+                        rank: kill_rank - i,
+                        step,
+                        kind: *kind,
+                    })
+                    .collect();
+                // The tier the recovery is REQUIRED to use: RAM survives a
+                // lost set of up to K consecutive ranks (and needs a save
+                // boundary before the kill); anything beyond that must fall
+                // back to disk.
+                let expect_source = p.hot_replicas.map(|k| {
+                    if faults_per_cell <= k && step >= save_every {
+                        "peer"
+                    } else {
+                        "disk"
+                    }
+                });
                 let plan = ucp_trainer::TrainPlan {
                     config: TrainConfig::quick(model.clone(), source, seed),
                     until_iteration: iters,
@@ -906,11 +1002,8 @@ pub fn chaos(p: &Parsed) -> Result<(), String> {
                     deadline,
                     max_restarts: 2,
                     ladder: vec![target],
-                    faults: vec![RankFault {
-                        rank: kill_rank,
-                        step,
-                        kind: *kind,
-                    }],
+                    faults,
+                    hot_replicas: p.hot_replicas,
                 };
                 let t0 = Instant::now();
                 let cell = match ucp_trainer::supervise(&plan, &opts) {
@@ -922,17 +1015,35 @@ pub fn chaos(p: &Parsed) -> Result<(), String> {
                             target: target.label(),
                             survived: false,
                             error: Some(e.to_string()),
+                            faults: faults_per_cell,
                             ..ChaosCell::default()
                         }
                     }
                     Ok(report) => {
                         let restarts = report.restarts.len();
                         let resume_step = report.restarts.first().and_then(|r| r.resume_step);
+                        let recovery_source = report.restarts.first().map(|r| r.source.clone());
                         // A slow rank under the deadline must NOT restart;
                         // a kill must recover in exactly one cycle.
                         let expect_restarts = usize::from(!matches!(kind, FaultKind::SlowMs(_)));
                         // Fault-free reference from the same checkpoint
-                        // under the topology the final segment ran with.
+                        // under the topology the final segment ran with. A
+                        // peer-memory recovery never touched the disk copy,
+                        // so the universal tree may not exist yet — convert
+                        // it now; the comparison below then directly proves
+                        // the RAM-assembled checkpoint matches the disk one
+                        // bit for bit.
+                        if let Some(s) = resume_step {
+                            let universal = layout::universal_dir(&cell_dir, s);
+                            if !layout::manifest_path(&universal).exists() {
+                                ucp_trainer::convert_checkpoint(
+                                    &cell_dir,
+                                    s,
+                                    &ConvertOptions::default(),
+                                )
+                                .map_err(|e| format!("reference convert: {e}"))?;
+                            }
+                        }
                         let final_parallel = if restarts > 0 { target } else { source };
                         let reference = ucp_trainer::train_run(&ucp_trainer::TrainPlan {
                             config: TrainConfig::quick(model.clone(), final_parallel, seed),
@@ -960,7 +1071,16 @@ pub fn chaos(p: &Parsed) -> Result<(), String> {
                         )
                         .map(|r| r.clean())
                         .unwrap_or(false);
-                        let ok = restarts == expect_restarts && bitwise_equal && fsck_clean;
+                        // With the hot tier armed, recovering from the wrong
+                        // tier (disk when RAM should have survived, or the
+                        // other way round) fails the cell even if the math
+                        // checks out.
+                        let source_ok = match (expect_source, &recovery_source) {
+                            (Some(want), Some(got)) if restarts > 0 => want == got,
+                            _ => true,
+                        };
+                        let ok =
+                            restarts == expect_restarts && bitwise_equal && fsck_clean && source_ok;
                         if !ok {
                             failed += 1;
                         }
@@ -974,6 +1094,8 @@ pub fn chaos(p: &Parsed) -> Result<(), String> {
                             resume_step,
                             lost_steps: report.restarts.first().map(|r| r.lost_steps),
                             recovery_ms: report.restarts.first().map(|r| r.recovery_ms),
+                            recovery_source,
+                            faults: faults_per_cell,
                             bitwise_equal,
                             fsck_clean,
                             ok,
@@ -1015,6 +1137,17 @@ pub fn chaos(p: &Parsed) -> Result<(), String> {
             Value::UInt(deadline.as_millis() as u64),
         ),
         (
+            "hot_replicas".into(),
+            match p.hot_replicas {
+                Some(k) => Value::UInt(k as u64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "faults_per_cell".into(),
+            Value::UInt(faults_per_cell as u64),
+        ),
+        (
             "cells".into(),
             Value::Array(cells.iter().map(ChaosCell::to_value).collect()),
         ),
@@ -1051,6 +1184,8 @@ struct ChaosCell {
     resume_step: Option<u64>,
     lost_steps: Option<u64>,
     recovery_ms: Option<u64>,
+    recovery_source: Option<String>,
+    faults: usize,
     bitwise_equal: bool,
     fsck_clean: bool,
     ok: bool,
@@ -1078,6 +1213,14 @@ impl ChaosCell {
             ("resume_step".into(), opt_u64(self.resume_step)),
             ("lost_steps".into(), opt_u64(self.lost_steps)),
             ("recovery_ms".into(), opt_u64(self.recovery_ms)),
+            (
+                "recovery_source".into(),
+                match &self.recovery_source {
+                    Some(s) => Value::String(s.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("faults".into(), Value::UInt(self.faults as u64)),
             ("bitwise_equal".into(), Value::Bool(self.bitwise_equal)),
             ("fsck_clean".into(), Value::Bool(self.fsck_clean)),
             ("ok".into(), Value::Bool(self.ok)),

@@ -60,6 +60,16 @@ pub struct StatusReport {
     pub prunes: u64,
     /// Worst journal-recorded recovery wall time.
     pub max_recovery_ms: Option<u64>,
+    /// Recoveries the hot tier served from surviving RAM replicas.
+    pub peer_recoveries: u64,
+    /// Hot-tier recoveries that had to fall back to disk (incomplete or
+    /// stale RAM copy).
+    pub disk_fallbacks: u64,
+    /// Replication waves the journal records (one per checkpoint save
+    /// with the hot tier armed).
+    pub hot_replications: u64,
+    /// Tier that served the most recent recovery (`peer` or `disk`).
+    pub last_recovery_source: Option<String>,
     /// Problem count of the most recent journaled fsck pass.
     pub last_fsck_problems: Option<u64>,
     /// p99 of the fleet-merged per-rank save-stall histogram, in ms.
@@ -107,6 +117,25 @@ pub fn gather(dir: &Path, metrics: Option<&Report>, p: &Parsed) -> Result<Status
             _ => None,
         })
         .max();
+    r.hot_replications = journal.of_kind("hot_replicated").count() as u64;
+    r.disk_fallbacks = journal
+        .of_kind("hot_recovery_end")
+        .filter(|rec| {
+            matches!(
+                &rec.event,
+                journal::JournalEvent::HotRecoveryEnd { fallback: true, .. }
+            )
+        })
+        .count() as u64;
+    let sources: Vec<&String> = journal
+        .of_kind("recovery_end")
+        .filter_map(|rec| match &rec.event {
+            journal::JournalEvent::RecoveryEnd { source, .. } => Some(source),
+            _ => None,
+        })
+        .collect();
+    r.peer_recoveries = sources.iter().filter(|s| s.as_str() == "peer").count() as u64;
+    r.last_recovery_source = sources.last().map(|s| s.to_string());
     r.last_fsck_problems = journal
         .of_kind("fsck")
         .filter_map(|rec| match &rec.event {
@@ -234,6 +263,23 @@ impl StatusReport {
         );
         row(
             &mut out,
+            "hot tier (peer / disk-fallback recoveries)",
+            if self.hot_replications > 0 || self.peer_recoveries > 0 || self.disk_fallbacks > 0 {
+                format!(
+                    "{} / {} ({} replication wave(s))",
+                    self.peer_recoveries, self.disk_fallbacks, self.hot_replications
+                )
+            } else {
+                "n/a".into()
+            },
+        );
+        row(
+            &mut out,
+            "last recovery source",
+            fmt_opt(&self.last_recovery_source),
+        );
+        row(
+            &mut out,
             "last fsck problems",
             fmt_opt(&self.last_fsck_problems.map(|n| {
                 if n == 0 {
@@ -340,6 +386,16 @@ impl StatusReport {
             ("watchdog_fires", Json::Num(self.watchdog_fires as f64)),
             ("retention_prunes", Json::Num(self.prunes as f64)),
             ("max_recovery_ms", opt_num(self.max_recovery_ms)),
+            ("peer_recoveries", Json::Num(self.peer_recoveries as f64)),
+            ("disk_fallbacks", Json::Num(self.disk_fallbacks as f64)),
+            ("hot_replications", Json::Num(self.hot_replications as f64)),
+            (
+                "last_recovery_source",
+                self.last_recovery_source
+                    .clone()
+                    .map(Json::Str)
+                    .unwrap_or(Json::Null),
+            ),
             ("last_fsck_problems", opt_num(self.last_fsck_problems)),
             (
                 "save_stall_p99_ms",
@@ -473,6 +529,7 @@ mod tests {
                 lost_steps: 1,
                 recovery_ms: 9000,
                 parallel: "tp1_pp1_dp1".into(),
+                source: "disk".into(),
             },
         )
         .unwrap();
@@ -484,9 +541,84 @@ mod tests {
         let r = gather(&base, None, &p).unwrap();
         assert_eq!(r.recoveries, 1);
         assert_eq!(r.max_recovery_ms, Some(9000));
+        assert_eq!(r.last_recovery_source.as_deref(), Some("disk"));
         assert_eq!(r.violations[0].threshold, "max-recovery-ms");
         let err = status(&p).unwrap_err();
         assert!(err.contains("max-recovery-ms"), "{err}");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn hot_tier_journal_events_surface_in_the_report() {
+        let base = temp_base("hot");
+        journal::append(
+            &base,
+            &JournalEvent::HotReplicated {
+                step: 2,
+                ranks: 4,
+                bytes: 1024,
+            },
+        )
+        .unwrap();
+        journal::append(&base, &JournalEvent::HotRecoveryBegin { step: 3 }).unwrap();
+        journal::append(
+            &base,
+            &JournalEvent::HotRecoveryEnd {
+                served_ranks: vec![0, 1, 2],
+                fallback: false,
+            },
+        )
+        .unwrap();
+        journal::append(
+            &base,
+            &JournalEvent::RecoveryEnd {
+                resume_step: Some(2),
+                lost_steps: 1,
+                recovery_ms: 40,
+                parallel: "tp1_pp1_dp2".into(),
+                source: "peer".into(),
+            },
+        )
+        .unwrap();
+        journal::append(&base, &JournalEvent::HotRecoveryBegin { step: 5 }).unwrap();
+        journal::append(
+            &base,
+            &JournalEvent::HotRecoveryEnd {
+                served_ranks: Vec::new(),
+                fallback: true,
+            },
+        )
+        .unwrap();
+        journal::append(
+            &base,
+            &JournalEvent::RecoveryEnd {
+                resume_step: Some(4),
+                lost_steps: 1,
+                recovery_ms: 120,
+                parallel: "tp1_pp1_dp1".into(),
+                source: "disk".into(),
+            },
+        )
+        .unwrap();
+        let p = Parsed {
+            dir: Some(base.clone()),
+            ..Parsed::default()
+        };
+        let r = gather(&base, None, &p).unwrap();
+        assert_eq!(r.hot_replications, 1);
+        assert_eq!(r.peer_recoveries, 1);
+        assert_eq!(r.disk_fallbacks, 1);
+        assert_eq!(r.last_recovery_source.as_deref(), Some("disk"));
+        assert!(r.violations.is_empty());
+        let md = r.to_markdown(&base, &p);
+        assert!(md.contains("1 / 1 (1 replication wave(s))"), "{md}");
+        let doc = r.to_json(&base);
+        assert_eq!(doc.get("peer_recoveries").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("disk_fallbacks").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("last_recovery_source").unwrap().as_str(),
+            Some("disk")
+        );
         let _ = std::fs::remove_dir_all(&base);
     }
 

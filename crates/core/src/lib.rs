@@ -38,6 +38,7 @@ pub mod fsck;
 pub mod language;
 pub mod load;
 pub mod manifest;
+pub mod memory;
 pub mod ops;
 pub mod pattern;
 pub mod util;
@@ -53,6 +54,7 @@ pub use load::{
     load_with_plan_workers, LoadOptions, LoadPlan, LoadSession, RankState,
 };
 pub use manifest::{AtomMeta, UcpManifest};
+pub use memory::{HotShard, MemoryCheckpoint};
 pub use pattern::{FragmentSpec, ParamPattern};
 
 /// UCP errors.

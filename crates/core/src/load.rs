@@ -539,7 +539,7 @@ fn fragment_runs(
 }
 
 /// Copy `fragments` of the flattened shard into the chunk buffer.
-fn scatter(chunk: &mut [f32], shard_flat: &[f32], fragments: &[FlatFragment]) {
+pub(crate) fn scatter(chunk: &mut [f32], shard_flat: &[f32], fragments: &[FlatFragment]) {
     for f in fragments {
         chunk[f.chunk_offset..f.chunk_offset + f.len]
             .copy_from_slice(&shard_flat[f.param_offset..f.param_offset + f.len]);

@@ -70,6 +70,32 @@ pub enum JournalEvent {
         /// Parallel strategy label resumed under (may differ from the
         /// failed segment's when the supervisor descended its ladder).
         parallel: String,
+        /// Recovery tier that served the resume state: `"peer"` when the
+        /// hot in-memory tier had a complete copy, `"disk"` otherwise.
+        source: String,
+    },
+    /// A save step's shards were replicated into peer memory (hot tier).
+    HotReplicated {
+        /// Step whose shards were replicated.
+        step: u64,
+        /// Ranks that completed their replication round.
+        ranks: u64,
+        /// Replica payload bytes pushed by rank 0 (one rank's share).
+        bytes: u64,
+    },
+    /// Peer-memory recovery was attempted after a failure.
+    HotRecoveryBegin {
+        /// Step the run had reached when it failed.
+        step: u64,
+    },
+    /// Peer-memory recovery finished (served from RAM or fell back).
+    HotRecoveryEnd {
+        /// Surviving ranks whose replica banks served shards (empty on
+        /// fallback).
+        served_ranks: Vec<usize>,
+        /// `true` when the hot copy was incomplete and recovery fell back
+        /// to the latest committed disk checkpoint.
+        fallback: bool,
     },
     /// A collective watchdog attributed a hang to a rank.
     Watchdog {
@@ -112,6 +138,9 @@ impl JournalEvent {
             JournalEvent::UniversalPublished { .. } => "universal_published",
             JournalEvent::RecoveryBegin { .. } => "recovery_begin",
             JournalEvent::RecoveryEnd { .. } => "recovery_end",
+            JournalEvent::HotReplicated { .. } => "hot_replicated",
+            JournalEvent::HotRecoveryBegin { .. } => "hot_recovery_begin",
+            JournalEvent::HotRecoveryEnd { .. } => "hot_recovery_end",
             JournalEvent::Watchdog { .. } => "watchdog",
             JournalEvent::RetentionPrune { .. } => "retention_prune",
             JournalEvent::Fsck { .. } => "fsck",
@@ -140,6 +169,7 @@ impl JournalEvent {
                 lost_steps,
                 recovery_ms,
                 parallel,
+                source,
             } => {
                 fields.push((
                     "resume_step",
@@ -151,6 +181,25 @@ impl JournalEvent {
                 fields.push(("lost_steps", Json::Num(*lost_steps as f64)));
                 fields.push(("recovery_ms", Json::Num(*recovery_ms as f64)));
                 fields.push(("parallel", Json::Str(parallel.clone())));
+                fields.push(("source", Json::Str(source.clone())));
+            }
+            JournalEvent::HotReplicated { step, ranks, bytes } => {
+                fields.push(("step", Json::Num(*step as f64)));
+                fields.push(("ranks", Json::Num(*ranks as f64)));
+                fields.push(("bytes", Json::Num(*bytes as f64)));
+            }
+            JournalEvent::HotRecoveryBegin { step } => {
+                fields.push(("step", Json::Num(*step as f64)));
+            }
+            JournalEvent::HotRecoveryEnd {
+                served_ranks,
+                fallback,
+            } => {
+                fields.push((
+                    "served_ranks",
+                    Json::Arr(served_ranks.iter().map(|r| Json::Num(*r as f64)).collect()),
+                ));
+                fields.push(("fallback", Json::Bool(*fallback)));
             }
             JournalEvent::Watchdog { rank, step, detail } => {
                 fields.push(("rank", Json::Num(*rank as f64)));
@@ -200,6 +249,25 @@ impl JournalEvent {
                 lost_steps: doc.get("lost_steps").and_then(Json::as_u64)?,
                 recovery_ms: doc.get("recovery_ms").and_then(Json::as_u64)?,
                 parallel: text("parallel")?,
+                // Records written before the hot tier existed carry no
+                // source; every recovery then was served from disk.
+                source: text("source").unwrap_or_else(|| "disk".into()),
+            },
+            "hot_replicated" => JournalEvent::HotReplicated {
+                step: step()?,
+                ranks: doc.get("ranks").and_then(Json::as_u64)?,
+                bytes: doc.get("bytes").and_then(Json::as_u64)?,
+            },
+            "hot_recovery_begin" => JournalEvent::HotRecoveryBegin { step: step()? },
+            "hot_recovery_end" => JournalEvent::HotRecoveryEnd {
+                served_ranks: doc
+                    .get("served_ranks")
+                    .and_then(Json::as_arr)?
+                    .iter()
+                    .filter_map(Json::as_u64)
+                    .map(|r| r as usize)
+                    .collect(),
+                fallback: matches!(doc.get("fallback"), Some(Json::Bool(true))),
             },
             "watchdog" => JournalEvent::Watchdog {
                 rank: rank()?,
@@ -360,12 +428,28 @@ mod tests {
                 lost_steps: 2,
                 recovery_ms: 321,
                 parallel: "tp2_pp1_dp2".into(),
+                source: "peer".into(),
             },
             JournalEvent::RecoveryEnd {
                 resume_step: None,
                 lost_steps: 12,
                 recovery_ms: 5,
                 parallel: "tp1_pp1_dp1".into(),
+                source: "disk".into(),
+            },
+            JournalEvent::HotReplicated {
+                step: 10,
+                ranks: 4,
+                bytes: 65536,
+            },
+            JournalEvent::HotRecoveryBegin { step: 12 },
+            JournalEvent::HotRecoveryEnd {
+                served_ranks: vec![0, 1, 3],
+                fallback: false,
+            },
+            JournalEvent::HotRecoveryEnd {
+                served_ranks: vec![],
+                fallback: true,
             },
             JournalEvent::RetentionPrune {
                 removed: vec![2, 4],
@@ -421,6 +505,31 @@ mod tests {
             journal.records[0].event,
             JournalEvent::Other {
                 kind: "from_the_future".into()
+            }
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn recovery_end_without_source_defaults_to_disk() {
+        // Records written before the hot tier existed carry no `source`
+        // field; they must parse as disk recoveries, not as malformed.
+        let base = temp_base("no_source");
+        commit::append_line(
+            &journal_path(&base),
+            r#"{"kind":"recovery_end","t_ms":7,"resume_step":4,"lost_steps":1,"recovery_ms":88,"parallel":"tp1_pp1_dp2"}"#,
+        )
+        .unwrap();
+        let journal = read(&base).unwrap();
+        assert_eq!(journal.malformed, 0);
+        assert_eq!(
+            journal.records[0].event,
+            JournalEvent::RecoveryEnd {
+                resume_step: Some(4),
+                lost_steps: 1,
+                recovery_ms: 88,
+                parallel: "tp1_pp1_dp2".into(),
+                source: "disk".into(),
             }
         );
         std::fs::remove_dir_all(&base).ok();

@@ -33,6 +33,14 @@ pub enum ResumeMode {
         /// Step to resume from.
         step: u64,
     },
+    /// Resume from a peer-assembled in-memory universal checkpoint — the
+    /// hot tier's recovery path (constructed by the supervisor, never by
+    /// CLI parsing). Serves the same atoms as `Universal` for the same
+    /// step, without touching disk.
+    Hot {
+        /// The consolidated checkpoint, shared across rank threads.
+        checkpoint: std::sync::Arc<ucp_core::MemoryCheckpoint>,
+    },
 }
 
 /// A complete run description.
@@ -109,6 +117,11 @@ pub fn train_run(plan: &TrainPlan) -> Result<RunResult, TrainError> {
                 plan.config.clone(),
                 comm,
                 session.as_ref().expect("session opened for Universal"),
+            ),
+            ResumeMode::Hot { checkpoint } => RankEngine::resume_universal_source(
+                plan.config.clone(),
+                comm,
+                &crate::engine::UniversalSource::Memory(checkpoint.as_ref()),
             ),
         }
         .map_err(|e| e.to_string())?;
@@ -237,6 +250,11 @@ pub fn train_run_overlapped_with(
                 plan.config.clone(),
                 comm,
                 session.as_ref().expect("session opened for Universal"),
+            ),
+            ResumeMode::Hot { checkpoint } => RankEngine::resume_universal_source(
+                plan.config.clone(),
+                comm,
+                &crate::engine::UniversalSource::Memory(checkpoint.as_ref()),
             ),
         }
         .map_err(|e| e.to_string())?;

@@ -146,6 +146,40 @@ pub struct IterStats {
     pub tokens_per_sec: f64,
 }
 
+/// Where a universal resume reads its atoms from: the committed disk
+/// checkpoint (through a shared [`LoadSession`]) or the peer-assembled
+/// in-memory hot checkpoint. Both answer the same `GenUcpMetadata` +
+/// `Load` queries and yield identical state for the same step.
+pub enum UniversalSource<'s> {
+    /// On-disk universal checkpoint, loaded through a shared atom cache.
+    Session(&'s LoadSession),
+    /// In-memory universal checkpoint assembled from peer replicas.
+    Memory(&'s ucp_core::MemoryCheckpoint),
+}
+
+impl UniversalSource<'_> {
+    /// The source checkpoint's manifest.
+    pub fn manifest(&self) -> &ucp_core::UcpManifest {
+        match self {
+            UniversalSource::Session(s) => s.manifest(),
+            UniversalSource::Memory(m) => m.manifest(),
+        }
+    }
+
+    /// `GenUcpMetadata` + `Load` for one target rank.
+    pub fn load_rank(
+        &self,
+        target: &ParallelConfig,
+        rank: usize,
+        alignment: usize,
+    ) -> ucp_core::Result<ucp_core::RankState> {
+        match self {
+            UniversalSource::Session(s) => s.load_rank(target, rank, alignment),
+            UniversalSource::Memory(m) => m.load_rank(target, rank, alignment),
+        }
+    }
+}
+
 /// One rank's training engine.
 pub struct RankEngine<'a> {
     /// Run configuration.
@@ -305,6 +339,18 @@ impl<'a> RankEngine<'a> {
         comm: &'a Comm,
         session: &LoadSession,
     ) -> Result<RankEngine<'a>, TrainError> {
+        Self::resume_universal_source(cfg, comm, &UniversalSource::Session(session))
+    }
+
+    /// Resume from any universal-checkpoint source — an on-disk load
+    /// session or a peer-assembled in-memory checkpoint. Both serve the
+    /// same atoms through the same plan, so the reconstructed engine state
+    /// is bitwise-identical for the same step.
+    pub fn resume_universal_source(
+        cfg: TrainConfig,
+        comm: &'a Comm,
+        source: &UniversalSource<'_>,
+    ) -> Result<RankEngine<'a>, TrainError> {
         cfg.validate().map_err(TrainError::Config)?;
         let coord = cfg.parallel.coord(comm.rank());
         // The paper's loader partitions over the combined dp×sp group; map
@@ -320,8 +366,8 @@ impl<'a> RankEngine<'a> {
             sp: 0,
             tp: coord.tp,
         });
-        let manifest = session.manifest().clone();
-        let state = session
+        let manifest = source.manifest().clone();
+        let state = source
             .load_rank(&plan_parallel, plan_rank, cfg.alignment)
             .map_err(TrainError::Ucp)?;
         if manifest.model != cfg.model {
@@ -682,6 +728,34 @@ impl<'a> RankEngine<'a> {
             durable: self.cfg.durable_saves,
             dirty: Some(dirty),
         }
+    }
+
+    /// Capture this rank's state as a hot-tier shard: the peer-replication
+    /// payload (common metadata plus a clone of the flat optimizer chunk).
+    /// Unlike [`RankEngine::snapshot`] this does not drain the dirty
+    /// tracker — the hot tier drains it explicitly via
+    /// [`RankEngine::take_dirty`] so full and delta pushes share one
+    /// capture path.
+    pub fn hot_shard(&self) -> ucp_core::HotShard {
+        ucp_core::HotShard {
+            common: self.common_state(),
+            tp: self.coord.tp,
+            pp: self.coord.pp,
+            shard: OptimShard {
+                dp: self.zero_index(),
+                layout: self.layout.clone(),
+                fp32: self.master.clone(),
+                exp_avg: self.adam.exp_avg.clone(),
+                exp_avg_sq: self.adam.exp_avg_sq.clone(),
+            },
+        }
+    }
+
+    /// Drain the dirty tracker: the parameter ranges touched since the
+    /// last drain (by [`RankEngine::snapshot`] or this method). The hot
+    /// tier uses the drained map to delta-replicate between full pushes.
+    pub fn take_dirty(&mut self) -> crate::dirty::DirtyMap {
+        self.dirty.take()
     }
 
     /// Like [`RankEngine::snapshot`], but fills a reusable buffer drawn

@@ -20,6 +20,7 @@ pub mod dirty;
 pub mod driver;
 pub mod engine;
 pub mod fleet;
+pub mod hot;
 pub mod pipeline;
 pub mod snapshot;
 pub mod supervisor;
@@ -30,7 +31,8 @@ pub use driver::{
     convert_checkpoint, resume_run, run_elastic, train_run, train_run_overlapped,
     train_run_overlapped_with, ElasticPhase, OverlappedOptions, ResumeMode, RunResult, TrainPlan,
 };
-pub use engine::{IterStats, PipelineSchedule, RankEngine, TrainConfig};
+pub use engine::{IterStats, PipelineSchedule, RankEngine, TrainConfig, UniversalSource};
+pub use hot::HotTier;
 pub use pipeline::SavePipelines;
 pub use snapshot::{CheckpointSnapshot, PendingSave, PooledSnapshot, SnapshotPool};
 pub use supervisor::{

@@ -21,7 +21,7 @@
 //! fault-free run from the same checkpoint — the invariant
 //! `tests/elastic_recovery.rs` asserts.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use ucp_collectives::{Cluster, ClusterOptions, Comm, RankFailure};
@@ -140,16 +140,21 @@ pub fn parse_faults(spec: &str) -> Result<Vec<RankFault>, String> {
 }
 
 /// A fault plus its once-only trigger state, shared across restarts.
+/// `fired_segment` records which supervised segment the fault fired in,
+/// so the recovery path can tell a *co-scheduled* fault (fired in the
+/// segment that just died — its rank's memory is gone too) from one that
+/// fired before an earlier restart.
 struct ArmedFault {
     fault: RankFault,
     fired: AtomicBool,
+    fired_segment: AtomicUsize,
 }
 
 /// The injection hook: called by the supervised training loop at every
 /// step boundary, on every rank. Panics (by design) when a `Panic` or
 /// `Hang` fault fires — [`Cluster::try_run_with`] converts the unwind into
 /// a structured [`RankFailure`].
-fn fault_point(armed: &[ArmedFault], comm: &Comm, step: u64) {
+fn fault_point(armed: &[ArmedFault], comm: &Comm, step: u64, segment: usize) {
     for a in armed {
         if a.fault.rank != comm.rank() || a.fault.step != step {
             continue;
@@ -157,6 +162,7 @@ fn fault_point(armed: &[ArmedFault], comm: &Comm, step: u64) {
         if a.fired.swap(true, Ordering::SeqCst) {
             continue; // already fired in an earlier segment
         }
+        a.fired_segment.store(segment, Ordering::SeqCst);
         match a.fault.kind {
             FaultKind::Panic => {
                 panic!("injected fault: rank {} panics at step {step}", comm.rank())
@@ -177,6 +183,36 @@ fn fault_point(armed: &[ArmedFault], comm: &Comm, step: u64) {
     }
 }
 
+/// The set of ranks whose memory died with this failure: the root cause,
+/// every fatal fault that fired in the segment that just died (several
+/// ranks can panic at the same boundary; `try_run_with` reports only the
+/// first), and every co-scheduled fatal fault at or before the failing
+/// step that had not fired yet — the cluster unwound before it could
+/// trigger, but the scenario it models (several machines lost at once)
+/// means its rank's RAM must not be trusted either. Unfired faults are
+/// marked fired so they don't re-kill the resumed run at a replayed step.
+fn lost_ranks(failure: &RankFailure, armed: &[ArmedFault], segment: usize) -> Vec<usize> {
+    let mut lost = vec![failure.rank];
+    for a in armed {
+        if !matches!(a.fault.kind, FaultKind::Panic | FaultKind::Hang)
+            || a.fault.step > failure.step
+        {
+            continue;
+        }
+        if a.fired.swap(true, Ordering::SeqCst) {
+            if a.fired_segment.load(Ordering::SeqCst) == segment {
+                lost.push(a.fault.rank);
+            }
+        } else {
+            a.fired_segment.store(segment, Ordering::SeqCst);
+            lost.push(a.fault.rank);
+        }
+    }
+    lost.sort_unstable();
+    lost.dedup();
+    lost
+}
+
 /// Supervisor policy: watchdog deadline, restart budget, and the
 /// degraded-topology ladder consumed one rung per restart.
 #[derive(Debug, Clone)]
@@ -192,6 +228,13 @@ pub struct SupervisorOptions {
     /// Faults to inject (merged with [`RANK_FAULTS_ENV`] at
     /// [`supervise`] entry).
     pub faults: Vec<RankFault>,
+    /// Peer-replication factor for the in-memory hot checkpoint tier:
+    /// every save, each rank pushes its shard to this many successor
+    /// ranks, and recovery tries the surviving RAM copies before falling
+    /// back to disk. `None` disables the tier (disk-only recovery, the
+    /// pre-hot behaviour). Must be ≥ 1 and < the smallest world size the
+    /// run can degrade to.
+    pub hot_replicas: Option<usize>,
 }
 
 impl Default for SupervisorOptions {
@@ -201,6 +244,7 @@ impl Default for SupervisorOptions {
             max_restarts: 3,
             ladder: Vec::new(),
             faults: Vec::new(),
+            hot_replicas: None,
         }
     }
 }
@@ -224,6 +268,11 @@ pub struct RestartEvent {
     /// Wall-clock milliseconds from observing the failure to having the
     /// resume plan ready (teardown + retention lookup + convert).
     pub recovery_ms: u64,
+    /// Which tier served the resume state: `"peer"` when the hot tier
+    /// assembled the checkpoint from surviving RAM replicas, `"disk"`
+    /// when the run fell back to the latest committed checkpoint (or
+    /// restarted fresh).
+    pub source: String,
 }
 
 /// The outcome of a supervised run.
@@ -259,8 +308,35 @@ pub fn supervise(
         .map(|fault| ArmedFault {
             fault,
             fired: AtomicBool::new(false),
+            fired_segment: AtomicUsize::new(usize::MAX),
         })
         .collect();
+
+    let hot = match opts.hot_replicas {
+        None => None,
+        Some(0) => {
+            return Err(TrainError::Config(
+                "hot_replicas must be >= 1 (use None to disable the hot tier)".to_string(),
+            ))
+        }
+        Some(k) => {
+            // The factor must leave room for K distinct successor ranks in
+            // *every* topology the run can degrade to, or a late rung would
+            // wrap the placement ring onto the source rank itself.
+            let min_world = std::iter::once(plan.config.parallel)
+                .chain(opts.ladder.iter().copied())
+                .map(|p| p.world_size())
+                .min()
+                .unwrap_or(1);
+            if k >= min_world {
+                return Err(TrainError::Config(format!(
+                    "hot_replicas ({k}) must be < the smallest world size the run \
+                     can degrade to ({min_world})"
+                )));
+            }
+            Some(crate::hot::HotTier::new(k))
+        }
+    };
 
     let mut current = plan.clone();
     let mut ladder = opts.ladder.iter();
@@ -269,7 +345,8 @@ pub fn supervise(
         restarts: Vec::new(),
     };
     loop {
-        match supervised_segment(&current, opts.deadline, &armed) {
+        let segment = report.restarts.len();
+        match supervised_segment(&current, opts.deadline, &armed, segment, hot.as_ref()) {
             Ok(result) => {
                 report.segments.push(result);
                 return Ok(report);
@@ -310,10 +387,61 @@ pub fn supervise(
                         cause: failure.payload.clone(),
                     },
                 )?;
+                if let Some(tier) = &hot {
+                    tier.mark_lost(&lost_ranks(&failure, &armed, segment));
+                }
                 if let Some(next) = ladder.next() {
                     current.config.parallel = *next;
                 }
-                let resume_step = recovery_resume(&dir, &mut current)?;
+                // Tiered recovery: surviving RAM replicas first, disk only
+                // when the hot copy is incomplete or stale.
+                let mut source = "disk".to_string();
+                let mut resume_step = None;
+                if let Some(tier) = &hot {
+                    journal(
+                        &dir,
+                        &ucp_storage::JournalEvent::HotRecoveryBegin { step: failure.step },
+                    )?;
+                    let hot_resume = tier.try_recover().filter(|(ckpt, _)| {
+                        // A committed disk checkpoint newer than the hot copy
+                        // wins — survivors only retain the last few saves, so
+                        // a long demotion backlog cannot happen, but a disk
+                        // save that completed after the newest surviving
+                        // replica generation can.
+                        layout::read_latest(&dir).is_none_or(|d| d <= ckpt.step())
+                    });
+                    match hot_resume {
+                        Some((ckpt, served)) => {
+                            let step = ckpt.step();
+                            journal(
+                                &dir,
+                                &ucp_storage::JournalEvent::HotRecoveryEnd {
+                                    served_ranks: served,
+                                    fallback: false,
+                                },
+                            )?;
+                            ucp_telemetry::count("recovery/source_peer", 1);
+                            current.resume = ResumeMode::Hot {
+                                checkpoint: std::sync::Arc::new(ckpt),
+                            };
+                            source = "peer".to_string();
+                            resume_step = Some(step);
+                        }
+                        None => {
+                            journal(
+                                &dir,
+                                &ucp_storage::JournalEvent::HotRecoveryEnd {
+                                    served_ranks: Vec::new(),
+                                    fallback: true,
+                                },
+                            )?;
+                            ucp_telemetry::count("recovery/fallback_disk", 1);
+                        }
+                    }
+                }
+                if source != "peer" {
+                    resume_step = recovery_resume(&dir, &mut current)?;
+                }
                 let lost_steps = failure.step.saturating_sub(resume_step.unwrap_or(0));
                 let recovery_ms = t_recover.elapsed().as_millis() as u64;
                 journal(
@@ -323,6 +451,7 @@ pub fn supervise(
                         lost_steps,
                         recovery_ms,
                         parallel: current.config.parallel.label(),
+                        source: source.clone(),
                     },
                 )?;
                 if ucp_telemetry::enabled() {
@@ -335,9 +464,10 @@ pub fn supervise(
                     failure.rank,
                     failure.step,
                     failure.payload,
-                    match resume_step {
-                        Some(s) => format!("from committed step {s}"),
-                        None => "fresh (no committed checkpoint)".to_string(),
+                    match (&source[..], resume_step) {
+                        ("peer", Some(s)) => format!("from peer-memory replicas at step {s}"),
+                        (_, Some(s)) => format!("from committed step {s}"),
+                        (_, None) => "fresh (no committed checkpoint)".to_string(),
                     },
                     current.config.parallel.label(),
                 );
@@ -349,6 +479,7 @@ pub fn supervise(
                     lost_steps,
                     parallel: current.config.parallel,
                     recovery_ms,
+                    source,
                 });
             }
         }
@@ -409,12 +540,20 @@ fn supervised_segment(
     plan: &TrainPlan,
     deadline: Duration,
     armed: &[ArmedFault],
+    segment: usize,
+    hot: Option<&crate::hot::HotTier>,
 ) -> Result<RunResult, SegmentError> {
     plan.config
         .validate()
         .map_err(|e| SegmentError::Hard(TrainError::Config(e)))?;
     let world = plan.config.parallel.world_size();
     let session = open_resume_session(&plan.resume).map_err(SegmentError::Hard)?;
+    if let Some(tier) = hot {
+        // Fresh mesh + empty replica banks for the new topology: epochs
+        // restart per segment, and stale replicas from a previous shape
+        // cannot masquerade as current ones.
+        tier.begin_segment(world);
+    }
     let cluster_opts = ClusterOptions { deadline };
     let results =
         Cluster::try_run_with(world, &cluster_opts, |comm| -> Result<RunResult, String> {
@@ -430,6 +569,11 @@ fn supervised_segment(
                     comm,
                     session.as_ref().expect("session opened for Universal"),
                 ),
+                ResumeMode::Hot { checkpoint } => RankEngine::resume_universal_source(
+                    plan.config.clone(),
+                    comm,
+                    &crate::engine::UniversalSource::Memory(checkpoint.as_ref()),
+                ),
             }
             .map_err(|e| e.to_string())?;
             let load_secs = t_load.elapsed().as_secs_f64();
@@ -441,7 +585,7 @@ fn supervised_segment(
             while engine.iteration < plan.until_iteration {
                 let it = engine.iteration;
                 comm.set_step(it);
-                fault_point(armed, comm, it);
+                fault_point(armed, comm, it, segment);
                 let loss = engine.train_iteration().map_err(|e| e.to_string())?;
                 losses.push((it + 1, loss));
                 metrics.extend(engine.last_stats);
@@ -457,6 +601,43 @@ fn supervised_segment(
                         if comm.rank() == 0 {
                             journal(dir, &ucp_storage::JournalEvent::NativePersisted { step })
                                 .map_err(|e| e.to_string())?;
+                        }
+                        if let Some(tier) = hot {
+                            // Replicate the freshly saved shard into K peer
+                            // banks. All ranks save at the same boundary, so
+                            // the wave completes before any fault can fire.
+                            // A push failure degrades to disk-only recovery
+                            // for this generation — never fails the run.
+                            let dirty = engine.take_dirty();
+                            match tier.replicate(
+                                comm.rank(),
+                                step,
+                                engine.hot_shard(),
+                                &dirty,
+                                deadline,
+                            ) {
+                                Ok(bytes) => {
+                                    if comm.rank() == 0 {
+                                        journal(
+                                            dir,
+                                            &ucp_storage::JournalEvent::HotReplicated {
+                                                step,
+                                                ranks: comm.world_size() as u64,
+                                                bytes,
+                                            },
+                                        )
+                                        .map_err(|e| e.to_string())?;
+                                    }
+                                }
+                                Err(e) => {
+                                    ucp_telemetry::count("hot/replica_errors", 1);
+                                    eprintln!(
+                                        "hot tier: rank {} replication at step {step} \
+                                         failed ({e}); this generation recovers from disk",
+                                        comm.rank()
+                                    );
+                                }
+                            }
                         }
                         save_secs += t0.elapsed().as_secs_f64();
                     }
@@ -575,6 +756,7 @@ mod tests {
                 step: 3,
                 kind: FaultKind::Panic,
             }],
+            hot_replicas: None,
         };
         let report = supervise(&plan, &opts).unwrap();
         assert_eq!(report.restarts.len(), 1, "exactly one recovery cycle");
@@ -653,6 +835,7 @@ mod tests {
                     kind: FaultKind::Panic,
                 },
             ],
+            hot_replicas: None,
         };
         let err = supervise(&plan, &opts).unwrap_err();
         assert!(

@@ -82,6 +82,7 @@ fn chaos_matrix_recovers_bitwise_under_reduced_parallelism() {
                 };
                 let opts = SupervisorOptions {
                     deadline: DEADLINE,
+                    hot_replicas: None,
                     max_restarts: 2,
                     ladder: vec![target],
                     faults: vec![RankFault {
@@ -177,6 +178,7 @@ fn kill_before_first_checkpoint_restarts_fresh() {
     };
     let opts = SupervisorOptions {
         deadline: DEADLINE,
+        hot_replicas: None,
         max_restarts: 2,
         ladder: vec![target],
         faults: vec![RankFault {
@@ -224,6 +226,7 @@ fn repeated_failures_walk_down_the_ladder() {
     };
     let opts = SupervisorOptions {
         deadline: DEADLINE,
+        hot_replicas: None,
         max_restarts: 3,
         ladder: vec![rung1, rung2],
         faults: vec![
@@ -289,6 +292,7 @@ fn recovery_counters_are_recorded() {
     };
     let opts = SupervisorOptions {
         deadline: DEADLINE,
+        hot_replicas: None,
         max_restarts: 2,
         ladder: vec![ParallelConfig::single()],
         faults: vec![RankFault {
